@@ -1,0 +1,194 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these isolate the contribution of each SpotWeb
+ingredient: CI padding, churn penalty, risk aversion, and correlated (vs
+independent) revocation draws.
+"""
+
+import numpy as np
+
+from repro.analysis import CostLedger, format_table
+from repro.core import (
+    AllocationConstraints,
+    CapacityPlanner,
+    CostModel,
+    SpotWebController,
+)
+from repro.core.policy import SpotWebPolicy
+from repro.markets import default_catalog, generate_market_dataset
+from repro.predictors import (
+    AR1PricePredictor,
+    ReactiveFailurePredictor,
+    SplinePredictor,
+)
+from repro.simulator import CostSimulator
+from repro.workloads import wikipedia_like
+
+MARKETS = default_catalog().spot_markets(12)
+WEEKS = 2
+PEAK = 30_000.0
+
+
+def build_policy(
+    *,
+    horizon=4,
+    churn=0.2,
+    alpha=5.0,
+    use_upper=True,
+    discretization="ceil",
+):
+    n = len(MARKETS)
+    controller = SpotWebController(
+        MARKETS,
+        SplinePredictor(24),
+        AR1PricePredictor(n),
+        ReactiveFailurePredictor(n),
+        horizon=horizon,
+        cost_model=CostModel(risk_aversion=alpha, churn_penalty=churn),
+        planner=CapacityPlanner(use_upper_bound=use_upper),
+        discretization=discretization,
+    )
+    return SpotWebPolicy(controller)
+
+
+def make_sim(seed=3, correlated=True):
+    dataset = generate_market_dataset(MARKETS, intervals=WEEKS * 7 * 24, seed=seed)
+    trace = wikipedia_like(WEEKS, seed=seed).scaled(PEAK)
+    return CostSimulator(dataset, trace, seed=seed, correlated_revocations=correlated)
+
+
+def test_ablation_ci_padding(run_once):
+    """CI padding trades provisioning dollars for violation dollars."""
+
+    def run():
+        sim = make_sim()
+        ledger = CostLedger()
+        ledger.add(sim.run(build_policy(use_upper=True), name="with-padding"))
+        ledger.add(sim.run(build_policy(use_upper=False), name="no-padding"))
+        return ledger
+
+    ledger = run_once(run)
+    print()
+    print(
+        format_table(
+            CostLedger.headers(),
+            ledger.rows(),
+            title="Ablation: 99% CI padding on/off",
+        )
+    )
+    padded = ledger["with-padding"]
+    bare = ledger["no-padding"]
+    assert padded.unserved_fraction < bare.unserved_fraction
+    assert padded.provisioning_cost > bare.provisioning_cost
+
+
+def test_ablation_churn_penalty(run_once):
+    """The churn penalty suppresses fleet thrash (boot-cost surcharge)."""
+
+    def run():
+        sim = make_sim()
+        ledger = CostLedger()
+        ledger.add(sim.run(build_policy(churn=0.0), name="no-churn-cost"))
+        ledger.add(sim.run(build_policy(churn=0.5), name="churn-cost"))
+        return ledger
+
+    ledger = run_once(run)
+    print()
+    print(
+        format_table(
+            CostLedger.headers(),
+            ledger.rows(),
+            title="Ablation: churn (transaction-cost) penalty",
+        )
+    )
+    free = ledger["no-churn-cost"].counts
+    sticky = ledger["churn-cost"].counts
+    thrash_free = np.abs(np.diff(free, axis=0)).sum()
+    thrash_sticky = np.abs(np.diff(sticky, axis=0)).sum()
+    assert thrash_sticky <= thrash_free
+
+
+def test_ablation_risk_aversion(run_once):
+    """Higher alpha spreads allocation across more markets."""
+
+    def run():
+        sim = make_sim()
+        out = {}
+        for alpha in (0.0, 5.0, 50.0):
+            rep = sim.run(build_policy(alpha=alpha), name=f"alpha={alpha}")
+            active = (rep.counts > 0).sum(axis=1).mean()
+            out[alpha] = (rep, float(active))
+        return out
+
+    results = run_once(run)
+    print()
+    rows = [
+        [f"alpha={a}", rep.total_cost, 100 * rep.unserved_fraction, act]
+        for a, (rep, act) in results.items()
+    ]
+    print(
+        format_table(
+            ["config", "total_$", "unserved_%", "avg_active_markets"],
+            rows,
+            title="Ablation: risk aversion sweep",
+        )
+    )
+    assert results[50.0][1] >= results[0.0][1]
+
+
+def test_ablation_discretization(run_once):
+    """Cost-aware integer repair vs naive per-market ceil."""
+
+    def run():
+        sim = make_sim()
+        ledger = CostLedger()
+        ledger.add(sim.run(build_policy(discretization="ceil"), name="ceil"))
+        ledger.add(sim.run(build_policy(discretization="refine"), name="refine"))
+        return ledger
+
+    ledger = run_once(run)
+    print()
+    print(
+        format_table(
+            CostLedger.headers(),
+            ledger.rows(),
+            title="Ablation: integer discretization (ceil vs greedy refine)",
+        )
+    )
+    assert (
+        ledger["refine"].provisioning_cost
+        <= ledger["ceil"].provisioning_cost * 1.02
+    )
+    assert (
+        ledger["refine"].unserved_fraction
+        <= ledger["ceil"].unserved_fraction + 0.01
+    )
+
+
+def test_ablation_correlated_revocations(run_once):
+    """Correlated draws produce more simultaneous multi-market failures."""
+
+    def run():
+        sim_c = make_sim(correlated=True)
+        sim_i = make_sim(correlated=False)
+        policy = build_policy
+        rep_c = sim_c.run(policy(), name="correlated")
+        rep_i = sim_i.run(policy(), name="independent")
+        return rep_c, rep_i
+
+    rep_c, rep_i = run_once(run)
+    print()
+    print(
+        format_table(
+            ["weather", "total_$", "unserved_%", "revocations"],
+            [
+                [r.name, r.total_cost, 100 * r.unserved_fraction, r.revocation_events]
+                for r in (rep_c, rep_i)
+            ],
+            title="Ablation: correlated vs independent revocation weather",
+        )
+    )
+    # Marginals are identical, so event totals are in the same ballpark.
+    assert abs(rep_c.revocation_events - rep_i.revocation_events) < max(
+        30, 0.5 * rep_i.revocation_events
+    )

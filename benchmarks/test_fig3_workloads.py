@@ -1,0 +1,15 @@
+"""Fig. 3: the two 3-week workload traces."""
+
+from repro.experiments import fig3_workloads
+
+
+def test_fig3_workload_traces(run_once):
+    res = run_once(fig3_workloads.run_fig3, weeks=3, seed=0)
+    print()
+    print(fig3_workloads.format_fig3(res))
+    wiki, vod = res["wikipedia"], res["vod"]
+    # Paper shapes: Wikipedia smooth/diurnal with very few spikes; TV4 spiky.
+    assert wiki.diurnal_strength > 0.6
+    assert wiki.cv < 0.4
+    assert vod.peak_to_mean > 2 * wiki.peak_to_mean
+    assert vod.spike_count > 10 * max(1, wiki.spike_count)

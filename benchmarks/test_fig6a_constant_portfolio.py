@@ -1,0 +1,14 @@
+"""Fig. 6(a): SpotWeb vs constant portfolio + oracle autoscaler (H = 2, 4)."""
+
+from repro.experiments import fig6a_constant
+
+
+def test_fig6a_constant_portfolio(run_once):
+    res = run_once(fig6a_constant.run_fig6a, horizons=(2, 4), hours=72, seed=0)
+    print()
+    print(fig6a_constant.format_fig6a(res))
+    # Paper: ~37% cheaper; both horizons deliver, close to each other.
+    s2, s4 = res.savings(2), res.savings(4)
+    assert s2 > 0.10
+    assert s4 > 0.10
+    assert abs(s2 - s4) < 0.15

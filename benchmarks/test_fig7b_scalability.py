@@ -1,0 +1,23 @@
+"""Fig. 7(b): optimizer scalability in markets and horizon.
+
+Paper: sub-second to ~5 s per portfolio computation; doubling markets does
+not double the solve time.
+"""
+
+from repro.experiments import fig7b_scalability
+
+
+def test_fig7b_scalability(run_once):
+    res = run_once(
+        fig7b_scalability.run_fig7b,
+        market_counts=(9, 18, 36, 72, 144),
+        horizons=(2, 4, 6, 10),
+        repeats=5,
+    )
+    print()
+    print(fig7b_scalability.format_fig7b(res))
+    # Every configuration computes within the paper's 5-second ceiling.
+    for (nm, h), (med, mx) in res.times.items():
+        assert med < 5.0, f"median solve for N={nm}, H={h} took {med:.2f}s"
+    # Even the largest sweep point stays within the usable range.
+    assert res.times[(144, 10)][0] < 5.0

@@ -1,0 +1,72 @@
+"""Microbenchmarks of the hot paths (proper multi-round timing).
+
+Not paper figures — these watch the per-call costs that bound the system's
+control-loop and data-plane throughput:
+
+- one warm MPO re-solve (the per-interval control cost),
+- one ADMM solve of a mid-size random QP,
+- one smooth-WRR pick (per-request routing cost),
+- one spline-predictor multi-horizon prediction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, MPOOptimizer
+from repro.loadbalancer import SmoothWeightedRoundRobin
+from repro.markets import default_catalog, generate_market_dataset
+from repro.predictors import SplinePredictor
+from repro.solvers import ADMMSolver
+from repro.workloads import wikipedia_like
+
+
+@pytest.fixture(scope="module")
+def mpo_setup():
+    markets = default_catalog().spot_markets(36)
+    dataset = generate_market_dataset(markets, intervals=8, seed=0)
+    optimizer = MPOOptimizer(
+        markets, horizon=4, cost_model=CostModel(churn_penalty=0.2)
+    )
+    covariance = dataset.event_covariance()
+    args = (
+        np.full(4, 10_000.0),
+        np.tile(dataset.prices[0], (4, 1)),
+        np.tile(dataset.failure_probs[0], (4, 1)),
+        covariance,
+    )
+    optimizer.optimize(*args)  # prime factorization
+    return optimizer, args
+
+
+def test_micro_mpo_resolve(benchmark, mpo_setup):
+    optimizer, args = mpo_setup
+    result = benchmark(optimizer.optimize, *args)
+    assert result.solver.status.ok
+
+
+def test_micro_admm_solve(benchmark):
+    rng = np.random.default_rng(0)
+    n, m = 60, 90
+    L = rng.normal(size=(n, n))
+    P = L @ L.T + 0.1 * np.eye(n)
+    A = rng.normal(size=(m, n))
+    x0 = rng.normal(size=n)
+    l = A @ x0 - 1.0
+    u = A @ x0 + 1.0
+    q = rng.normal(size=n)
+    solver = ADMMSolver(P, A)
+    result = benchmark(solver.solve, q, l, u)
+    assert result.status.ok
+
+
+def test_micro_wrr_pick(benchmark):
+    wrr = SmoothWeightedRoundRobin({i: float(i + 1) for i in range(50)})
+    out = benchmark(wrr.pick)
+    assert out is not None
+
+
+def test_micro_spline_predict(benchmark):
+    predictor = SplinePredictor(24)
+    predictor.observe_many(wikipedia_like(2, seed=0).rates)
+    result = benchmark(predictor.predict, 10)
+    assert result.horizon == 10

@@ -1,0 +1,11 @@
+"""Table 1: qualitative comparison of approaches."""
+
+from repro.experiments import table1
+
+
+def test_table1(run_once):
+    rows = run_once(table1.run_table1)
+    print()
+    print(table1.format_table1())
+    spotweb = [r for r in rows if r.name == "SpotWeb"][0]
+    assert spotweb.future_forecast == "Yes"

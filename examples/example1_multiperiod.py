@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The paper's Example 1: planning over a horizon instead of a single step.
+
+Two server types straight from the paper — a small one serving 10 req/s at
+2 c/hour and a large one serving 100 req/s at 15 c/hour — with demand at
+25 req/s this hour and a predicted jump to 110 req/s the next.
+
+A single-period optimizer sees only the 25 req/s hour.  The multi-period
+optimizer plans both hours at once: the jump is already in the plan, the
+large server (cheaper per request: 0.15 c vs 0.20 c per req/s-hour) carries
+the scale-up, and the hour-1 portfolio is chosen knowing what hour 2 needs —
+so the transition is a planned scale-up rather than a surprise re-planning.
+
+Note on fidelity: like the paper's own CVXPY formulation, the optimizer is a
+continuous relaxation — it allocates *fractions* of demand by per-request
+cost, and integer server effects (3 small at 6 c vs 1 large at 15 c) appear
+only after rounding.  The transaction-cost benefit of multi-period planning
+is measured at system level in ``benchmarks/test_ablations.py`` (churn
+ablation) and Fig. 6(b).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import CostModel, MPOOptimizer
+from repro.markets.catalog import InstanceType, Market, PurchaseOption
+
+
+def main() -> None:
+    small = Market(
+        InstanceType("small.example", 1, 2.0, 0.02, capacity_rps=10.0),
+        PurchaseOption.SPOT,
+    )
+    large = Market(
+        InstanceType("large.example", 8, 16.0, 0.15, capacity_rps=100.0),
+        PurchaseOption.SPOT,
+    )
+    markets = [small, large]
+
+    print("Per-request cost (price / capacity):")
+    print(
+        format_table(
+            ["server", "price_$/h", "capacity_rps", "cost_per_rps_h"],
+            [
+                [m.instance.name, m.instance.ondemand_price, m.capacity_rps,
+                 m.instance.per_request_cost(m.instance.ondemand_price)]
+                for m in markets
+            ],
+        )
+    )
+
+    prices = np.array([[0.02, 0.15], [0.02, 0.15]])
+    failures = np.zeros((2, 2))
+    covariance = 1e-9 * np.eye(2)
+    cost_model = CostModel(risk_aversion=0.0, churn_penalty=0.0)
+
+    spo = MPOOptimizer(markets, horizon=1, cost_model=cost_model)
+    res_spo = spo.optimize(np.array([25.0]), prices[:1], failures[:1], covariance)
+
+    mpo = MPOOptimizer(markets, horizon=2, cost_model=cost_model)
+    res_mpo = mpo.optimize(np.array([25.0, 110.0]), prices, failures, covariance)
+
+    def plan_rows(name, result, targets):
+        rows = []
+        for tau in range(result.plan.horizon):
+            counts = result.plan.counts(tau)
+            rows.append(
+                [
+                    f"{name} t+{tau + 1}",
+                    targets[tau],
+                    *counts,
+                    float(counts @ np.array([10.0, 100.0])),
+                ]
+            )
+        return rows
+
+    print("\nExample 1: demand 25 req/s now, predicted 110 req/s next hour\n")
+    rows = plan_rows("SPO (H=1)", res_spo, [25.0]) + plan_rows(
+        "MPO (H=2)", res_mpo, [25.0, 110.0]
+    )
+    print(
+        format_table(
+            ["plan", "target_rps", "small_n", "large_n", "capacity_rps"],
+            rows,
+        )
+    )
+    print(
+        "\nThe SPO plan ends at hour 1; the demand jump will force a fresh "
+        "decision\nunder time pressure.  The MPO plan already contains the "
+        "hour-2 fleet: the\nscale-up is pre-planned, and the hour-1 choice "
+        "was made knowing it was coming."
+    )
+
+
+if __name__ == "__main__":
+    main()

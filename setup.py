@@ -1,0 +1,6 @@
+"""Setup shim: lets ``pip install -e . --no-use-pep517`` work on environments
+without the ``wheel`` package (offline machines)."""
+
+from setuptools import setup
+
+setup()

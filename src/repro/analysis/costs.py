@@ -1,0 +1,59 @@
+"""Cross-run cost bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulator.runner import SimulationReport
+
+__all__ = ["CostLedger"]
+
+
+@dataclass
+class CostLedger:
+    """Collects :class:`SimulationReport` objects and compares them.
+
+    The comparison convention matches the paper: "savings" of run A versus
+    run B is ``1 - cost(A) / cost(B)``, with SLA penalties included in cost.
+    """
+
+    reports: dict[str, SimulationReport] = field(default_factory=dict)
+
+    def add(self, report: SimulationReport) -> None:
+        if report.name in self.reports:
+            raise KeyError(f"duplicate report name {report.name!r}")
+        self.reports[report.name] = report
+
+    def __getitem__(self, name: str) -> SimulationReport:
+        return self.reports[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.reports
+
+    def savings(self, name: str, baseline: str) -> float:
+        """Fractional savings of ``name`` relative to ``baseline``."""
+        return self.reports[name].savings_vs(self.reports[baseline])
+
+    def rows(self, *, baseline: str | None = None) -> list[list]:
+        """Summary rows (optionally with a savings column) for reports."""
+        out = []
+        base = self.reports[baseline] if baseline else None
+        for name, rep in self.reports.items():
+            row = [
+                name,
+                rep.total_cost,
+                rep.provisioning_cost,
+                rep.sla_penalty_cost,
+                100 * rep.unserved_fraction,
+            ]
+            if base is not None:
+                row.append(100 * rep.savings_vs(base))
+            out.append(row)
+        return out
+
+    @staticmethod
+    def headers(*, baseline: bool = False) -> list[str]:
+        h = ["policy", "total_$", "provision_$", "sla_$", "unserved_%"]
+        if baseline:
+            h.append("savings_%")
+        return h

@@ -1,0 +1,76 @@
+"""JSON persistence for simulation reports and experiment results.
+
+Long sweeps are expensive; these helpers let benches and notebooks save raw
+results and reload them for later analysis without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.simulator.runner import SimulationReport
+
+__all__ = ["report_to_dict", "report_from_dict", "save_report", "load_report"]
+
+
+def report_to_dict(report: SimulationReport) -> dict:
+    """Serialize a :class:`SimulationReport` to plain JSON-able types."""
+    return {
+        "name": report.name,
+        "provisioning_cost": report.provisioning_cost,
+        "sla_penalty_cost": report.sla_penalty_cost,
+        "unserved_requests": report.unserved_requests,
+        "total_requests": report.total_requests,
+        "revocation_events": report.revocation_events,
+        "decision_seconds": report.decision_seconds,
+        "interval_costs": report.interval_costs.tolist(),
+        "counts": report.counts.tolist(),
+        "capacity_rps": report.capacity_rps.tolist(),
+        "demand_rps": report.demand_rps.tolist(),
+    }
+
+
+def report_from_dict(data: dict) -> SimulationReport:
+    """Inverse of :func:`report_to_dict`."""
+    required = {
+        "name",
+        "provisioning_cost",
+        "sla_penalty_cost",
+        "unserved_requests",
+        "total_requests",
+        "revocation_events",
+        "decision_seconds",
+        "interval_costs",
+        "counts",
+        "capacity_rps",
+        "demand_rps",
+    }
+    missing = required - set(data)
+    if missing:
+        raise ValueError(f"missing report fields: {sorted(missing)}")
+    return SimulationReport(
+        name=str(data["name"]),
+        provisioning_cost=float(data["provisioning_cost"]),
+        sla_penalty_cost=float(data["sla_penalty_cost"]),
+        unserved_requests=float(data["unserved_requests"]),
+        total_requests=float(data["total_requests"]),
+        revocation_events=int(data["revocation_events"]),
+        decision_seconds=float(data["decision_seconds"]),
+        interval_costs=np.asarray(data["interval_costs"], dtype=float),
+        counts=np.asarray(data["counts"], dtype=int),
+        capacity_rps=np.asarray(data["capacity_rps"], dtype=float),
+        demand_rps=np.asarray(data["demand_rps"], dtype=float),
+    )
+
+
+def save_report(report: SimulationReport, path: str | Path) -> None:
+    """Write one report as JSON."""
+    Path(path).write_text(json.dumps(report_to_dict(report), indent=1))
+
+
+def load_report(path: str | Path) -> SimulationReport:
+    """Read a report saved with :func:`save_report`."""
+    return report_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,81 @@
+"""Statistical helpers for cross-seed experiment comparisons.
+
+The paper reports single-trace results; a reproduction on synthetic weather
+should quantify seed-to-seed variation.  These helpers provide bootstrap
+confidence intervals and paired comparisons for the savings numbers the
+benches print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BootstrapCI", "bootstrap_mean_ci", "paired_savings"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A bootstrap confidence interval around a sample mean."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} [{self.lower:.3f}, {self.upper:.3f}]"
+
+
+def bootstrap_mean_ci(
+    samples: np.ndarray,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 10_000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI of the mean of ``samples``."""
+    samples = np.asarray(samples, dtype=float).ravel()
+    if samples.size == 0:
+        raise ValueError("need at least one sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if resamples < 100:
+        raise ValueError("resamples must be >= 100")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, samples.size, size=(resamples, samples.size))
+    means = samples[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        mean=float(samples.mean()),
+        lower=float(np.quantile(means, alpha)),
+        upper=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def paired_savings(
+    costs_a: np.ndarray,
+    costs_b: np.ndarray,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 10_000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Bootstrap CI of the mean paired savings ``1 - a/b``.
+
+    ``costs_a[i]`` and ``costs_b[i]`` must come from the *same* seed/weather
+    (the cost simulator guarantees identical revocation draws per seed), so
+    the per-pair savings is the meaningful unit.
+    """
+    a = np.asarray(costs_a, dtype=float).ravel()
+    b = np.asarray(costs_b, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise ValueError("paired cost arrays must have equal length")
+    if np.any(b <= 0):
+        raise ValueError("baseline costs must be positive")
+    savings = 1.0 - a / b
+    return bootstrap_mean_ci(
+        savings, confidence=confidence, resamples=resamples, seed=seed
+    )

@@ -1,0 +1,39 @@
+"""Baseline provisioning policies from the paper's evaluation.
+
+- :class:`ExoSphereLoopPolicy` — ExoSphere (single-period portfolio
+  optimization) re-run every interval: backward-looking, not SLO-aware, no
+  padding.  The Fig. 6(b) comparator.
+- :class:`ConstantPortfolioPolicy` — a portfolio frozen early in the run
+  with an autoscaler adjusting counts: the Fig. 5(c)/6(a) comparator.
+- :class:`OnDemandPolicy` — everything on non-revocable on-demand servers
+  (the conventional deployment the abstract's "up to 90% savings" is
+  against).
+- :class:`QuThresholdPolicy` — Qu et al.'s heterogeneous over-provisioning
+  for a user-chosen number of concurrent market failures (Table 1 row).
+- Target generators (:mod:`targets`) — reactive/oracle/padded autoscaler
+  demand targets shared by the baselines.
+"""
+
+from repro.baselines.targets import (
+    TargetFn,
+    reactive_target,
+    oracle_target,
+    padded,
+)
+from repro.baselines.autoscaler import ThresholdAutoscaler
+from repro.baselines.exosphere import ExoSphereLoopPolicy
+from repro.baselines.constant_portfolio import ConstantPortfolioPolicy
+from repro.baselines.ondemand import OnDemandPolicy
+from repro.baselines.qu import QuThresholdPolicy
+
+__all__ = [
+    "TargetFn",
+    "reactive_target",
+    "oracle_target",
+    "padded",
+    "ThresholdAutoscaler",
+    "ExoSphereLoopPolicy",
+    "ConstantPortfolioPolicy",
+    "OnDemandPolicy",
+    "QuThresholdPolicy",
+]

@@ -1,0 +1,79 @@
+"""Classic threshold autoscaling — the industry-default target generator.
+
+The elasticity literature the paper builds on (AutoScale, CloudScale, the
+surveys of Qu et al.) is dominated by rule-based scalers: keep utilization
+inside a band, scale out eagerly, scale in conservatively with a cooldown.
+:class:`ThresholdAutoscaler` implements that rule as a target function, so
+any baseline policy (constant portfolio, on-demand, Qu) can run with the
+autoscaler real deployments actually use.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ThresholdAutoscaler"]
+
+
+class ThresholdAutoscaler:
+    """Utilization-band autoscaler producing capacity targets.
+
+    Parameters
+    ----------
+    desired_utilization:
+        The operating point: target capacity = observed / desired.
+    scale_out_threshold, scale_in_threshold:
+        Hysteresis band on observed/current-target utilization; inside the
+        band the target is held (no churn on noise).
+    scale_in_cooldown:
+        Intervals to wait after any change before shrinking (the classic
+        asymmetric rule: scale out fast, scale in slow).
+    initial_target_rps:
+        Target before the first observation.
+    """
+
+    def __init__(
+        self,
+        *,
+        desired_utilization: float = 0.7,
+        scale_out_threshold: float = 0.85,
+        scale_in_threshold: float = 0.5,
+        scale_in_cooldown: int = 3,
+        initial_target_rps: float = 0.0,
+    ) -> None:
+        if not 0 < desired_utilization < 1:
+            raise ValueError("desired_utilization must be in (0, 1)")
+        if not 0 < scale_in_threshold < desired_utilization:
+            raise ValueError("need 0 < scale_in_threshold < desired_utilization")
+        if not desired_utilization < scale_out_threshold <= 1:
+            raise ValueError(
+                "need desired_utilization < scale_out_threshold <= 1"
+            )
+        if scale_in_cooldown < 0:
+            raise ValueError("scale_in_cooldown must be non-negative")
+        self.desired = float(desired_utilization)
+        self.out_threshold = float(scale_out_threshold)
+        self.in_threshold = float(scale_in_threshold)
+        self.cooldown = int(scale_in_cooldown)
+        self._target = float(initial_target_rps)
+        self._since_change = self.cooldown  # allow immediate first scale
+
+    @property
+    def target_rps(self) -> float:
+        return self._target
+
+    def __call__(self, _t: int, observed_rps: float) -> float:
+        """The ``TargetFn`` interface used by the baseline policies."""
+        observed = max(0.0, float(observed_rps))
+        if self._target <= 0:
+            self._target = observed / self.desired if observed > 0 else 0.0
+            self._since_change = 0
+            return self._target
+        utilization = observed / self._target
+        self._since_change += 1
+        if utilization > self.out_threshold:
+            # Scale out immediately to restore the operating point.
+            self._target = observed / self.desired
+            self._since_change = 0
+        elif utilization < self.in_threshold and self._since_change > self.cooldown:
+            self._target = observed / self.desired
+            self._since_change = 0
+        return self._target

@@ -1,0 +1,101 @@
+"""Constant portfolio + autoscaler — the Fig. 5(c)/6(a) baseline.
+
+A portfolio of market weights is frozen after a short calibration period
+(the paper freezes it "based on the market prices after 2 hours of
+running"); thereafter an autoscaler only adjusts the *number* of servers to
+track demand while the *mix* never changes — so the policy cannot follow
+per-request price changes across markets, which is exactly the failure mode
+Fig. 5 demonstrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.targets import TargetFn, reactive_target
+from repro.core.constraints import AllocationConstraints
+from repro.core.costs import CostModel
+from repro.core.portfolio import allocation_to_counts
+from repro.core.spo import SPOOptimizer
+from repro.markets.catalog import Market
+
+__all__ = ["ConstantPortfolioPolicy"]
+
+
+class ConstantPortfolioPolicy:
+    """Fixed market weights + count-only autoscaling.
+
+    Parameters
+    ----------
+    weights:
+        Explicit portfolio weights (sum to ~1).  When omitted, the policy
+        calibrates once at interval ``calibrate_at`` by solving a
+        single-period optimization on that interval's prices.
+    calibrate_at:
+        The calibration interval (paper: after 2 hours).
+    target_fn:
+        The autoscaler's demand target (reactive by default; the paper's
+        Fig. 6(a) uses an oracle).
+    """
+
+    def __init__(
+        self,
+        markets: list[Market],
+        *,
+        weights: np.ndarray | None = None,
+        calibrate_at: int = 2,
+        target_fn: TargetFn | None = None,
+        risk_aversion: float = 5.0,
+        constraints: AllocationConstraints | None = None,
+    ) -> None:
+        if calibrate_at < 0:
+            raise ValueError("calibrate_at must be non-negative")
+        self.markets = list(markets)
+        self.capacities = np.array([m.capacity_rps for m in markets])
+        self.calibrate_at = int(calibrate_at)
+        self.target_fn = target_fn or reactive_target()
+        self._constraints = constraints or AllocationConstraints()
+        self._risk_aversion = float(risk_aversion)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float).ravel()
+            if weights.shape != (len(markets),):
+                raise ValueError("weights must have one entry per market")
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ValueError("weights must be non-negative and non-trivial")
+            self.weights: np.ndarray | None = weights / weights.sum()
+        else:
+            self.weights = None
+
+    def _calibrate(self, prices: np.ndarray, failure_probs: np.ndarray) -> None:
+        optimizer = SPOOptimizer(
+            self.markets,
+            cost_model=CostModel(penalty=0.0, risk_aversion=self._risk_aversion),
+            constraints=self._constraints,
+        )
+        covariance = np.diag(failure_probs * (1 - failure_probs) + 1e-6)
+        result = optimizer.optimize(1.0, prices, failure_probs, covariance)
+        fractions = result.plan.first.fractions
+        total = fractions.sum()
+        self.weights = fractions / total if total > 0 else np.full(
+            len(self.markets), 1.0 / len(self.markets)
+        )
+
+    def decide(
+        self,
+        t: int,
+        observed_rps: float,
+        prices: np.ndarray,
+        failure_probs: np.ndarray,
+    ) -> np.ndarray:
+        prices = np.asarray(prices, dtype=float).ravel()
+        failure_probs = np.asarray(failure_probs, dtype=float).ravel()
+        if self.weights is None and t >= self.calibrate_at:
+            self._calibrate(prices, failure_probs)
+        target = max(0.0, float(self.target_fn(t, observed_rps)))
+        if self.weights is None:
+            # Pre-calibration: spread demand evenly (the short warm-up before
+            # the paper's vertical line in Fig. 5(c)).
+            weights = np.full(len(self.markets), 1.0 / len(self.markets))
+        else:
+            weights = self.weights
+        return allocation_to_counts(weights, target, self.capacities)

@@ -1,0 +1,74 @@
+"""All-on-demand provisioning — the conventional-deployment baseline.
+
+The abstract's headline "up to 90% savings compared to conventional
+on-demand cloud servers" is relative to this: pick the on-demand market with
+the best per-request cost and autoscale counts on it.  On-demand servers are
+never revoked, so the only SLA exposure is autoscaler lag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.targets import TargetFn, reactive_target
+from repro.core.portfolio import allocation_to_counts
+from repro.markets.catalog import Market, PurchaseOption
+
+__all__ = ["OnDemandPolicy"]
+
+
+class OnDemandPolicy:
+    """Single-market on-demand autoscaling.
+
+    The market universe may mix spot and on-demand columns; this policy only
+    ever allocates to on-demand ones.  When ``market_name`` is omitted it
+    picks the on-demand market with the lowest per-request cost.
+    """
+
+    def __init__(
+        self,
+        markets: list[Market],
+        *,
+        market_name: str | None = None,
+        target_fn: TargetFn | None = None,
+        padding: float = 0.0,
+    ) -> None:
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.markets = list(markets)
+        self.capacities = np.array([m.capacity_rps for m in markets])
+        self.target_fn = target_fn or reactive_target()
+        self.padding = float(padding)
+        ondemand = [
+            (i, m)
+            for i, m in enumerate(markets)
+            if m.option is PurchaseOption.ON_DEMAND
+        ]
+        if not ondemand:
+            raise ValueError("universe contains no on-demand markets")
+        if market_name is not None:
+            matches = [i for i, m in ondemand if m.instance.name == market_name]
+            if not matches:
+                raise ValueError(f"no on-demand market named {market_name!r}")
+            self.index = matches[0]
+        else:
+            self.index = min(
+                ondemand,
+                key=lambda im: im[1].instance.per_request_cost(
+                    im[1].instance.ondemand_price
+                ),
+            )[0]
+
+    def decide(
+        self,
+        t: int,
+        observed_rps: float,
+        prices: np.ndarray,
+        failure_probs: np.ndarray,
+    ) -> np.ndarray:
+        target = max(0.0, float(self.target_fn(t, observed_rps))) * (
+            1.0 + self.padding
+        )
+        weights = np.zeros(len(self.markets))
+        weights[self.index] = 1.0
+        return allocation_to_counts(weights, target, self.capacities)

@@ -1,0 +1,66 @@
+"""Qu et al. (2016)-style threshold over-provisioning.
+
+The Table 1 comparator: the user specifies a threshold ``k`` on concurrent
+market failures to survive; demand is spread evenly over the ``m`` cheapest
+spot markets with over-provisioning factor ``m / (m - k)``, so losing any
+``k`` markets simultaneously still leaves enough capacity.  Indirectly
+SLO-aware (through ``k``) and price-aware only at selection time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.targets import TargetFn, reactive_target
+from repro.core.portfolio import allocation_to_counts
+from repro.markets.catalog import Market
+
+__all__ = ["QuThresholdPolicy"]
+
+
+class QuThresholdPolicy:
+    """Even spread over the cheapest ``num_markets`` with k-failure padding."""
+
+    def __init__(
+        self,
+        markets: list[Market],
+        *,
+        num_markets: int = 4,
+        failure_threshold: int = 1,
+        target_fn: TargetFn | None = None,
+        reselect_every: int = 1,
+    ) -> None:
+        if num_markets < 1 or num_markets > len(markets):
+            raise ValueError("num_markets out of range")
+        if not 0 <= failure_threshold < num_markets:
+            raise ValueError("failure_threshold must be in [0, num_markets)")
+        if reselect_every < 1:
+            raise ValueError("reselect_every must be >= 1")
+        self.markets = list(markets)
+        self.capacities = np.array([m.capacity_rps for m in markets])
+        self.num_markets = int(num_markets)
+        self.k = int(failure_threshold)
+        self.target_fn = target_fn or reactive_target()
+        self.reselect_every = int(reselect_every)
+        self._selected: np.ndarray | None = None
+
+    @property
+    def overprovision_factor(self) -> float:
+        m = self.num_markets
+        return m / (m - self.k) if self.k > 0 else 1.0
+
+    def decide(
+        self,
+        t: int,
+        observed_rps: float,
+        prices: np.ndarray,
+        failure_probs: np.ndarray,
+    ) -> np.ndarray:
+        prices = np.asarray(prices, dtype=float).ravel()
+        if self._selected is None or t % self.reselect_every == 0:
+            per_request = prices / self.capacities
+            self._selected = np.argsort(per_request)[: self.num_markets]
+        target = max(0.0, float(self.target_fn(t, observed_rps)))
+        weights = np.zeros(len(self.markets))
+        weights[self._selected] = self.overprovision_factor / self.num_markets
+        return allocation_to_counts(weights, target, self.capacities)

@@ -1,0 +1,53 @@
+"""Autoscaler demand targets shared by baseline policies.
+
+A target function maps ``(t, observed_rps) -> capacity target (req/s)``.
+The paper's baseline comparisons use a *reactive* autoscaler (provision for
+what was just seen) and an *oracle* autoscaler (provision for what is about
+to happen) — the oracle isolates portfolio quality from prediction quality
+in Figs. 5 and 6(a).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.workloads.trace import WorkloadTrace
+
+__all__ = ["TargetFn", "reactive_target", "oracle_target", "padded"]
+
+TargetFn = Callable[[int, float], float]
+
+
+def reactive_target() -> TargetFn:
+    """Provision for the demand observed over the previous interval."""
+
+    def fn(_t: int, observed_rps: float) -> float:
+        return float(observed_rps)
+
+    return fn
+
+
+def oracle_target(trace: WorkloadTrace | np.ndarray) -> TargetFn:
+    """Provision for the true demand of the interval being planned."""
+    rates = trace.rates if isinstance(trace, WorkloadTrace) else np.asarray(trace)
+    rates = np.asarray(rates, dtype=float).ravel()
+    if rates.size == 0:
+        raise ValueError("oracle target needs a non-empty trace")
+
+    def fn(t: int, _observed_rps: float) -> float:
+        return float(rates[min(t, rates.size - 1)])
+
+    return fn
+
+
+def padded(base: TargetFn, fraction: float) -> TargetFn:
+    """Scale a target up by a fixed padding fraction."""
+    if fraction < 0:
+        raise ValueError("padding fraction must be non-negative")
+
+    def fn(t: int, observed_rps: float) -> float:
+        return base(t, observed_rps) * (1.0 + fraction)
+
+    return fn

@@ -1,0 +1,301 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``experiment <name>`` — run one paper experiment and print its rows
+  (``table1``, ``fig3``, ``fig4a``, ``fig4bcd``, ``fig5``, ``fig6a``,
+  ``fig6b``, ``fig7a``, ``fig7b``, ``lookahead``).
+- ``list`` — list available experiments with one-line descriptions.
+- ``catalog`` — print the instance catalog / market universe.
+- ``advisor`` — print the emulated Spot Instance Advisor table for a
+  synthetic dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1(args) -> str:
+    from repro.experiments import table1
+
+    return table1.format_table1()
+
+
+def _run_fig3(args) -> str:
+    from repro.experiments import fig3_workloads
+
+    return fig3_workloads.format_fig3(
+        fig3_workloads.run_fig3(weeks=args.weeks, seed=args.seed)
+    )
+
+
+def _run_fig4a(args) -> str:
+    from repro.experiments import fig4a_loadbalancer
+
+    return fig4a_loadbalancer.format_fig4a(
+        fig4a_loadbalancer.run_fig4a(seed=args.seed, scale=args.scale)
+    )
+
+
+def _run_fig4bcd(args) -> str:
+    from repro.experiments import fig4bcd_prediction
+
+    return fig4bcd_prediction.format_fig4bcd(
+        fig4bcd_prediction.run_fig4bcd(weeks=args.weeks, seed=args.seed)
+    )
+
+
+def _run_fig5(args) -> str:
+    from repro.experiments import fig5_price_awareness
+
+    return fig5_price_awareness.format_fig5(
+        fig5_price_awareness.run_fig5(seed=args.seed)
+    )
+
+
+def _run_fig6a(args) -> str:
+    from repro.experiments import fig6a_constant
+
+    return fig6a_constant.format_fig6a(fig6a_constant.run_fig6a(seed=args.seed))
+
+
+def _run_fig6b(args) -> str:
+    from repro.experiments import fig6b_exosphere
+
+    return fig6b_exosphere.format_fig6b(
+        fig6b_exosphere.run_fig6b(
+            weeks=args.weeks, seeds=(args.seed,), workload=args.workload
+        )
+    )
+
+
+def _run_fig7a(args) -> str:
+    from repro.experiments import fig7a_accuracy
+
+    return fig7a_accuracy.format_fig7a(
+        fig7a_accuracy.run_fig7a(weeks=args.weeks, seed=args.seed)
+    )
+
+
+def _run_fig7b(args) -> str:
+    from repro.experiments import fig7b_scalability
+
+    return fig7b_scalability.format_fig7b(fig7b_scalability.run_fig7b())
+
+
+def _run_lookahead(args) -> str:
+    from repro.experiments import lookahead
+
+    return lookahead.format_lookahead(
+        lookahead.run_lookahead(weeks=args.weeks, seed=args.seed)
+    )
+
+
+def _run_gcloud(args) -> str:
+    from repro.experiments import gcloud
+
+    return gcloud.format_gcloud(
+        gcloud.run_gcloud(weeks=args.weeks, seed=args.seed)
+    )
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "table1": ("qualitative comparison of approaches", _run_table1),
+    "fig3": ("workload trace shapes", _run_fig3),
+    "fig4a": ("transiency-aware load balancing (request-level DES)", _run_fig4a),
+    "fig4bcd": ("prediction error with/without CI padding", _run_fig4bcd),
+    "fig5": ("price-awareness, 3-market race", _run_fig5),
+    "fig6a": ("SpotWeb vs constant portfolio + oracle autoscaler", _run_fig6a),
+    "fig6b": ("SpotWeb vs ExoSphere-in-a-loop sweep", _run_fig6b),
+    "fig7a": ("savings vs prediction accuracy", _run_fig7a),
+    "fig7b": ("optimizer scalability", _run_fig7b),
+    "lookahead": ("Sec. 7: look-ahead vs startup time", _run_lookahead),
+    "gcloud": ("Sec. 7: Google-preemptible mode", _run_gcloud),
+}
+
+
+def _cmd_list(_args) -> str:
+    from repro.analysis import format_table
+
+    rows = [[name, desc] for name, (desc, _) in EXPERIMENTS.items()]
+    return format_table(["experiment", "description"], rows)
+
+
+def _cmd_catalog(_args) -> str:
+    from repro.analysis import format_table
+    from repro.markets import default_catalog
+
+    catalog = default_catalog()
+    rows = [
+        [t.name, t.vcpus, t.memory_gb, t.ondemand_price, t.capacity_rps]
+        for t in catalog.types
+    ]
+    return format_table(
+        ["type", "vcpus", "mem_gb", "ondemand_$/h", "capacity_rps"], rows
+    )
+
+
+def _cmd_simulate(args) -> str:
+    from repro.analysis import CostLedger, format_table
+    from repro.baselines import (
+        ConstantPortfolioPolicy,
+        ExoSphereLoopPolicy,
+        OnDemandPolicy,
+        QuThresholdPolicy,
+        oracle_target,
+    )
+    from repro.core import CostModel, SpotWebController
+    from repro.core.policy import SpotWebPolicy
+    from repro.markets import (
+        PurchaseOption,
+        default_catalog,
+        generate_market_dataset,
+    )
+    from repro.predictors import (
+        AR1PricePredictor,
+        ReactiveFailurePredictor,
+        SplinePredictor,
+    )
+    from repro.simulator import CostSimulator
+    from repro.workloads import vod_like, wikipedia_like
+
+    catalog = default_catalog()
+    spot = catalog.spot_markets(args.markets)
+    markets = spot + [
+        catalog.market(m.instance.name, PurchaseOption.ON_DEMAND) for m in spot
+    ]
+    n = len(markets)
+    dataset = generate_market_dataset(
+        markets, intervals=args.weeks * 7 * 24, seed=args.seed
+    )
+    trace_fn = wikipedia_like if args.workload == "wikipedia" else vod_like
+    trace = trace_fn(args.weeks, seed=args.seed).scaled(args.peak)
+    sim = CostSimulator(dataset, trace, seed=args.seed)
+
+    def spotweb():
+        controller = SpotWebController(
+            markets,
+            SplinePredictor(24),
+            AR1PricePredictor(n),
+            ReactiveFailurePredictor(n),
+            horizon=args.horizon,
+            cost_model=CostModel(churn_penalty=0.2),
+        )
+        return SpotWebPolicy(controller)
+
+    available = {
+        "spotweb": spotweb,
+        "exosphere": lambda: ExoSphereLoopPolicy(markets),
+        "constant": lambda: ConstantPortfolioPolicy(
+            markets, target_fn=oracle_target(trace)
+        ),
+        "qu": lambda: QuThresholdPolicy(
+            markets, num_markets=4, failure_threshold=1
+        ),
+        "ondemand": lambda: OnDemandPolicy(markets),
+    }
+    names = args.policies or ["spotweb", "exosphere", "ondemand"]
+    unknown = set(names) - set(available)
+    if unknown:
+        raise SystemExit(f"unknown policies: {sorted(unknown)}")
+    ledger = CostLedger()
+    for name in names:
+        ledger.add(sim.run(available[name](), name=name))
+    baseline = names[-1]
+    return format_table(
+        CostLedger.headers(baseline=True),
+        ledger.rows(baseline=baseline),
+        title=(
+            f"{args.weeks}-week simulation, {n} markets, {args.workload} "
+            f"workload (savings vs {baseline})"
+        ),
+    )
+
+
+def _cmd_advisor(args) -> str:
+    from repro.analysis import format_table
+    from repro.markets import advisor_table, default_catalog, generate_market_dataset
+
+    markets = default_catalog().spot_markets(args.markets)
+    dataset = generate_market_dataset(markets, intervals=24 * 7, seed=args.seed)
+    rows = advisor_table(markets, dataset.failure_probs, dataset.prices)
+    return format_table(
+        ["market", "interruption", "mean_prob", "savings_vs_od"],
+        [
+            [
+                r["market"],
+                r["interruption_frequency"],
+                r["mean_probability"],
+                r["savings_over_ondemand"],
+            ]
+            for r in rows
+        ],
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SpotWeb (HPDC'19) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="run one paper experiment")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--weeks", type=int, default=2)
+    p_exp.add_argument("--scale", type=float, default=0.5)
+    p_exp.add_argument(
+        "--workload", choices=("wikipedia", "vod"), default="wikipedia"
+    )
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("catalog", help="print the instance catalog")
+
+    p_sim = sub.add_parser(
+        "simulate", help="run a custom policy comparison simulation"
+    )
+    p_sim.add_argument(
+        "--policies",
+        nargs="*",
+        choices=("spotweb", "exosphere", "constant", "qu", "ondemand"),
+        help="policies to compare (default: spotweb exosphere ondemand)",
+    )
+    p_sim.add_argument("--markets", type=int, default=12)
+    p_sim.add_argument("--weeks", type=int, default=1)
+    p_sim.add_argument("--peak", type=float, default=30_000.0)
+    p_sim.add_argument("--horizon", type=int, default=4)
+    p_sim.add_argument(
+        "--workload", choices=("wikipedia", "vod"), default="wikipedia"
+    )
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_adv = sub.add_parser("advisor", help="print the emulated Spot Advisor")
+    p_adv.add_argument("--markets", type=int, default=12)
+    p_adv.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiment":
+        _desc, runner = EXPERIMENTS[args.name]
+        print(runner(args))
+    elif args.command == "list":
+        print(_cmd_list(args))
+    elif args.command == "catalog":
+        print(_cmd_catalog(args))
+    elif args.command == "simulate":
+        print(_cmd_simulate(args))
+    elif args.command == "advisor":
+        print(_cmd_advisor(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

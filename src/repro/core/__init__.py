@@ -1,0 +1,44 @@
+"""SpotWeb core: the paper's primary contribution.
+
+- :mod:`repro.core.portfolio` — allocation/plan data types and the
+  fraction-to-server-count conversion of Section 4.2.
+- :mod:`repro.core.costs` — the cost model: provisioning cost (Eq. 3), SLA
+  violation cost (Eq. 4), quadratic revocation risk (Eq. 5).
+- :mod:`repro.core.mpo` — the multi-period portfolio optimizer (Eq. 6 with
+  constraints 7–10), solved as a convex QP over ``N x H`` variables with a
+  receding horizon: all intervals are planned, only the first is executed.
+- :mod:`repro.core.spo` — single-period optimization, the ExoSphere-style
+  special case used as a baseline.
+- :mod:`repro.core.overprovision` — intelligent over-provisioning: the 99%
+  CI upper bound as a capacity target plus the shortfall tracker feeding the
+  SLA cost term.
+- :mod:`repro.core.controller` — the SpotWeb control loop wiring predictors,
+  optimizer, cloud, and load balancer together.
+"""
+
+from repro.core.portfolio import Allocation, PortfolioPlan, allocation_to_counts
+from repro.core.costs import CostModel
+from repro.core.constraints import AllocationConstraints
+from repro.core.mpo import MPOOptimizer, MPOResult
+from repro.core.spo import SPOOptimizer
+from repro.core.overprovision import CapacityPlanner, ShortfallTracker
+from repro.core.controller import SpotWebController, ControllerDecision
+from repro.core.reactive import ReactiveFallback
+from repro.core.discretize import refine_counts
+
+__all__ = [
+    "Allocation",
+    "PortfolioPlan",
+    "allocation_to_counts",
+    "CostModel",
+    "AllocationConstraints",
+    "MPOOptimizer",
+    "MPOResult",
+    "SPOOptimizer",
+    "CapacityPlanner",
+    "ShortfallTracker",
+    "SpotWebController",
+    "ControllerDecision",
+    "ReactiveFallback",
+    "refine_counts",
+]

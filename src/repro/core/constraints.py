@@ -1,0 +1,71 @@
+"""Allocation constraints (Eqs. 7–10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AllocationConstraints"]
+
+
+@dataclass(frozen=True)
+class AllocationConstraints:
+    """The feasible-allocation box of Section 4.2.
+
+    - ``a_total_min`` (``A_Min``): minimum total provisioned fraction —
+      values below 1 permit deliberate under-provisioning.
+    - ``a_total_max`` (``A_Max``): cap on total over-provisioning.
+    - ``a_market_max`` (``a_max``): cap on any single market's share; 1
+      delegates diversification entirely to the optimizer's risk term.
+    """
+
+    a_total_min: float = 1.0
+    a_total_max: float = 2.0
+    a_market_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.a_total_min < 0:
+            raise ValueError("a_total_min must be non-negative")
+        if self.a_total_max < self.a_total_min:
+            raise ValueError("a_total_max must be >= a_total_min")
+        if not 0 < self.a_market_max <= self.a_total_max:
+            raise ValueError("a_market_max must be in (0, a_total_max]")
+
+    def build_rows(
+        self, num_markets: int, horizon: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Constraint rows for the stacked ``(H * N,)`` variable.
+
+        Returns ``(A, l, u)``: per-variable boxes ``0 <= A_tau^i <= a_max``
+        and one total-allocation row per interval,
+        ``A_Min <= sum_i A_tau^i <= A_Max``.
+        """
+        if num_markets < 1 or horizon < 1:
+            raise ValueError("num_markets and horizon must be >= 1")
+        if self.a_market_max * num_markets < self.a_total_min - 1e-12:
+            raise ValueError(
+                f"infeasible constraints: a_market_max * N = "
+                f"{self.a_market_max * num_markets:.3f} cannot reach "
+                f"a_total_min = {self.a_total_min}"
+            )
+        n = num_markets * horizon
+        rows = np.zeros((n + horizon, n))
+        rows[:n, :n] = np.eye(n)
+        lower = np.zeros(n + horizon)
+        upper = np.empty(n + horizon)
+        upper[:n] = self.a_market_max
+        for tau in range(horizon):
+            row = n + tau
+            rows[row, tau * num_markets : (tau + 1) * num_markets] = 1.0
+            lower[row] = self.a_total_min
+            upper[row] = self.a_total_max
+        return rows, lower, upper
+
+    def feasible(self, fractions: np.ndarray, *, tol: float = 1e-6) -> bool:
+        """Check a single-interval allocation vector against the box."""
+        fractions = np.asarray(fractions, dtype=float).ravel()
+        if np.any(fractions < -tol) or np.any(fractions > self.a_market_max + tol):
+            return False
+        total = fractions.sum()
+        return self.a_total_min - tol <= total <= self.a_total_max + tol

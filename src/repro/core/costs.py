@@ -1,0 +1,158 @@
+"""SpotWeb's cost model: Equations 3, 4 and 5.
+
+All three terms are functions of the fractional allocation ``A`` and enter
+the optimizer linearly (provisioning, SLA) or quadratically (risk), which is
+what keeps the multi-period program a convex QP.
+
+Paper defaults (Sec. 6, "SpotWeb's configuration"): ``P = 0.02`` (double the
+maximum per-request serving cost in the catalog), ``L = 0`` (the testbed's
+0.5 s responses migrate comfortably within the warning period), ``alpha = 5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CostModel"]
+
+
+@dataclass
+class CostModel:
+    """Cost-model parameters and evaluators.
+
+    Attributes
+    ----------
+    penalty:
+        ``P`` — $ penalty per SLO-violating (dropped/delayed) request.  Must
+        exceed the per-request serving cost, or the optimizer will prefer
+        dropping requests to serving them (the paper makes this exact point).
+    long_running_fraction:
+        ``L`` — fraction of in-flight requests that cannot migrate within the
+        revocation warning period.
+    risk_aversion:
+        ``alpha`` — weight of the quadratic risk term.
+    churn_penalty:
+        ``gamma`` — weight of the quadratic transaction-cost term linking
+        consecutive intervals (the multi-period trading cost of [Boyd et al.
+        2017]; 0 disables it).
+    """
+
+    penalty: float = 0.02
+    long_running_fraction: float = 0.0
+    risk_aversion: float = 5.0
+    churn_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.penalty < 0:
+            raise ValueError("penalty must be non-negative")
+        if not 0 <= self.long_running_fraction <= 1:
+            raise ValueError("long_running_fraction must be in [0, 1]")
+        if self.risk_aversion < 0:
+            raise ValueError("risk_aversion must be non-negative")
+        if self.churn_penalty < 0:
+            raise ValueError("churn_penalty must be non-negative")
+
+    # ------------------------------------------------------------------ Eq. 3
+    def provisioning_cost(
+        self,
+        fractions: np.ndarray,
+        per_request_cost: np.ndarray,
+        predicted_rps: float,
+        interval_hours: float = 1.0,
+    ) -> float:
+        """Cost of renting the allocation for one interval (Eq. 3).
+
+        ``A_t^i * lambda_pred * C_t^i`` summed over markets; ``C`` is the
+        per-request cost ``price / r`` in $/hour per (request/second).
+        """
+        fractions = np.asarray(fractions, dtype=float)
+        per_request_cost = np.asarray(per_request_cost, dtype=float)
+        return float(
+            (fractions * per_request_cost).sum() * predicted_rps * interval_hours
+        )
+
+    def provisioning_coefficients(
+        self,
+        per_request_cost: np.ndarray,
+        predicted_rps: float,
+        interval_hours: float = 1.0,
+    ) -> np.ndarray:
+        """Linear coefficients of Eq. 3 w.r.t. the allocation vector."""
+        return (
+            np.asarray(per_request_cost, dtype=float)
+            * float(predicted_rps)
+            * float(interval_hours)
+        )
+
+    # ------------------------------------------------------------------ Eq. 4
+    def sla_cost(
+        self,
+        fractions: np.ndarray,
+        failure_probs: np.ndarray,
+        actual_rps: float,
+        predicted_rps: float,
+    ) -> float:
+        """SLA violation cost for one interval (Eq. 4).
+
+        Two sources: requests dropped because a revoked server's in-flight
+        long-running requests could not migrate (``P * A * f * lambda * L``),
+        and capacity shortage from workload misprediction
+        (``P * A * (lambda - lambda_pred)`` when positive).
+        """
+        fractions = np.asarray(fractions, dtype=float)
+        failure_probs = np.asarray(failure_probs, dtype=float)
+        drop = (
+            fractions
+            * failure_probs
+            * actual_rps
+            * self.long_running_fraction
+        )
+        shortfall = max(0.0, actual_rps - predicted_rps)
+        return float(self.penalty * (drop.sum() + fractions.sum() * shortfall))
+
+    def sla_coefficients(
+        self,
+        failure_probs: np.ndarray,
+        predicted_rps: float,
+        expected_shortfall_rps: float = 0.0,
+    ) -> np.ndarray:
+        """Linear coefficients of Eq. 4 w.r.t. the allocation vector.
+
+        At planning time the realized shortfall is unknown; the paper tracks
+        the mean absolute error of recent predictions and charges it a
+        priori (``expected_shortfall_rps``).
+        """
+        failure_probs = np.asarray(failure_probs, dtype=float)
+        return self.penalty * (
+            failure_probs * float(predicted_rps) * self.long_running_fraction
+            + float(max(0.0, expected_shortfall_rps))
+        )
+
+    # ------------------------------------------------------------------ Eq. 5
+    def risk(self, fractions: np.ndarray, covariance: np.ndarray) -> float:
+        """Quadratic portfolio risk ``alpha * A' M A`` (Eq. 5)."""
+        fractions = np.asarray(fractions, dtype=float)
+        covariance = np.atleast_2d(np.asarray(covariance, dtype=float))
+        return float(self.risk_aversion * fractions @ covariance @ fractions)
+
+    # ------------------------------------------------------------------ total
+    def interval_cost(
+        self,
+        fractions: np.ndarray,
+        per_request_cost: np.ndarray,
+        failure_probs: np.ndarray,
+        covariance: np.ndarray,
+        actual_rps: float,
+        predicted_rps: float,
+        interval_hours: float = 1.0,
+    ) -> float:
+        """Full per-interval objective contribution (Eq. 6 summand)."""
+        return (
+            self.provisioning_cost(
+                fractions, per_request_cost, predicted_rps, interval_hours
+            )
+            + self.sla_cost(fractions, failure_probs, actual_rps, predicted_rps)
+            + self.risk(fractions, covariance)
+        )

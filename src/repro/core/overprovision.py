@@ -1,0 +1,81 @@
+"""Intelligent over-provisioning (Sec. 4.3).
+
+Two cooperating pieces:
+
+- :class:`CapacityPlanner` converts a multi-horizon prediction into capacity
+  targets by taking the *upper bound of the confidence interval* — this is
+  the padding that absorbs both mispredictions and revocation-driven
+  capacity drops.
+- :class:`ShortfallTracker` keeps the mean absolute error of recent
+  under-predictions; the optimizer charges it a priori to the SLA term
+  ("we need to account for this value by keeping track of the
+  mean-absolute-error over a window of some recent predictions").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.predictors.base import PredictionResult
+
+__all__ = ["CapacityPlanner", "ShortfallTracker"]
+
+
+class CapacityPlanner:
+    """Derive per-interval capacity targets from a prediction.
+
+    ``use_upper_bound=False`` collapses to the point prediction (the
+    no-padding ablation of Fig. 4(c)); ``extra_padding`` stacks a fixed
+    multiplicative reserve on top.
+    """
+
+    def __init__(
+        self,
+        *,
+        use_upper_bound: bool = True,
+        extra_padding: float = 0.0,
+        min_rps: float = 0.0,
+    ) -> None:
+        if extra_padding < 0:
+            raise ValueError("extra_padding must be non-negative")
+        if min_rps < 0:
+            raise ValueError("min_rps must be non-negative")
+        self.use_upper_bound = bool(use_upper_bound)
+        self.extra_padding = float(extra_padding)
+        self.min_rps = float(min_rps)
+
+    def targets(self, prediction: PredictionResult) -> np.ndarray:
+        """Capacity targets (req/s) for each horizon interval."""
+        base = prediction.upper if self.use_upper_bound else prediction.mean
+        padded = base * (1.0 + self.extra_padding)
+        return np.maximum(padded, self.min_rps)
+
+
+class ShortfallTracker:
+    """Rolling mean absolute error of under-predictions.
+
+    Only *under*-predictions count: the paper's SLA model penalizes missing
+    capacity, not excess ("no extra penalty ... for having some extra
+    capacity").
+    """
+
+    def __init__(self, window: int = 48) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._errors: deque[float] = deque(maxlen=window)
+
+    def record(self, actual_rps: float, predicted_rps: float) -> None:
+        """Record one realized interval (prediction vs. truth)."""
+        self._errors.append(max(0.0, float(actual_rps) - float(predicted_rps)))
+
+    @property
+    def expected_shortfall_rps(self) -> float:
+        """Mean under-prediction over the window (0 before any data)."""
+        if not self._errors:
+            return 0.0
+        return float(np.mean(self._errors))
+
+    def __len__(self) -> int:
+        return len(self._errors)

@@ -1,0 +1,32 @@
+"""Adapter exposing the SpotWeb controller as a provisioning policy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.controller import ControllerDecision, SpotWebController
+
+__all__ = ["SpotWebPolicy"]
+
+
+class SpotWebPolicy:
+    """Drives a :class:`SpotWebController` inside the cost simulator.
+
+    Satisfies :class:`repro.simulator.runner.ProvisioningPolicy`; keeps the
+    last decision around for inspection (weights, plan, solver stats).
+    """
+
+    def __init__(self, controller: SpotWebController) -> None:
+        self.controller = controller
+        self.last_decision: ControllerDecision | None = None
+
+    def decide(
+        self,
+        t: int,
+        observed_rps: float,
+        prices: np.ndarray,
+        failure_probs: np.ndarray,
+    ) -> np.ndarray:
+        decision = self.controller.step(observed_rps, prices, failure_probs)
+        self.last_decision = decision
+        return decision.counts

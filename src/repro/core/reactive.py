@@ -1,0 +1,112 @@
+"""Reactive fallback provisioning (Sec. 6.2).
+
+"In addition to proactive padding, SpotWeb implements a reactive algorithm
+to handle any observed SLO violations that go beyond the predicted padding.
+Reactive provisioning involves requesting on-demand servers of one or more
+types within the chosen portfolio configuration to add additional capacity
+to the cluster for the remainder of the interval t."
+
+:class:`ReactiveFallback` implements that rule: given the observed shortfall
+of the previous interval, it emits an emergency top-up of non-revocable
+capacity (counts per market) layered on top of the optimizer's plan, and
+decays it once violations stop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.portfolio import allocation_to_counts
+from repro.markets.catalog import Market
+
+__all__ = ["ReactiveFallback"]
+
+
+class ReactiveFallback:
+    """Emergency on-demand top-up driven by observed violations.
+
+    Parameters
+    ----------
+    markets:
+        The market universe (top-ups are expressed in the same vector
+        layout).  Non-revocable markets are preferred; if none exist, the
+        cheapest-per-request markets are used (matching the paper's testbed,
+        which tops up within the chosen portfolio).
+    trigger_fraction:
+        Shortfall (as a fraction of demand) that arms the fallback.
+    boost_factor:
+        Capacity multiple of the observed shortfall to add (1.0 = exactly
+        cover the observed gap; >1 adds margin).
+    decay:
+        Per-interval geometric decay of the boost once violations stop.
+    """
+
+    def __init__(
+        self,
+        markets: list[Market],
+        *,
+        trigger_fraction: float = 0.01,
+        boost_factor: float = 1.5,
+        decay: float = 0.5,
+    ) -> None:
+        if not markets:
+            raise ValueError("need at least one market")
+        if trigger_fraction < 0:
+            raise ValueError("trigger_fraction must be non-negative")
+        if boost_factor <= 0:
+            raise ValueError("boost_factor must be positive")
+        if not 0 <= decay < 1:
+            raise ValueError("decay must be in [0, 1)")
+        self.markets = list(markets)
+        self.capacities = np.array([m.capacity_rps for m in markets])
+        self.trigger_fraction = float(trigger_fraction)
+        self.boost_factor = float(boost_factor)
+        self.decay = float(decay)
+        self._boost_rps = 0.0
+        # Prefer on-demand columns; fall back to the whole universe.
+        ondemand = [i for i, m in enumerate(self.markets) if not m.revocable]
+        self._candidates = ondemand or list(range(len(self.markets)))
+        self.activations = 0
+
+    @property
+    def boost_rps(self) -> float:
+        """Current emergency capacity (req/s)."""
+        return self._boost_rps
+
+    def update(self, demand_rps: float, served_capacity_rps: float) -> None:
+        """Feed the previous interval's outcome.
+
+        A shortfall beyond the trigger re-arms (and sizes) the boost; a
+        clean interval decays it.
+        """
+        if demand_rps < 0 or served_capacity_rps < 0:
+            raise ValueError("rates must be non-negative")
+        shortfall = max(0.0, demand_rps - served_capacity_rps)
+        if demand_rps > 0 and shortfall / demand_rps > self.trigger_fraction:
+            self._boost_rps = max(
+                self._boost_rps, self.boost_factor * shortfall
+            )
+            self.activations += 1
+        else:
+            self._boost_rps *= self.decay
+            if self._boost_rps < 1e-9:
+                self._boost_rps = 0.0
+
+    def topup_counts(self, prices: np.ndarray) -> np.ndarray:
+        """Emergency server counts realizing the current boost.
+
+        Spread over the (up to) two cheapest candidate markets so a single
+        further revocation cannot erase the whole top-up.
+        """
+        counts = np.zeros(len(self.markets), dtype=int)
+        if self._boost_rps <= 0:
+            return counts
+        prices = np.asarray(prices, dtype=float).ravel()
+        if prices.shape != (len(self.markets),):
+            raise ValueError("price vector has wrong length")
+        per_request = prices[self._candidates] / self.capacities[self._candidates]
+        order = np.argsort(per_request)
+        chosen = [self._candidates[int(i)] for i in order[:2]]
+        fractions = np.zeros(len(self.markets))
+        fractions[chosen] = 1.0 / len(chosen)
+        return allocation_to_counts(fractions, self._boost_rps, self.capacities)

@@ -1,0 +1,80 @@
+"""Single-period portfolio optimization — the ExoSphere-style baseline.
+
+SPO (Sec. 4.1) chooses a portfolio for the *next* interval only, from
+current/past information, with no future predictions.  It is exactly the
+``H = 1`` special case of the multi-period program, so this class wraps
+:class:`MPOOptimizer` with a one-step horizon — keeping both optimizers on
+the same cost model and solver so cost comparisons (Fig. 6(b)) measure the
+value of look-ahead, not implementation differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.constraints import AllocationConstraints
+from repro.core.costs import CostModel
+from repro.core.mpo import MPOOptimizer, MPOResult
+from repro.markets.catalog import Market
+
+__all__ = ["SPOOptimizer"]
+
+
+class SPOOptimizer:
+    """ExoSphere-style single-period, backward-looking portfolio selection."""
+
+    def __init__(
+        self,
+        markets: list[Market],
+        *,
+        cost_model: CostModel | None = None,
+        constraints: AllocationConstraints | None = None,
+        interval_hours: float = 1.0,
+        solver_options: dict | None = None,
+    ) -> None:
+        self._inner = MPOOptimizer(
+            markets,
+            horizon=1,
+            cost_model=cost_model,
+            constraints=constraints,
+            interval_hours=interval_hours,
+            solver_options=solver_options,
+        )
+
+    @property
+    def markets(self) -> list[Market]:
+        return self._inner.markets
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._inner.cost_model
+
+    @property
+    def constraints(self) -> AllocationConstraints:
+        return self._inner.constraints
+
+    def optimize(
+        self,
+        target_rps: float,
+        prices: np.ndarray,
+        failure_probs: np.ndarray,
+        covariance: np.ndarray,
+        *,
+        current_fractions: np.ndarray | None = None,
+        expected_shortfall_rps: float = 0.0,
+    ) -> MPOResult:
+        """Select a portfolio from *current* observations only.
+
+        ``prices`` and ``failure_probs`` are the current ``(N,)`` vectors —
+        SPO's implicit forecast is persistence.
+        """
+        prices = np.asarray(prices, dtype=float).ravel()
+        failure_probs = np.asarray(failure_probs, dtype=float).ravel()
+        return self._inner.optimize(
+            np.array([float(target_rps)]),
+            prices[None, :],
+            failure_probs[None, :],
+            covariance,
+            current_fractions=current_fractions,
+            expected_shortfall_rps=expected_shortfall_rps,
+        )

@@ -1,0 +1,51 @@
+"""Sticky-session bookkeeping.
+
+Web sessions are pinned to a backend (session affinity); the transiency-
+aware balancer's "migration" is re-pinning every session of a doomed backend
+onto survivors — possible because front-end nodes are stateless and session
+state lives in the backend tier (Sec. 2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+__all__ = ["SessionTable"]
+
+
+class SessionTable:
+    """Maps session ids to backend keys, with reverse lookup for migration."""
+
+    def __init__(self) -> None:
+        self._by_session: dict[int, Hashable] = {}
+        self._by_backend: dict[Hashable, set[int]] = defaultdict(set)
+
+    def __len__(self) -> int:
+        return len(self._by_session)
+
+    def assign(self, session_id: int, backend: Hashable) -> None:
+        """Pin (or re-pin) a session to a backend."""
+        old = self._by_session.get(session_id)
+        if old is not None:
+            self._by_backend[old].discard(session_id)
+        self._by_session[session_id] = backend
+        self._by_backend[backend].add(session_id)
+
+    def backend_of(self, session_id: int) -> Hashable | None:
+        return self._by_session.get(session_id)
+
+    def sessions_on(self, backend: Hashable) -> set[int]:
+        return set(self._by_backend.get(backend, ()))
+
+    def close(self, session_id: int) -> None:
+        backend = self._by_session.pop(session_id, None)
+        if backend is not None:
+            self._by_backend[backend].discard(session_id)
+
+    def evict_backend(self, backend: Hashable) -> set[int]:
+        """Unpin every session on a backend; returns the orphaned sessions."""
+        sessions = self._by_backend.pop(backend, set())
+        for sid in sessions:
+            self._by_session.pop(sid, None)
+        return sessions

@@ -1,0 +1,205 @@
+"""SpotWeb's transiency-aware load balancer (Sec. 4.4, 6.1).
+
+Extends the vanilla balancer with the three revocation scenarios the paper
+evaluates:
+
+1. **Low/medium utilization** — on a warning, the doomed backend is drained
+   immediately, its sessions are migrated to survivors with spare capacity,
+   and nothing is dropped.
+2. **High utilization, replacements can start in time** — the balancer asks
+   the provisioning layer (callback) for replacement capacity; the doomed
+   backend keeps serving through the warning window while replacements boot.
+3. **High utilization, replacements too slow** — the balancer degrades into
+   an admission controller, dropping what would overload the survivors
+   rather than letting queues blow up cluster-wide.
+
+It also accepts online weight updates from the optimizer on every portfolio
+change (the REST hook of Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.loadbalancer.vanilla import VanillaLoadBalancer
+
+if TYPE_CHECKING:  # avoid a loadbalancer <-> simulator import cycle
+    from repro.simulator.metrics import LatencyRecorder
+
+__all__ = ["TransiencyAwareLoadBalancer"]
+
+
+class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
+    """Revocation-warning-driven balancer with migration and admission control.
+
+    Parameters
+    ----------
+    reprovision:
+        ``reprovision(lost_capacity_rps, now)`` — called when a warning
+        removes capacity the survivors cannot absorb; the deployment layer
+        (cluster simulation / SpotWeb controller) starts replacements.
+    headroom_threshold:
+        Utilization above which the cluster is considered too hot to absorb
+        a revoked backend's load without replacements.
+    admission_wait_seconds:
+        Maximum queueing delay admitted; arrivals that can't be placed
+        within it anywhere are rejected to protect the survivors.
+    """
+
+    def __init__(
+        self,
+        recorder: "LatencyRecorder",
+        *,
+        health_check_seconds: float = 5.0,
+        retries: int = 2,
+        reprovision: Callable[[float, float], None] | None = None,
+        headroom_threshold: float = 0.85,
+        admission_wait_seconds: float = 2.0,
+        drain_grace_seconds: float = 90.0,
+    ) -> None:
+        super().__init__(
+            recorder,
+            health_check_seconds=health_check_seconds,
+            retries=retries,
+        )
+        if not 0 < headroom_threshold <= 1:
+            raise ValueError("headroom_threshold must be in (0, 1]")
+        if admission_wait_seconds <= 0:
+            raise ValueError("admission_wait_seconds must be positive")
+        if drain_grace_seconds < 0:
+            raise ValueError("drain_grace_seconds must be non-negative")
+        self.reprovision = reprovision
+        self.headroom_threshold = float(headroom_threshold)
+        self.admission_wait_seconds = float(admission_wait_seconds)
+        self.drain_grace_seconds = float(drain_grace_seconds)
+        self.migrations = 0
+        self.reprovision_requests = 0
+        # Warned backends whose drain is deferred until replacement capacity
+        # is ready (or the grace deadline forces it).
+        self._pending_drain: dict[int, float] = {}
+
+    # ------------------------------------------------------------- transiency
+    def _spare_capacity(self, exclude: set[int]) -> float:
+        """Headroom (req/s) among accepting backends outside ``exclude``."""
+        return sum(
+            max(0.0, (self.headroom_threshold - b.utilization()) * b.capacity_rps)
+            for b in self.backends.values()
+            if b.server_id not in exclude and b.accepting
+        )
+
+    def _drain_now(self, backend_id: int) -> None:
+        backend = self.backends.get(backend_id)
+        self._pending_drain.pop(backend_id, None)
+        if backend is None:
+            return
+        backend.drain()
+        self.wrr.remove(backend_id)
+        # Migrate its sessions onto survivors (stateless front-ends: a
+        # session is just an affinity record).
+        orphans = self.sessions.evict_backend(backend_id)
+        for sid in orphans:
+            new_bid = self.wrr.pick()
+            if new_bid is not None:
+                self.sessions.assign(sid, new_bid)
+                self.migrations += 1
+
+    def on_warning(self, backend_id: int, now: float) -> None:
+        """React to a revocation warning within the warning window.
+
+        Scenario 1 (spare headroom): drain and migrate immediately.
+        Scenario 2 (cluster hot): ask for replacements and keep the doomed
+        backend serving until they are ready — it has the whole warning
+        window.  The grace deadline bounds how long the drain can wait.
+        """
+        backend = self.backends.get(backend_id)
+        if backend is None:
+            return
+        doomed = set(self._pending_drain) | {backend_id}
+        spare = self._spare_capacity(doomed)
+        displaced = backend.capacity_rps * backend.utilization()
+        if spare >= displaced:
+            self._drain_now(backend_id)
+            return
+        self._pending_drain[backend_id] = now + self.drain_grace_seconds
+        if self.reprovision is not None:
+            self.reprovision_requests += 1
+            self.reprovision(backend.capacity_rps, now)
+
+    def _process_pending_drains(self, now: float) -> None:
+        if not self._pending_drain:
+            return
+        doomed = set(self._pending_drain)
+        displaced = sum(
+            self.backends[bid].capacity_rps * self.backends[bid].utilization()
+            for bid in doomed
+            if bid in self.backends
+        )
+        if self._spare_capacity(doomed) >= displaced:
+            for bid in list(self._pending_drain):
+                self._drain_now(bid)
+            return
+        for bid, deadline in list(self._pending_drain.items()):
+            if now >= deadline:
+                self._drain_now(bid)
+
+    # ---------------------------------------------------------------- routing
+    def dispatch(
+        self,
+        now: float,
+        session_id: int | None = None,
+        *,
+        service_scale: float = 1.0,
+    ) -> bool:
+        """Route with admission control: place within the wait bound or drop."""
+        self._purge(now)
+        self._process_pending_drains(now)
+        tried: set[int] = set()
+
+        if session_id is not None:
+            bid = self.sessions.backend_of(session_id)
+            if bid is not None and bid in self.backends:
+                backend = self.backends[bid]
+                if (
+                    backend.accepting
+                    and backend.expected_wait() <= self.admission_wait_seconds
+                    and backend.submit(session_id, service_scale=service_scale)
+                ):
+                    return True
+                tried.add(bid)
+                if not backend.alive:
+                    self._note_failure(bid, now)
+
+        for _ in range(self.retries + 1):
+            bid = self.wrr.pick(exclude=tried)
+            if bid is None:
+                break
+            backend = self.backends[bid]
+            if (
+                backend.accepting
+                and backend.expected_wait() <= self.admission_wait_seconds
+                and backend.submit(session_id, service_scale=service_scale)
+            ):
+                if session_id is not None:
+                    self.sessions.assign(session_id, bid)
+                return True
+            tried.add(bid)
+            if not backend.alive:
+                self._note_failure(bid, now)
+
+        # Last resort: least-loaded accepting backend, still within bound.
+        candidates = [
+            b
+            for b in self.backends.values()
+            if b.server_id not in tried and b.accepting
+        ]
+        candidates.sort(key=lambda b: b.expected_wait())
+        for backend in candidates:
+            if backend.expected_wait() > self.admission_wait_seconds:
+                break
+            if backend.submit(session_id, service_scale=service_scale):
+                if session_id is not None:
+                    self.sessions.assign(session_id, backend.server_id)
+                return True
+        # Admission control rejects rather than overloading survivors.
+        self.recorder.record_dropped(now)
+        return False

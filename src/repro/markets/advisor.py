@@ -1,0 +1,78 @@
+"""Spot Instance Advisor emulation.
+
+AWS publishes coarse interruption-frequency buckets per market ("<5%",
+"5-10%", ..., ">20%") through the Spot Instance Advisor; the paper's
+monitoring component polls exactly this feed.  This module maps raw
+probabilities to advisor buckets and renders the advisor table for a market
+universe — the provider-facing view of :mod:`repro.markets.revocation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markets.catalog import Market
+
+__all__ = ["AdvisorBucket", "ADVISOR_BUCKETS", "bucket_for", "advisor_table"]
+
+
+@dataclass(frozen=True)
+class AdvisorBucket:
+    """One advisor frequency band."""
+
+    label: str
+    lower: float  # inclusive
+    upper: float  # exclusive (inf for the top bucket)
+
+    def contains(self, probability: float) -> bool:
+        return self.lower <= probability < self.upper
+
+
+ADVISOR_BUCKETS: tuple[AdvisorBucket, ...] = (
+    AdvisorBucket("<5%", 0.0, 0.05),
+    AdvisorBucket("5-10%", 0.05, 0.10),
+    AdvisorBucket("10-15%", 0.10, 0.15),
+    AdvisorBucket("15-20%", 0.15, 0.20),
+    AdvisorBucket(">20%", 0.20, float("inf")),
+)
+
+
+def bucket_for(probability: float) -> AdvisorBucket:
+    """The advisor bucket a revocation probability falls into."""
+    if probability < 0 or probability > 1:
+        raise ValueError("probability must lie in [0, 1]")
+    for bucket in ADVISOR_BUCKETS:
+        if bucket.contains(probability):
+            return bucket
+    return ADVISOR_BUCKETS[-1]  # pragma: no cover - unreachable
+
+
+def advisor_table(
+    markets: list[Market],
+    failure_probs: np.ndarray,
+    prices: np.ndarray | None = None,
+) -> list[dict]:
+    """Render the advisor view: per market, mean frequency bucket + savings.
+
+    ``failure_probs`` is ``(T, N)`` history; ``prices`` optionally adds the
+    "savings over on-demand" column the real advisor shows.
+    """
+    failure_probs = np.atleast_2d(np.asarray(failure_probs, dtype=float))
+    if failure_probs.shape[1] != len(markets):
+        raise ValueError("failure_probs width must match market count")
+    mean_f = failure_probs.mean(axis=0)
+    rows = []
+    for i, market in enumerate(markets):
+        row = {
+            "market": market.name,
+            "interruption_frequency": bucket_for(float(mean_f[i])).label,
+            "mean_probability": float(mean_f[i]),
+        }
+        if prices is not None:
+            mean_price = float(np.atleast_2d(prices)[:, i].mean())
+            od = market.instance.ondemand_price
+            row["savings_over_ondemand"] = max(0.0, 1.0 - mean_price / od)
+        rows.append(row)
+    return rows

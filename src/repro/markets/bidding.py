@@ -1,0 +1,121 @@
+"""Bid-based spot market mechanics.
+
+Historically EC2 spot instances were acquired with a *bid*: the instance ran
+while the market price stayed below the bid and was reclaimed the moment it
+crossed.  The paper's background cites this line of work ([8, 9, 23]) and
+notes Tributary's reliance on the (since-retired) free-hours refund.  This
+module implements the bid mechanics so bid-era strategies can be expressed
+and compared against the modern warning-based revocation model:
+
+- :func:`revocations_from_bids` — derive revocation events directly from a
+  price trace and per-market bids (price crossing = reclaim).
+- :class:`BidStrategy` implementations — on-demand-anchored and
+  quantile-anchored bidding, the two standard families.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.markets.catalog import Market
+
+__all__ = [
+    "BidStrategy",
+    "OnDemandBid",
+    "QuantileBid",
+    "revocations_from_bids",
+    "effective_failure_probs",
+]
+
+
+class BidStrategy(abc.ABC):
+    """Maps a market and its price history to a bid price."""
+
+    @abc.abstractmethod
+    def bid(self, market: Market, price_history: np.ndarray) -> float:
+        """Bid in $/hour for one market given its own price history."""
+
+    def bids(self, markets: list[Market], prices: np.ndarray) -> np.ndarray:
+        """Vectorized convenience: one bid per market column."""
+        prices = np.atleast_2d(np.asarray(prices, dtype=float))
+        if prices.shape[1] != len(markets):
+            raise ValueError("price matrix width must match market count")
+        return np.array(
+            [self.bid(m, prices[:, i]) for i, m in enumerate(markets)]
+        )
+
+
+class OnDemandBid(BidStrategy):
+    """Bid a multiple of the on-demand price.
+
+    ``multiplier = 1.0`` is the classic "bid on-demand" strategy: you never
+    pay more than on-demand (billing is at market price) and are only
+    reclaimed when spot exceeds on-demand.
+    """
+
+    def __init__(self, multiplier: float = 1.0) -> None:
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        self.multiplier = float(multiplier)
+
+    def bid(self, market: Market, price_history: np.ndarray) -> float:
+        return self.multiplier * market.instance.ondemand_price
+
+
+class QuantileBid(BidStrategy):
+    """Bid a quantile of the market's recent price history.
+
+    A 0.95 quantile bid tolerates all but the top 5% of price excursions —
+    cheap exposure but more reclaims in pressure regimes.
+    """
+
+    def __init__(self, quantile: float = 0.95) -> None:
+        if not 0 < quantile <= 1:
+            raise ValueError("quantile must be in (0, 1]")
+        self.quantile = float(quantile)
+
+    def bid(self, market: Market, price_history: np.ndarray) -> float:
+        history = np.asarray(price_history, dtype=float).ravel()
+        if history.size == 0:
+            return market.instance.ondemand_price
+        return float(np.quantile(history, self.quantile))
+
+
+def revocations_from_bids(
+    prices: np.ndarray, bids: np.ndarray
+) -> np.ndarray:
+    """Bid-crossing revocation events: ``(T, N)`` boolean matrix.
+
+    An event fires in every interval whose market price strictly exceeds the
+    bid — the deterministic revocation rule of the bid era.
+    """
+    prices = np.atleast_2d(np.asarray(prices, dtype=float))
+    bids = np.asarray(bids, dtype=float).ravel()
+    if bids.shape != (prices.shape[1],):
+        raise ValueError("need one bid per market column")
+    return prices > bids[None, :]
+
+
+def effective_failure_probs(
+    prices: np.ndarray, bids: np.ndarray, *, window: int = 168
+) -> np.ndarray:
+    """Rolling empirical revocation probability implied by a bid.
+
+    The bid-era analogue of the Spot Advisor feed: for each interval, the
+    fraction of the trailing ``window`` intervals whose price exceeded the
+    bid.  Feeding this into the SpotWeb optimizer lets the portfolio account
+    for how aggressive each market's bid is.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    events = revocations_from_bids(prices, bids).astype(float)
+    T, N = events.shape
+    out = np.zeros((T, N))
+    cumulative = np.vstack([np.zeros((1, N)), np.cumsum(events, axis=0)])
+    for t in range(T):
+        lo = max(0, t + 1 - window)
+        span = (t + 1) - lo
+        out[t] = (cumulative[t + 1] - cumulative[lo]) / span
+    return out

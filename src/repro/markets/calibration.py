@@ -1,0 +1,120 @@
+"""Calibrate the synthetic price process to a real price history.
+
+The reproduction's spot prices are synthetic (DESIGN.md substitution table).
+Users holding real spot-price history can close the loop: this module fits
+:class:`~repro.markets.price_process.SpotPriceProcess` parameters to an
+observed series by method of moments on the log-price:
+
+- **base_discount** — the calm-regime median price over on-demand;
+- **reversion** — from the lag-1 autocorrelation of log price
+  (``phi = corr`` implies ``reversion = 1 - phi``);
+- **volatility** — the standard deviation of the AR(1) innovations;
+- **pressure regime** — intervals above the calm band estimate the regime's
+  frequency and stickiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markets.price_process import SpotPriceProcess
+
+__all__ = ["CalibrationResult", "fit_price_process"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted process plus the diagnostics behind it."""
+
+    process: SpotPriceProcess
+    lag1_autocorr: float
+    pressure_fraction: float
+    residual_std: float
+
+
+def fit_price_process(
+    prices: np.ndarray,
+    ondemand_price: float,
+    *,
+    pressure_quantile: float = 0.9,
+) -> CalibrationResult:
+    """Fit a :class:`SpotPriceProcess` to an observed price series.
+
+    Parameters
+    ----------
+    prices:
+        The observed spot-price history (one market).
+    ondemand_price:
+        The market's on-demand anchor.
+    pressure_quantile:
+        Prices above this quantile are attributed to the pressure regime.
+    """
+    prices = np.asarray(prices, dtype=float).ravel()
+    if prices.size < 24:
+        raise ValueError("need at least 24 observations to calibrate")
+    if np.any(prices <= 0):
+        raise ValueError("prices must be positive")
+    if ondemand_price <= 0:
+        raise ValueError("ondemand_price must be positive")
+    if not 0.5 < pressure_quantile < 1:
+        raise ValueError("pressure_quantile must be in (0.5, 1)")
+
+    log_p = np.log(prices)
+
+    # Split calm vs pressure by the quantile threshold.
+    threshold = np.quantile(prices, pressure_quantile)
+    pressure_mask = prices > threshold * (1 + 1e-12)
+    pressure_fraction = float(pressure_mask.mean())
+    calm = prices[~pressure_mask]
+    base_discount = float(
+        np.clip(np.median(calm) / ondemand_price, 0.02, 0.98)
+    )
+    pressure_prices = prices[pressure_mask]
+    if pressure_prices.size:
+        pressure_discount = float(
+            np.clip(np.median(pressure_prices) / ondemand_price, base_discount, 2.0)
+        )
+    else:
+        pressure_discount = min(1.0, 3 * base_discount)
+
+    # AR(1) fit on the demeaned log price.
+    dev = log_p - log_p.mean()
+    denom = float(np.dot(dev[:-1], dev[:-1]))
+    phi = float(np.dot(dev[1:], dev[:-1]) / denom) if denom > 1e-12 else 0.0
+    phi = float(np.clip(phi, 0.0, 0.999))
+    reversion = float(np.clip(1.0 - phi, 0.01, 1.0))
+    resid = dev[1:] - phi * dev[:-1]
+    volatility = float(np.clip(resid.std(), 1e-4, 2.0))
+
+    # Regime switching rates from run lengths of the pressure mask.
+    transitions_in = int(
+        np.sum(~pressure_mask[:-1] & pressure_mask[1:])
+    )
+    calm_steps = int(np.sum(~pressure_mask[:-1]))
+    p_enter = transitions_in / calm_steps if calm_steps else 0.01
+    transitions_out = int(np.sum(pressure_mask[:-1] & ~pressure_mask[1:]))
+    pressure_steps = int(np.sum(pressure_mask[:-1]))
+    p_exit = transitions_out / pressure_steps if pressure_steps else 0.1
+
+    floor = float(np.clip(prices.min() / ondemand_price, 1e-3, base_discount))
+    cap = float(np.clip(prices.max() / ondemand_price * 1.05, pressure_discount, 5.0))
+
+    process = SpotPriceProcess(
+        ondemand_price=float(ondemand_price),
+        base_discount=base_discount,
+        reversion=reversion,
+        volatility=volatility,
+        pressure_discount=pressure_discount,
+        p_enter_pressure=float(np.clip(p_enter, 1e-4, 0.5)),
+        p_exit_pressure=float(np.clip(p_exit, 1e-3, 0.9)),
+        floor=floor,
+        cap=cap,
+    )
+    return CalibrationResult(
+        process=process,
+        lag1_autocorr=phi,
+        pressure_fraction=pressure_fraction,
+        residual_std=volatility,
+    )

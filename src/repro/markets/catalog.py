@@ -1,0 +1,215 @@
+"""EC2-like instance catalog.
+
+The paper selects portfolios from 36 us-east-1 spot markets covering the
+conventional x86 families (no GPUs).  This module reproduces that universe:
+instance *types* (hardware configurations) crossed with *purchase options*
+(on-demand vs. spot) yield *markets* — the ``N = 2S`` choices of Section 4.2.
+
+Request capacities follow the paper's own calibration: the three markets it
+names (r5d.24xlarge / r5.4xlarge / r4.4xlarge serving 1920 / 320 / 320 req/s)
+all work out to 20 requests/s per vCPU, which we adopt catalog-wide.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PurchaseOption",
+    "InstanceType",
+    "Market",
+    "Catalog",
+    "default_catalog",
+    "REQUESTS_PER_VCPU",
+]
+
+# Calibrated from the capacities the paper quotes for r5d.24xlarge (96 vCPU,
+# 1920 req/s), r5.4xlarge and r4.4xlarge (16 vCPU, 320 req/s).
+REQUESTS_PER_VCPU = 20.0
+
+
+class PurchaseOption(enum.Enum):
+    """How a server is bought: revocable spot or non-revocable on-demand."""
+
+    ON_DEMAND = "on_demand"
+    SPOT = "spot"
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A hardware configuration offered by the cloud provider.
+
+    Attributes
+    ----------
+    name:
+        EC2-style name, e.g. ``"m5.2xlarge"``.
+    vcpus:
+        Number of virtual CPUs.
+    memory_gb:
+        RAM in GiB.
+    ondemand_price:
+        Fixed on-demand price in $/hour.
+    capacity_rps:
+        Requests per second one server can sustain without SLO violations
+        (the ``r_i`` of Section 4.2).
+    """
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    ondemand_price: float
+    capacity_rps: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0:
+            raise ValueError("vcpus must be positive")
+        if self.ondemand_price <= 0:
+            raise ValueError("ondemand_price must be positive")
+        if self.capacity_rps <= 0:
+            object.__setattr__(
+                self, "capacity_rps", REQUESTS_PER_VCPU * self.vcpus
+            )
+
+    @property
+    def family(self) -> str:
+        """Instance family prefix, e.g. ``"m5"`` for ``"m5.2xlarge"``."""
+        return self.name.split(".", 1)[0]
+
+    def per_request_cost(self, price_per_hour: float) -> float:
+        """Adjusted cost of service per request, ``C = price / r`` (Sec. 4.2).
+
+        Price is per hour; the paper keeps ``r`` in requests/second and so do
+        we — the absolute scale cancels everywhere it is compared.
+        """
+        return price_per_hour / self.capacity_rps
+
+
+@dataclass(frozen=True)
+class Market:
+    """One purchasable market: an instance type under a purchase option."""
+
+    instance: InstanceType
+    option: PurchaseOption
+
+    @property
+    def name(self) -> str:
+        suffix = "od" if self.option is PurchaseOption.ON_DEMAND else "spot"
+        return f"{self.instance.name}:{suffix}"
+
+    @property
+    def revocable(self) -> bool:
+        return self.option is PurchaseOption.SPOT
+
+    @property
+    def capacity_rps(self) -> float:
+        return self.instance.capacity_rps
+
+
+# (name, vcpus, memory GiB, on-demand $/hr) — rounded from the 2018-era EC2
+# price sheet for us-east-1; conventional x86 families only, as in the paper.
+_DEFAULT_TYPES: tuple[tuple[str, int, float, float], ...] = (
+    ("m4.large", 2, 8.0, 0.10),
+    ("m4.xlarge", 4, 16.0, 0.20),
+    ("m4.2xlarge", 8, 32.0, 0.40),
+    ("m4.4xlarge", 16, 64.0, 0.80),
+    ("m4.10xlarge", 40, 160.0, 2.00),
+    ("m4.16xlarge", 64, 256.0, 3.20),
+    ("m5.large", 2, 8.0, 0.096),
+    ("m5.xlarge", 4, 16.0, 0.192),
+    ("m5.2xlarge", 8, 32.0, 0.384),
+    ("m5.4xlarge", 16, 64.0, 0.768),
+    ("m5.12xlarge", 48, 192.0, 2.304),
+    ("m5.24xlarge", 96, 384.0, 4.608),
+    ("c4.large", 2, 3.75, 0.10),
+    ("c4.xlarge", 4, 7.5, 0.199),
+    ("c4.2xlarge", 8, 15.0, 0.398),
+    ("c4.4xlarge", 16, 30.0, 0.796),
+    ("c4.8xlarge", 36, 60.0, 1.591),
+    ("c5.large", 2, 4.0, 0.085),
+    ("c5.xlarge", 4, 8.0, 0.17),
+    ("c5.2xlarge", 8, 16.0, 0.34),
+    ("c5.4xlarge", 16, 32.0, 0.68),
+    ("c5.9xlarge", 36, 72.0, 1.53),
+    ("c5.18xlarge", 72, 144.0, 3.06),
+    ("r4.large", 2, 15.25, 0.133),
+    ("r4.xlarge", 4, 30.5, 0.266),
+    ("r4.2xlarge", 8, 61.0, 0.532),
+    ("r4.4xlarge", 16, 122.0, 1.064),
+    ("r4.8xlarge", 32, 244.0, 2.128),
+    ("r4.16xlarge", 64, 488.0, 4.256),
+    ("r5.large", 2, 16.0, 0.126),
+    ("r5.xlarge", 4, 32.0, 0.252),
+    ("r5.2xlarge", 8, 64.0, 0.504),
+    ("r5.4xlarge", 16, 128.0, 1.008),
+    ("r5.12xlarge", 48, 384.0, 3.024),
+    ("r5.24xlarge", 96, 768.0, 6.048),
+    ("r5d.xlarge", 4, 32.0, 0.288),
+    ("r5d.4xlarge", 16, 128.0, 1.152),
+    ("r5d.24xlarge", 96, 768.0, 6.912),
+    ("x1e.8xlarge", 32, 976.0, 6.672),
+    ("x1e.16xlarge", 64, 1952.0, 13.344),
+)
+
+
+class Catalog:
+    """A set of instance types and the markets they induce.
+
+    Iteration and lookup work on markets.  ``spot_markets(k)`` returns the
+    ``k`` spot markets the paper-style experiments select from.
+    """
+
+    def __init__(self, types: list[InstanceType] | tuple[InstanceType, ...]):
+        if not types:
+            raise ValueError("catalog needs at least one instance type")
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate instance type names in catalog")
+        self._types: tuple[InstanceType, ...] = tuple(types)
+        self._by_name = {t.name: t for t in self._types}
+
+    @property
+    def types(self) -> tuple[InstanceType, ...]:
+        return self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def type_named(self, name: str) -> InstanceType:
+        """Look up an instance type by name; raises ``KeyError`` if absent."""
+        return self._by_name[name]
+
+    def market(self, name: str, option: PurchaseOption = PurchaseOption.SPOT) -> Market:
+        """Build the market for a named type under a purchase option."""
+        return Market(self.type_named(name), option)
+
+    def spot_markets(self, count: int | None = None) -> list[Market]:
+        """The spot market per type, optionally truncated to ``count``."""
+        markets = [Market(t, PurchaseOption.SPOT) for t in self._types]
+        if count is not None:
+            if not 1 <= count <= len(markets):
+                raise ValueError(
+                    f"count must be in [1, {len(markets)}], got {count}"
+                )
+            markets = markets[:count]
+        return markets
+
+    def all_markets(self) -> list[Market]:
+        """Every market: spot and on-demand per type (``N = 2S``)."""
+        out: list[Market] = []
+        for t in self._types:
+            out.append(Market(t, PurchaseOption.SPOT))
+            out.append(Market(t, PurchaseOption.ON_DEMAND))
+        return out
+
+    def subset(self, names: list[str]) -> "Catalog":
+        """A catalog restricted to the named types (order preserved)."""
+        return Catalog([self.type_named(n) for n in names])
+
+
+def default_catalog() -> Catalog:
+    """The 40-type EC2-like catalog used throughout the reproduction."""
+    return Catalog([InstanceType(n, v, m, p) for (n, v, m, p) in _DEFAULT_TYPES])

@@ -1,0 +1,192 @@
+"""Synthetic spot-price processes.
+
+EC2 spot prices (the paper uses Sep–Nov 2018 us-east-1 history) behave like a
+mean-reverting process around a deep discount off on-demand, punctuated by
+demand regimes in which a market becomes temporarily expensive.  Crucially
+for the Fig. 5 experiment, *which market is cheapest per request changes over
+time* — a constant portfolio cannot follow it.
+
+``SpotPriceProcess`` models log-price as an Ornstein–Uhlenbeck process plus a
+two-state (calm/pressure) Markov regime, with cross-market correlation
+injected through shared family/datacenter factors.  Prices are clipped to
+``[floor * ondemand, cap * ondemand]``, mirroring EC2's historical floor and
+bid cap behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markets.catalog import Market, PurchaseOption
+
+__all__ = ["ConstantPriceProcess", "SpotPriceProcess", "generate_price_matrix"]
+
+
+@dataclass(frozen=True)
+class ConstantPriceProcess:
+    """Fixed price (on-demand servers, or fixed-discount providers)."""
+
+    price: float
+
+    def sample(self, steps: int, rng: np.random.Generator) -> np.ndarray:
+        """A flat series of length ``steps``."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        return np.full(steps, self.price, dtype=float)
+
+
+@dataclass(frozen=True)
+class SpotPriceProcess:
+    """Mean-reverting, regime-switching spot price for one market.
+
+    Parameters
+    ----------
+    ondemand_price:
+        The market's on-demand anchor.
+    base_discount:
+        Calm-regime mean spot price as a fraction of on-demand (paper: spot
+        is 70–90% cheaper, so 0.1–0.3).
+    reversion:
+        OU mean-reversion rate per step (0 < reversion <= 1).
+    volatility:
+        Per-step standard deviation of the log-price innovation.
+    pressure_discount:
+        Pressure-regime mean as a fraction of on-demand.
+    p_enter_pressure, p_exit_pressure:
+        Markov transition probabilities per step.
+    floor, cap:
+        Hard price bounds as fractions of on-demand.
+    """
+
+    ondemand_price: float
+    base_discount: float = 0.25
+    reversion: float = 0.15
+    volatility: float = 0.08
+    pressure_discount: float = 0.85
+    p_enter_pressure: float = 0.01
+    p_exit_pressure: float = 0.10
+    floor: float = 0.08
+    cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.base_discount < 1:
+            raise ValueError("base_discount must be in (0, 1)")
+        if not 0 < self.reversion <= 1:
+            raise ValueError("reversion must be in (0, 1]")
+        if self.volatility < 0:
+            raise ValueError("volatility must be non-negative")
+        if self.floor <= 0 or self.cap < self.floor:
+            raise ValueError("need 0 < floor <= cap")
+
+    def sample(
+        self,
+        steps: int,
+        rng: np.random.Generator,
+        *,
+        common_shocks: np.ndarray | None = None,
+        common_weight: float = 0.0,
+        pressure_path: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Generate ``steps`` spot prices.
+
+        ``common_shocks`` (same length) mixes in a shared innovation stream
+        with weight ``common_weight`` — the hook used to correlate markets of
+        the same family.  ``pressure_path`` (boolean, same length) replaces
+        the internal Markov regime with an externally supplied one, so a
+        regional demand crunch can hit several markets at once (the
+        availability-zone model uses this).
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        if steps == 0:
+            return np.empty(0)
+        own = rng.normal(size=steps)
+        if common_shocks is not None:
+            common_shocks = np.asarray(common_shocks, dtype=float)
+            if common_shocks.shape != (steps,):
+                raise ValueError("common_shocks must match steps")
+            w = float(np.clip(common_weight, 0.0, 1.0))
+            shocks = np.sqrt(1 - w**2) * own + w * common_shocks
+        else:
+            shocks = own
+        if pressure_path is not None:
+            pressure_path = np.asarray(pressure_path, dtype=bool)
+            if pressure_path.shape != (steps,):
+                raise ValueError("pressure_path must match steps")
+
+        calm_mu = np.log(self.base_discount * self.ondemand_price)
+        pressure_mu = np.log(self.pressure_discount * self.ondemand_price)
+        in_pressure = False
+        log_p = calm_mu + self.volatility * shocks[0]
+        out = np.empty(steps)
+        lo = np.log(self.floor * self.ondemand_price)
+        hi = np.log(self.cap * self.ondemand_price)
+        for t in range(steps):
+            if pressure_path is not None:
+                in_pressure = bool(pressure_path[t])
+            elif in_pressure:
+                if rng.random() < self.p_exit_pressure:
+                    in_pressure = False
+            else:
+                if rng.random() < self.p_enter_pressure:
+                    in_pressure = True
+            mu = pressure_mu if in_pressure else calm_mu
+            log_p = log_p + self.reversion * (mu - log_p) + self.volatility * shocks[t]
+            log_p = float(np.clip(log_p, lo, hi))
+            out[t] = np.exp(log_p)
+        return out
+
+
+def generate_price_matrix(
+    markets: list[Market],
+    steps: int,
+    *,
+    seed: int = 0,
+    family_correlation: float = 0.6,
+    process_overrides: dict[str, SpotPriceProcess] | None = None,
+) -> np.ndarray:
+    """Price series for a set of markets: shape ``(steps, len(markets))``.
+
+    On-demand markets get flat prices; spot markets get correlated
+    :class:`SpotPriceProcess` draws sharing one shock stream per instance
+    family (markets of a family contend for the same physical pool, so their
+    price pressure is correlated — this is what makes diversification across
+    families worthwhile, the core ExoSphere/SpotWeb premise).
+
+    ``process_overrides`` maps market names (``Market.name``) to explicit
+    processes; per-market randomization otherwise perturbs the defaults so
+    the cheapest-per-request market rotates over time.
+    """
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    rng = np.random.default_rng(seed)
+    overrides = process_overrides or {}
+    families = sorted({m.instance.family for m in markets})
+    family_shocks = {f: rng.normal(size=steps) for f in families}
+
+    out = np.empty((steps, len(markets)))
+    for j, market in enumerate(markets):
+        if market.option is PurchaseOption.ON_DEMAND:
+            out[:, j] = ConstantPriceProcess(market.instance.ondemand_price).sample(
+                steps, rng
+            )
+            continue
+        proc = overrides.get(market.name)
+        if proc is None:
+            proc = SpotPriceProcess(
+                ondemand_price=market.instance.ondemand_price,
+                base_discount=float(rng.uniform(0.15, 0.35)),
+                reversion=float(rng.uniform(0.08, 0.25)),
+                volatility=float(rng.uniform(0.03, 0.12)),
+                p_enter_pressure=float(rng.uniform(0.004, 0.02)),
+                p_exit_pressure=float(rng.uniform(0.05, 0.2)),
+            )
+        out[:, j] = proc.sample(
+            steps,
+            rng,
+            common_shocks=family_shocks[market.instance.family],
+            common_weight=family_correlation,
+        )
+    return out

@@ -1,0 +1,72 @@
+"""Process-parallel experiment execution.
+
+The evaluation sweeps (Fig. 6(b): markets x horizons x seeds) are
+embarrassingly parallel — each cell is an independent simulation.  This
+module provides a small, dependency-free fan-out helper:
+
+- :func:`pmap` — map a picklable function over items with a process pool,
+  preserving order; degrades gracefully to serial execution when a pool is
+  unavailable (restricted environments) or ``max_workers <= 1``.
+- :func:`sweep_grid` — expand a parameter grid into keyword dictionaries,
+  the usual shape of an experiment sweep.
+
+Functions passed to :func:`pmap` must be module-level (picklable); the
+experiment runners in :mod:`repro.experiments` qualify.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["pmap", "sweep_grid"]
+
+
+def pmap(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    max_workers: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Parallel, order-preserving map over ``items``.
+
+    ``max_workers=None`` uses ``os.cpu_count()`` capped by the item count;
+    ``max_workers<=1`` (or a pool failure, e.g. sandboxed environments with
+    no semaphores) falls back to a plain serial loop, so callers never need
+    two code paths.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if max_workers is None:
+        max_workers = min(len(items), os.cpu_count() or 1)
+    if max_workers <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+    except (OSError, PermissionError, ValueError):
+        # No process support (restricted sandbox): degrade to serial.
+        return [fn(item) for item in items]
+
+
+def sweep_grid(**axes: Iterable) -> list[dict]:
+    """Expand named axes into the cross-product of keyword dictionaries.
+
+    >>> sweep_grid(markets=(6, 12), horizon=(2, 4))
+    [{'markets': 6, 'horizon': 2}, {'markets': 6, 'horizon': 4},
+     {'markets': 12, 'horizon': 2}, {'markets': 12, 'horizon': 4}]
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    values = [list(axes[name]) for name in names]
+    return [
+        dict(zip(names, combo)) for combo in itertools.product(*values)
+    ]

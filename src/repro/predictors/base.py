@@ -1,0 +1,63 @@
+"""Predictor interfaces shared across workload/price/failure predictors."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PredictionResult", "WorkloadPredictor"]
+
+
+@dataclass
+class PredictionResult:
+    """Multi-horizon prediction with confidence bounds.
+
+    ``mean[h]`` is the point prediction for interval ``t + 1 + h``;
+    ``lower``/``upper`` bound the chosen confidence level.  SpotWeb
+    provisions against ``upper`` (Sec. 4.3).
+    """
+
+    mean: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    confidence: float = 0.99
+
+    def __post_init__(self) -> None:
+        self.mean = np.asarray(self.mean, dtype=float).ravel()
+        self.lower = np.asarray(self.lower, dtype=float).ravel()
+        self.upper = np.asarray(self.upper, dtype=float).ravel()
+        if not (self.mean.shape == self.lower.shape == self.upper.shape):
+            raise ValueError("mean/lower/upper must share a shape")
+        if np.any(self.lower > self.mean + 1e-9) or np.any(
+            self.mean > self.upper + 1e-9
+        ):
+            raise ValueError("bounds must bracket the mean")
+        if not 0 < self.confidence < 1:
+            raise ValueError("confidence must be in (0, 1)")
+
+    @property
+    def horizon(self) -> int:
+        return self.mean.size
+
+
+class WorkloadPredictor(abc.ABC):
+    """Streaming multi-horizon workload predictor.
+
+    Usage: feed observations in arrival order with :meth:`observe`, then ask
+    for the next ``h`` intervals with :meth:`predict`.
+    """
+
+    @abc.abstractmethod
+    def observe(self, value: float) -> None:
+        """Record the demand observed in the just-finished interval."""
+
+    @abc.abstractmethod
+    def predict(self, horizon: int) -> PredictionResult:
+        """Forecast the next ``horizon`` intervals."""
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Feed a batch of observations in order (warm-up convenience)."""
+        for v in np.asarray(values, dtype=float).ravel():
+            self.observe(float(v))

@@ -1,0 +1,130 @@
+"""Walk-forward evaluation harness for workload predictors.
+
+The paper compares predictors by replaying a trace: warm up on a training
+window, then predict each interval one step (or ``h`` steps) before
+observing it.  This module factors that protocol out of the Fig. 4(b–d)
+experiment so any predictor — the shipped ones or a user's — can be scored
+on any trace with one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.predictors.base import WorkloadPredictor
+from repro.predictors.metrics import (
+    ProvisioningErrorStats,
+    mae,
+    mape,
+    provisioning_error_stats,
+    rmse,
+)
+from repro.workloads.trace import WorkloadTrace
+
+__all__ = ["WalkForwardResult", "walk_forward", "compare_predictors"]
+
+
+@dataclass
+class WalkForwardResult:
+    """Scores of one predictor on one trace."""
+
+    name: str
+    horizon: int
+    actual: np.ndarray
+    predicted_mean: np.ndarray
+    predicted_upper: np.ndarray
+    mae: float
+    mape: float
+    rmse: float
+    mean_stats: ProvisioningErrorStats = field(repr=False, default=None)  # type: ignore[assignment]
+    upper_stats: ProvisioningErrorStats = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def row(self) -> list:
+        """Summary row for the comparison table."""
+        return [
+            self.name,
+            100 * self.mape,
+            self.rmse,
+            100 * self.upper_stats.mean_over,
+            100 * self.upper_stats.max_under,
+            100 * self.upper_stats.frac_under,
+        ]
+
+    @staticmethod
+    def headers() -> list[str]:
+        return [
+            "predictor",
+            "mape_%",
+            "rmse",
+            "upper_mean_over_%",
+            "upper_max_under_%",
+            "upper_frac_under_%",
+        ]
+
+
+def walk_forward(
+    predictor: WorkloadPredictor,
+    trace: WorkloadTrace,
+    *,
+    warmup: int,
+    horizon: int = 1,
+    name: str | None = None,
+) -> WalkForwardResult:
+    """Score a predictor on a trace with the standard replay protocol.
+
+    At each interval ``t >= warmup`` the predictor forecasts ``horizon``
+    steps; the ``horizon``-th value is scored against the realized demand at
+    ``t + horizon - 1`` (the prediction made *before* observing anything
+    from ``t`` onward).  Observations are fed strictly in order.
+    """
+    if warmup < 0 or warmup >= len(trace):
+        raise ValueError("warmup must lie within the trace")
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    rates = trace.rates
+    means: list[float] = []
+    uppers: list[float] = []
+    actuals: list[float] = []
+    for t in range(len(trace)):
+        if t >= warmup and t + horizon - 1 < len(trace):
+            result = predictor.predict(horizon)
+            means.append(float(result.mean[horizon - 1]))
+            uppers.append(float(result.upper[horizon - 1]))
+            actuals.append(float(rates[t + horizon - 1]))
+        predictor.observe(float(rates[t]))
+    actual = np.asarray(actuals)
+    mean_arr = np.asarray(means)
+    upper_arr = np.asarray(uppers)
+    if actual.size == 0:
+        raise ValueError("no evaluation points: trace too short for warmup/horizon")
+    return WalkForwardResult(
+        name=name or type(predictor).__name__,
+        horizon=horizon,
+        actual=actual,
+        predicted_mean=mean_arr,
+        predicted_upper=upper_arr,
+        mae=mae(actual, mean_arr),
+        mape=mape(actual, mean_arr),
+        rmse=rmse(actual, mean_arr),
+        mean_stats=provisioning_error_stats(actual, mean_arr),
+        upper_stats=provisioning_error_stats(actual, upper_arr),
+    )
+
+
+def compare_predictors(
+    factories: dict[str, Callable[[], WorkloadPredictor]],
+    trace: WorkloadTrace,
+    *,
+    warmup: int,
+    horizon: int = 1,
+) -> dict[str, WalkForwardResult]:
+    """Run the same replay over several predictors (fresh instance each)."""
+    return {
+        name: walk_forward(
+            factory(), trace, warmup=warmup, horizon=horizon, name=name
+        )
+        for name, factory in factories.items()
+    }

@@ -1,0 +1,106 @@
+"""Failure-probability predictors.
+
+The paper: "for almost all markets, there is no, to very little dynamics, in
+the revocation probability.  The failure predictions in our experiments are
+thus done reactively, i.e., we assume that for the next time unit, the
+failure probability will be equal to the measured probability now."
+:class:`ReactiveFailurePredictor` is that deployed choice; the EWMA and
+oracle variants support ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "FailurePredictor",
+    "ReactiveFailurePredictor",
+    "EWMAFailurePredictor",
+    "OracleFailurePredictor",
+]
+
+
+class FailurePredictor(abc.ABC):
+    """Streaming multi-horizon, multi-market failure-probability predictor."""
+
+    @abc.abstractmethod
+    def observe(self, probs: np.ndarray) -> None:
+        """Record the currently measured per-market failure probabilities."""
+
+    @abc.abstractmethod
+    def predict(self, horizon: int) -> np.ndarray:
+        """Forecast an ``(horizon, N)`` probability matrix."""
+
+    def observe_many(self, prob_matrix: np.ndarray) -> None:
+        for row in np.atleast_2d(np.asarray(prob_matrix, dtype=float)):
+            self.observe(row)
+
+
+def _validate_probs(probs: np.ndarray, n: int) -> np.ndarray:
+    probs = np.asarray(probs, dtype=float).ravel()
+    if probs.size != n:
+        raise ValueError("probability vector has wrong length")
+    if np.any((probs < 0) | (probs > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    return probs
+
+
+class ReactiveFailurePredictor(FailurePredictor):
+    """``f(t+h) = f(t)`` for all horizons — the paper's deployed predictor."""
+
+    def __init__(self, num_markets: int) -> None:
+        self._last = np.zeros(int(num_markets))
+
+    def observe(self, probs: np.ndarray) -> None:
+        self._last = _validate_probs(probs, self._last.size).copy()
+
+    def predict(self, horizon: int) -> np.ndarray:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        return np.tile(self._last, (horizon, 1))
+
+
+class EWMAFailurePredictor(FailurePredictor):
+    """EWMA-smoothed failure probabilities held flat over the horizon."""
+
+    def __init__(self, num_markets: int, *, alpha: float = 0.3) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self._n = int(num_markets)
+        self._level: np.ndarray | None = None
+
+    def observe(self, probs: np.ndarray) -> None:
+        probs = _validate_probs(probs, self._n)
+        if self._level is None:
+            self._level = probs.copy()
+        else:
+            self._level = (1 - self.alpha) * self._level + self.alpha * probs
+
+    def predict(self, horizon: int) -> np.ndarray:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        level = self._level if self._level is not None else np.zeros(self._n)
+        return np.tile(np.clip(level, 0.0, 1.0), (horizon, 1))
+
+
+class OracleFailurePredictor(FailurePredictor):
+    """Wraps the true failure-probability matrix for upper-bound studies."""
+
+    def __init__(self, prob_matrix: np.ndarray) -> None:
+        self._probs = np.atleast_2d(np.asarray(prob_matrix, dtype=float))
+        self._cursor = 0
+
+    def observe(self, probs: np.ndarray) -> None:
+        self._cursor += 1
+
+    def predict(self, horizon: int) -> np.ndarray:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        idx = np.minimum(
+            np.arange(self._cursor, self._cursor + horizon),
+            self._probs.shape[0] - 1,
+        )
+        return self._probs[idx]

@@ -1,0 +1,112 @@
+"""Prediction-quality metrics.
+
+These are the quantities the paper reports around Fig. 4(b–d): relative
+prediction errors, and the over-/under-provisioning statistics of a
+capacity-targeting predictor (positive error = over-provisioned, negative =
+under-provisioned, both relative to the true demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "relative_errors",
+    "mae",
+    "mape",
+    "rmse",
+    "ProvisioningErrorStats",
+    "provisioning_error_stats",
+    "error_histogram",
+]
+
+
+def _pair(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=float).ravel()
+    predicted = np.asarray(predicted, dtype=float).ravel()
+    if actual.shape != predicted.shape:
+        raise ValueError("actual and predicted must have equal length")
+    if actual.size == 0:
+        raise ValueError("need at least one sample")
+    return actual, predicted
+
+
+def relative_errors(actual: np.ndarray, predicted: np.ndarray) -> np.ndarray:
+    """Signed relative error ``(predicted - actual) / actual`` per sample.
+
+    Positive = over-provisioning, negative = under-provisioning (the sign
+    convention of Fig. 4(c,d)).  Zero-demand samples are skipped.
+    """
+    actual, predicted = _pair(actual, predicted)
+    mask = actual > 0
+    return (predicted[mask] - actual[mask]) / actual[mask]
+
+
+def mae(actual: np.ndarray, predicted: np.ndarray) -> float:
+    actual, predicted = _pair(actual, predicted)
+    return float(np.mean(np.abs(predicted - actual)))
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    errs = relative_errors(actual, predicted)
+    return float(np.mean(np.abs(errs)))
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    actual, predicted = _pair(actual, predicted)
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))
+
+
+@dataclass(frozen=True)
+class ProvisioningErrorStats:
+    """Over/under-provisioning summary (the Fig. 4(b–d) numbers).
+
+    All values are relative fractions: ``mean_over = 0.15`` means resources
+    are on average over-provisioned by 15%.
+    """
+
+    mean_over: float
+    max_over: float
+    mean_under: float
+    max_under: float
+    frac_under: float  # fraction of intervals that under-provisioned
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "mean_over_%": 100 * self.mean_over,
+            "max_over_%": 100 * self.max_over,
+            "mean_under_%": 100 * self.mean_under,
+            "max_under_%": 100 * self.max_under,
+            "frac_under_%": 100 * self.frac_under,
+        }
+
+
+def provisioning_error_stats(
+    actual: np.ndarray, provisioned: np.ndarray
+) -> ProvisioningErrorStats:
+    """Summarize a capacity-target series against true demand."""
+    errs = relative_errors(actual, provisioned)
+    over = errs[errs > 0]
+    under = -errs[errs < 0]
+    return ProvisioningErrorStats(
+        mean_over=float(over.mean()) if over.size else 0.0,
+        max_over=float(over.max()) if over.size else 0.0,
+        mean_under=float(under.mean()) if under.size else 0.0,
+        max_under=float(under.max()) if under.size else 0.0,
+        frac_under=float(under.size / errs.size) if errs.size else 0.0,
+    )
+
+
+def error_histogram(
+    errors: np.ndarray, *, bins: int = 40, limit: float = 0.5
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of relative errors on a symmetric range (Fig. 4(c,d)).
+
+    Returns ``(bin_edges, counts)``; errors outside ``[-limit, limit]`` are
+    clipped into the edge bins so the mass is preserved.
+    """
+    errors = np.clip(np.asarray(errors, dtype=float).ravel(), -limit, limit)
+    counts, edges = np.histogram(errors, bins=bins, range=(-limit, limit))
+    return edges, counts

@@ -1,0 +1,39 @@
+"""Reactive (persistence) predictor: tomorrow equals today.
+
+The zero-information baseline of Fig. 7(a) — SpotWeb's savings are reported
+relative to predicting that workload, failure, and price for the next step
+equal the current values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import PredictionResult, WorkloadPredictor
+
+__all__ = ["ReactivePredictor"]
+
+
+class ReactivePredictor(WorkloadPredictor):
+    """Predicts the last observed value for every future interval."""
+
+    def __init__(self, *, padding_fraction: float = 0.0) -> None:
+        if padding_fraction < 0:
+            raise ValueError("padding_fraction must be non-negative")
+        self.padding_fraction = float(padding_fraction)
+        self._last: float = 0.0
+        self._seen = False
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value < 0:
+            raise ValueError("workload must be non-negative")
+        self._last = value
+        self._seen = True
+
+    def predict(self, horizon: int) -> PredictionResult:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        mean = np.full(horizon, self._last if self._seen else 0.0)
+        pad = self.padding_fraction * mean
+        return PredictionResult(mean, mean - pad, mean + pad)

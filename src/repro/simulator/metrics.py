@@ -1,0 +1,101 @@
+"""Latency and SLO accounting for the request-level simulation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RequestOutcome", "LatencyRecorder"]
+
+
+class RequestOutcome(enum.Enum):
+    """Terminal state of a simulated request."""
+
+    SERVED = "served"
+    DROPPED = "dropped"  # rejected by admission control or dead backend
+    FAILED = "failed"  # in flight on a server when it was reclaimed
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-request latencies and outcomes.
+
+    ``slo_threshold`` (seconds) marks a served request as an SLO violation
+    when its response time exceeds it.
+    """
+
+    slo_threshold: float = 1.0
+    latencies: list[float] = field(default_factory=list)
+    timestamps: list[float] = field(default_factory=list)
+    dropped: int = 0
+    failed: int = 0
+
+    def record_served(self, timestamp: float, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.latencies.append(float(latency))
+        self.timestamps.append(float(timestamp))
+
+    def record_dropped(self, _timestamp: float) -> None:
+        self.dropped += 1
+
+    def record_failed(self, _timestamp: float) -> None:
+        self.failed += 1
+
+    # ------------------------------------------------------------- summaries
+    @property
+    def served(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def total(self) -> int:
+        return self.served + self.dropped + self.failed
+
+    def drop_rate(self) -> float:
+        """Fraction of requests not served (dropped + failed)."""
+        if self.total == 0:
+            return 0.0
+        return (self.dropped + self.failed) / self.total
+
+    def percentile(self, p: float) -> float:
+        """Latency percentile over served requests (p in [0, 100])."""
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(self.latencies, p))
+
+    def mean(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.mean(self.latencies))
+
+    def slo_violation_rate(self) -> float:
+        """Violations / total: unserved requests count as violations."""
+        if self.total == 0:
+            return 0.0
+        late = int(np.sum(np.asarray(self.latencies) > self.slo_threshold))
+        return (late + self.dropped + self.failed) / self.total
+
+    def window(self, t_start: float, t_end: float) -> np.ndarray:
+        """Latencies of requests served in ``[t_start, t_end)``.
+
+        Used to build the per-minute boxplot series of Fig. 4(a).
+        """
+        ts = np.asarray(self.timestamps)
+        lat = np.asarray(self.latencies)
+        mask = (ts >= t_start) & (ts < t_end)
+        return lat[mask]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "served": float(self.served),
+            "dropped": float(self.dropped),
+            "failed": float(self.failed),
+            "drop_rate": self.drop_rate(),
+            "mean_s": self.mean(),
+            "p50_s": self.percentile(50),
+            "p90_s": self.percentile(90),
+            "p99_s": self.percentile(99),
+            "slo_violation_rate": self.slo_violation_rate(),
+        }

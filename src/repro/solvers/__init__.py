@@ -1,0 +1,36 @@
+"""Convex optimization substrate for SpotWeb.
+
+The paper solves its multi-period portfolio program with CVXPY + the SCS
+operator-splitting solver.  This package provides the equivalent machinery
+built from scratch on NumPy/SciPy:
+
+- :mod:`repro.solvers.qp` — an OSQP-style ADMM solver for quadratic programs
+  of the form ``min 1/2 x'Px + q'x  s.t.  l <= Ax <= u`` with warm starting
+  and cached factorizations (the receding-horizon loop re-solves the same
+  problem with updated ``q``/``l``/``u`` every interval).
+- :mod:`repro.solvers.lp` — linear programming on top of the same interface.
+- :mod:`repro.solvers.kkt` — KKT residual checks used by tests and by the
+  solver's own termination criteria.
+- :mod:`repro.solvers.reference` — a slow, independent reference solver
+  (scipy ``trust-constr``) used to cross-validate the ADMM implementation.
+"""
+
+from repro.solvers.result import SolverResult, SolverStatus
+from repro.solvers.qp import ADMMSolver, QPProblem, solve_qp
+from repro.solvers.lp import solve_lp
+from repro.solvers.kkt import kkt_residuals, check_kkt
+from repro.solvers.reference import solve_qp_reference
+from repro.solvers.active_set import solve_qp_active_set
+
+__all__ = [
+    "SolverResult",
+    "SolverStatus",
+    "ADMMSolver",
+    "QPProblem",
+    "solve_qp",
+    "solve_lp",
+    "kkt_residuals",
+    "check_kkt",
+    "solve_qp_reference",
+    "solve_qp_active_set",
+]

@@ -1,0 +1,67 @@
+"""KKT residual computation for box-constrained QPs.
+
+Used both by tests (to validate solutions from any solver against first-order
+optimality conditions) and by benchmark sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.qp import QPProblem
+
+__all__ = ["KKTResiduals", "kkt_residuals", "check_kkt"]
+
+
+@dataclass(frozen=True)
+class KKTResiduals:
+    """Residual norms of the KKT conditions for ``l <= Ax <= u``.
+
+    - ``primal``: constraint violation ``max(0, l - Ax, Ax - u)``.
+    - ``dual``: stationarity residual ``||Px + q + A'y||_inf``.
+    - ``complementarity``: violation of the sign/complementarity conditions
+      (``y_i > 0`` only at the upper bound, ``y_i < 0`` only at the lower).
+    """
+
+    primal: float
+    dual: float
+    complementarity: float
+
+    def max(self) -> float:
+        return max(self.primal, self.dual, self.complementarity)
+
+
+def kkt_residuals(problem: QPProblem, x: np.ndarray, y: np.ndarray) -> KKTResiduals:
+    """Compute KKT residual norms for a candidate primal/dual pair."""
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    Ax = problem.A @ x
+    primal = float(
+        np.max(np.maximum(0.0, np.maximum(problem.l - Ax, Ax - problem.u)), initial=0.0)
+    )
+    dual = float(np.linalg.norm(problem.P @ x + problem.q + problem.A.T @ y, np.inf))
+    # Complementarity: y+ pairs with the distance to the upper bound, y- with
+    # the distance to the lower bound.  Infinite bounds force the matching
+    # multiplier sign to zero, checked separately.
+    y_pos = np.maximum(y, 0.0)
+    y_neg = np.maximum(-y, 0.0)
+    gap_u = np.where(np.isfinite(problem.u), np.abs(problem.u - Ax), np.inf)
+    gap_l = np.where(np.isfinite(problem.l), np.abs(Ax - problem.l), np.inf)
+    comp_u = np.where(np.isinf(gap_u), y_pos, y_pos * np.minimum(gap_u, 1e6))
+    comp_l = np.where(np.isinf(gap_l), y_neg, y_neg * np.minimum(gap_l, 1e6))
+    complementarity = float(np.max(np.concatenate([comp_u, comp_l]), initial=0.0))
+    return KKTResiduals(primal=primal, dual=dual, complementarity=complementarity)
+
+
+def check_kkt(
+    problem: QPProblem,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    tol: float = 1e-4,
+) -> bool:
+    """True when the candidate pair satisfies the KKT conditions to ``tol``."""
+    res = kkt_residuals(problem, x, y)
+    return res.max() <= tol

@@ -1,0 +1,86 @@
+"""Linear programming on the shared solver interface.
+
+A linear program is a QP with ``P = 0``; the ADMM path handles that case
+(the KKT matrix stays positive definite through the ``sigma`` regularizer),
+but plain LPs converge faster through scipy's HiGHS simplex/IPM, so
+:func:`solve_lp` prefers that and falls back to ADMM only when asked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.solvers.qp import QPProblem, solve_qp
+from repro.solvers.result import SolverResult, SolverStatus
+
+__all__ = ["solve_lp"]
+
+
+def solve_lp(
+    c: np.ndarray,
+    A: np.ndarray,
+    l: np.ndarray,
+    u: np.ndarray,
+    *,
+    method: str = "highs",
+) -> SolverResult:
+    """Solve ``min c'x  s.t.  l <= Ax <= u``.
+
+    Parameters
+    ----------
+    method:
+        ``"highs"`` (default) uses scipy's HiGHS solver; ``"admm"`` routes
+        through :func:`repro.solvers.qp.solve_qp` with ``P = 0``.
+    """
+    c = np.asarray(c, dtype=float).ravel()
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    l = np.asarray(l, dtype=float).ravel()
+    u = np.asarray(u, dtype=float).ravel()
+    n = c.size
+    if method == "admm":
+        problem = QPProblem(P=np.zeros((n, n)), q=c, A=A, l=l, u=u)
+        return solve_qp(problem)
+    if method != "highs":
+        raise ValueError(f"unknown LP method {method!r}")
+
+    # Convert two-sided rows into <= pairs for linprog.
+    rows_ub, rhs_ub = [], []
+    rows_eq, rhs_eq = [], []
+    for i in range(A.shape[0]):
+        lo, hi = l[i], u[i]
+        if np.isfinite(lo) and np.isfinite(hi) and np.isclose(lo, hi):
+            rows_eq.append(A[i])
+            rhs_eq.append(lo)
+            continue
+        if np.isfinite(hi):
+            rows_ub.append(A[i])
+            rhs_ub.append(hi)
+        if np.isfinite(lo):
+            rows_ub.append(-A[i])
+            rhs_ub.append(-lo)
+    res = linprog(
+        c,
+        A_ub=np.array(rows_ub) if rows_ub else None,
+        b_ub=np.array(rhs_ub) if rhs_ub else None,
+        A_eq=np.array(rows_eq) if rows_eq else None,
+        b_eq=np.array(rhs_eq) if rhs_eq else None,
+        bounds=[(None, None)] * n,
+        method="highs",
+    )
+    if res.status == 2:
+        status = SolverStatus.PRIMAL_INFEASIBLE
+    elif res.status == 3:
+        status = SolverStatus.DUAL_INFEASIBLE
+    elif res.success:
+        status = SolverStatus.OPTIMAL
+    else:
+        status = SolverStatus.MAX_ITERATIONS
+    x = res.x if res.x is not None else np.full(n, np.nan)
+    return SolverResult(
+        x=x,
+        y=np.zeros(A.shape[0]),
+        objective=float(res.fun) if res.fun is not None else float("nan"),
+        status=status,
+        iterations=int(getattr(res, "nit", 0) or 0),
+    )

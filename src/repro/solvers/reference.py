@@ -1,0 +1,73 @@
+"""Independent reference QP solver for cross-validation.
+
+Deliberately built on a different algorithm (scipy's ``trust-constr``
+interior-point machinery) so tests can compare the production ADMM solver
+against a solution obtained by entirely separate code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import LinearConstraint, minimize
+
+from repro.solvers.qp import QPProblem
+from repro.solvers.result import SolverResult, SolverStatus
+
+__all__ = ["solve_qp_reference"]
+
+
+def solve_qp_reference(
+    problem: QPProblem,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-10,
+) -> SolverResult:
+    """Solve a :class:`QPProblem` with scipy ``trust-constr``.
+
+    Slow but accurate; intended only for tests and solver validation.
+    """
+    n = problem.num_vars
+    if x0 is None:
+        x0 = np.zeros(n)
+        # Start strictly inside any finite box on x itself when detectable.
+        x0 = _feasible_seed(problem, x0)
+
+    constraint = LinearConstraint(problem.A, problem.l, problem.u)
+
+    def fun(x: np.ndarray) -> float:
+        return problem.objective(x)
+
+    def jac(x: np.ndarray) -> np.ndarray:
+        return problem.P @ x + problem.q
+
+    res = minimize(
+        fun,
+        x0,
+        jac=jac,
+        hess=lambda _x: problem.P,
+        method="trust-constr",
+        constraints=[constraint],
+        options={"gtol": tol, "xtol": tol, "maxiter": 5000},
+    )
+    status = SolverStatus.OPTIMAL if res.status in (1, 2) else SolverStatus.MAX_ITERATIONS
+    # trust-constr reports one multiplier vector per constraint object.
+    y = np.asarray(res.v[0]).ravel() if getattr(res, "v", None) else np.zeros(problem.num_constraints)
+    return SolverResult(
+        x=np.asarray(res.x),
+        y=y,
+        objective=float(res.fun),
+        status=status,
+        iterations=int(res.nit),
+    )
+
+
+def _feasible_seed(problem: QPProblem, x0: np.ndarray) -> np.ndarray:
+    """Nudge the seed towards the constraint box via a least-squares step."""
+    Ax = problem.A @ x0
+    target = np.clip(Ax, problem.l, problem.u)
+    # Replace infinities that survive clipping (rows unbounded on both sides).
+    target = np.where(np.isfinite(target), target, 0.0)
+    if np.allclose(Ax, target):
+        return x0
+    step, *_ = np.linalg.lstsq(problem.A, target - Ax, rcond=None)
+    return x0 + step

@@ -1,0 +1,58 @@
+"""Common result types for the solver package."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolverStatus(enum.Enum):
+    """Termination status of a solve."""
+
+    OPTIMAL = "optimal"
+    MAX_ITERATIONS = "max_iterations"
+    PRIMAL_INFEASIBLE = "primal_infeasible"
+    DUAL_INFEASIBLE = "dual_infeasible"
+
+    @property
+    def ok(self) -> bool:
+        """True when the returned iterate is usable as a solution."""
+        return self in (SolverStatus.OPTIMAL, SolverStatus.MAX_ITERATIONS)
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a QP/LP solve.
+
+    Attributes
+    ----------
+    x:
+        Primal solution (best iterate on non-optimal exits).
+    y:
+        Dual solution associated with the constraint rows ``l <= Ax <= u``.
+    objective:
+        Objective value at ``x``.
+    status:
+        Termination status.
+    iterations:
+        Number of ADMM iterations performed.
+    primal_residual, dual_residual:
+        Final residual norms used by the termination test.
+    solve_time:
+        Wall-clock seconds spent inside the solver loop.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    objective: float
+    status: SolverStatus
+    iterations: int
+    primal_residual: float = field(default=float("nan"))
+    dual_residual: float = field(default=float("nan"))
+    solve_time: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)

@@ -1,0 +1,32 @@
+"""Workload traces and generators.
+
+The paper drives its experiments with two 3-week request-rate traces:
+the English Wikipedia (June 2008; smooth, strongly diurnal, few spikes) and
+TV4, a Swedish VoD provider (January 2013; bursty with hard-to-predict
+spikes).  Neither trace ships with this repo, so :mod:`generators` produces
+synthetic equivalents calibrated to those described properties — what the
+predictor and optimizer actually react to is diurnality and spikiness, both
+of which are parameterized.
+"""
+
+from repro.workloads.trace import WorkloadTrace
+from repro.workloads.generators import (
+    wikipedia_like,
+    vod_like,
+    constant_workload,
+    step_workload,
+)
+from repro.workloads.spikes import inject_spikes, SpikeSpec
+from repro.workloads.io import load_csv_trace, load_wikipedia_pagecounts
+
+__all__ = [
+    "WorkloadTrace",
+    "wikipedia_like",
+    "vod_like",
+    "constant_workload",
+    "step_workload",
+    "inject_spikes",
+    "SpikeSpec",
+    "load_csv_trace",
+    "load_wikipedia_pagecounts",
+]

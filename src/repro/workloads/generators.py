@@ -1,0 +1,144 @@
+"""Synthetic workload generators.
+
+Substitutes for the paper's two traces (see DESIGN.md):
+
+- :func:`wikipedia_like` — smooth, strongly diurnal with a weekly pattern,
+  mild noise and very few small spikes (English Wikipedia, June 2008).
+- :func:`vod_like` — evening-peaked video-on-demand demand with frequent,
+  large, hard-to-predict spikes (TV4 premium VoD, January 2013).
+
+Both return hourly :class:`~repro.workloads.trace.WorkloadTrace` objects of
+three weeks by default, matching the paper's trace lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.spikes import SpikeSpec, inject_spikes
+from repro.workloads.trace import WorkloadTrace
+
+__all__ = ["wikipedia_like", "vod_like", "constant_workload", "step_workload"]
+
+
+def _diurnal_profile(
+    hours: np.ndarray, *, peak_hour: float, sharpness: float
+) -> np.ndarray:
+    """Smooth time-of-day multiplier in [0, 1] peaking at ``peak_hour``.
+
+    A raised cosine with a sharpness exponent: higher sharpness concentrates
+    demand around the peak (VoD evenings), lower spreads it (global wiki).
+    """
+    phase = 2.0 * np.pi * (hours - peak_hour) / 24.0
+    base = 0.5 * (1.0 + np.cos(phase))
+    return base**sharpness
+
+
+def wikipedia_like(
+    weeks: int = 3,
+    *,
+    mean_rps: float = 1000.0,
+    seed: int = 0,
+    interval_seconds: float = 3600.0,
+) -> WorkloadTrace:
+    """A Wikipedia-like trace: diurnal + weekly pattern, low noise, few spikes."""
+    if weeks < 1:
+        raise ValueError("weeks must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = int(weeks * 7 * 24 * (3600.0 / interval_seconds))
+    t = np.arange(n) * (interval_seconds / 3600.0)  # hours
+    hour_of_day = t % 24.0
+    day_of_week = (t // 24.0) % 7.0
+
+    diurnal = 0.55 + 0.45 * _diurnal_profile(hour_of_day, peak_hour=15.0, sharpness=1.0)
+    weekly = 1.0 - 0.08 * ((day_of_week >= 5).astype(float))  # weekend dip
+    trend = 1.0 + 0.02 * (t / (24.0 * 7.0))  # slow growth
+    noise = 1.0 + rng.normal(scale=0.015, size=n)
+
+    rates = mean_rps * diurnal * weekly * trend * np.clip(noise, 0.8, 1.2)
+    trace = WorkloadTrace(rates, interval_seconds, name="wikipedia-like")
+
+    # "Very few spikes": one small spike per ~10 days.
+    n_spikes = max(1, int(weeks * 7 / 10))
+    spikes = [
+        SpikeSpec(
+            start=int(rng.integers(24, n - 24)),
+            magnitude=float(rng.uniform(1.15, 1.35)),
+            ramp_intervals=2,
+            hold_intervals=1,
+            decay=0.5,
+        )
+        for _ in range(n_spikes)
+    ]
+    return inject_spikes(trace, spikes)
+
+
+def vod_like(
+    weeks: int = 3,
+    *,
+    mean_rps: float = 600.0,
+    seed: int = 0,
+    interval_seconds: float = 3600.0,
+) -> WorkloadTrace:
+    """A VoD-like trace: sharp evening peaks plus frequent large spikes."""
+    if weeks < 1:
+        raise ValueError("weeks must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = int(weeks * 7 * 24 * (3600.0 / interval_seconds))
+    t = np.arange(n) * (interval_seconds / 3600.0)
+    hour_of_day = t % 24.0
+    day_of_week = (t // 24.0) % 7.0
+
+    evening = 0.15 + 0.85 * _diurnal_profile(hour_of_day, peak_hour=21.0, sharpness=3.0)
+    weekend_boost = 1.0 + 0.25 * ((day_of_week >= 5).astype(float))
+    noise = 1.0 + rng.normal(scale=0.08, size=n)
+
+    rates = mean_rps * evening * weekend_boost * np.clip(noise, 0.5, 1.6)
+    trace = WorkloadTrace(rates, interval_seconds, name="vod-like")
+
+    # "Multiple, hard to predict spikes": ~2 large spikes per week at random
+    # times (premieres, live events).
+    n_spikes = max(2, 2 * weeks)
+    spikes = [
+        SpikeSpec(
+            start=int(rng.integers(12, n - 12)),
+            magnitude=float(rng.uniform(1.8, 3.5)),
+            ramp_intervals=1,
+            hold_intervals=int(rng.integers(1, 4)),
+            decay=0.45,
+        )
+        for _ in range(n_spikes)
+    ]
+    return inject_spikes(trace, spikes)
+
+
+def constant_workload(
+    intervals: int,
+    rps: float,
+    *,
+    interval_seconds: float = 3600.0,
+) -> WorkloadTrace:
+    """Flat workload (useful for unit tests and the LB testbed scenario)."""
+    if intervals < 1:
+        raise ValueError("intervals must be >= 1")
+    return WorkloadTrace(
+        np.full(intervals, float(rps)), interval_seconds, name="constant"
+    )
+
+
+def step_workload(
+    intervals: int,
+    low_rps: float,
+    high_rps: float,
+    step_at: int,
+    *,
+    interval_seconds: float = 3600.0,
+) -> WorkloadTrace:
+    """A single step change — the Example 1 scenario from the paper (25 →
+    110 req/s between hours) used to show why multi-period beats
+    single-period selection."""
+    if not 0 <= step_at <= intervals:
+        raise ValueError("step_at out of range")
+    rates = np.full(intervals, float(low_rps))
+    rates[step_at:] = float(high_rps)
+    return WorkloadTrace(rates, interval_seconds, name="step")

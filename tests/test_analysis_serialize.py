@@ -1,0 +1,62 @@
+"""Unit tests for report serialization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.serialize import (
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    save_report,
+)
+from repro.simulator.runner import SimulationReport
+
+
+@pytest.fixture
+def report():
+    rng = np.random.default_rng(0)
+    return SimulationReport(
+        name="demo",
+        provisioning_cost=123.4,
+        sla_penalty_cost=5.6,
+        unserved_requests=1000.0,
+        total_requests=1e6,
+        revocation_events=7,
+        decision_seconds=0.42,
+        interval_costs=rng.uniform(0, 10, 24),
+        counts=rng.integers(0, 5, size=(24, 3)),
+        capacity_rps=rng.uniform(100, 200, 24),
+        demand_rps=rng.uniform(50, 150, 24),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, report):
+        restored = report_from_dict(report_to_dict(report))
+        assert restored.name == report.name
+        assert restored.total_cost == pytest.approx(report.total_cost)
+        np.testing.assert_array_equal(restored.counts, report.counts)
+        np.testing.assert_allclose(restored.demand_rps, report.demand_rps)
+
+    def test_file_round_trip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        restored = load_report(path)
+        assert restored.savings_vs(report) == pytest.approx(0.0)
+        assert restored.unserved_fraction == pytest.approx(
+            report.unserved_fraction
+        )
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing report fields"):
+            report_from_dict({"name": "x"})
+
+    def test_real_sim_report_serializes(self, small_dataset, wiki_week, tmp_path):
+        from repro.baselines import ExoSphereLoopPolicy
+        from repro.simulator import CostSimulator
+
+        sim = CostSimulator(small_dataset, wiki_week, seed=0)
+        rep = sim.run(ExoSphereLoopPolicy(small_dataset.markets), name="exo")
+        path = tmp_path / "exo.json"
+        save_report(rep, path)
+        assert load_report(path).total_cost == pytest.approx(rep.total_cost)

@@ -1,0 +1,48 @@
+"""Unit tests for bootstrap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_mean_ci, paired_savings
+
+
+class TestBootstrapMeanCI:
+    def test_brackets_true_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 1.0, size=200)
+        ci = bootstrap_mean_ci(samples, seed=1)
+        assert ci.lower < 10.0 < ci.upper
+        assert ci.lower < ci.mean < ci.upper
+
+    def test_narrows_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_mean_ci(rng.normal(size=10), seed=2)
+        large = bootstrap_mean_ci(rng.normal(size=1000), seed=2)
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_single_sample_degenerate(self):
+        ci = bootstrap_mean_ci(np.array([5.0]), seed=0)
+        assert ci.mean == ci.lower == ci.upper == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.ones(3), confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.ones(3), resamples=10)
+
+
+class TestPairedSavings:
+    def test_known_savings(self):
+        a = np.array([50.0, 60.0, 70.0])
+        b = np.array([100.0, 100.0, 100.0])
+        ci = paired_savings(a, b, seed=0)
+        assert ci.mean == pytest.approx(0.4)
+        assert 0.2 < ci.lower <= ci.mean <= ci.upper < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_savings(np.ones(2), np.ones(3))
+        with pytest.raises(ValueError):
+            paired_savings(np.ones(2), np.zeros(2))

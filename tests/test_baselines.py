@@ -1,0 +1,158 @@
+"""Unit tests for the baseline provisioning policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ConstantPortfolioPolicy,
+    ExoSphereLoopPolicy,
+    OnDemandPolicy,
+    QuThresholdPolicy,
+    oracle_target,
+    padded,
+    reactive_target,
+)
+from repro.workloads import constant_workload
+
+
+class TestTargets:
+    def test_reactive(self):
+        fn = reactive_target()
+        assert fn(5, 123.0) == 123.0
+
+    def test_oracle(self):
+        fn = oracle_target(constant_workload(3, 0.0).rates + np.array([1.0, 2.0, 3.0]))
+        assert fn(1, 999.0) == 2.0
+        assert fn(10, 999.0) == 3.0  # clamps at the end
+
+    def test_padded(self):
+        fn = padded(reactive_target(), 0.25)
+        assert fn(0, 100.0) == pytest.approx(125.0)
+        with pytest.raises(ValueError):
+            padded(reactive_target(), -0.1)
+
+
+class TestExoSphereLoop:
+    def test_covers_observed_demand(self, small_markets, small_dataset):
+        policy = ExoSphereLoopPolicy(small_markets)
+        counts = policy.decide(
+            0, 500.0, small_dataset.prices[0], small_dataset.failure_probs[0]
+        )
+        capacity = counts @ np.array([m.capacity_rps for m in small_markets])
+        assert capacity >= 500.0
+
+    def test_no_padding_beyond_rounding(self, small_markets, small_dataset):
+        """ExoSphere provisions the observed demand, not a padded target."""
+        policy = ExoSphereLoopPolicy(small_markets)
+        counts = policy.decide(
+            0, 500.0, small_dataset.prices[0], small_dataset.failure_probs[0]
+        )
+        caps = np.array([m.capacity_rps for m in small_markets])
+        capacity = counts @ caps
+        # Ceil rounding can overshoot by at most one server per used market.
+        used = counts > 0
+        assert capacity <= 500.0 * 1.6 + caps[used].sum()
+
+    def test_reacts_to_price_shift(self, small_markets, small_dataset):
+        policy = ExoSphereLoopPolicy(small_markets)
+        f = small_dataset.failure_probs
+        prices = small_dataset.prices[0].copy()
+        policy.decide(0, 500.0, prices, f[0])
+        # Make market 3 overwhelmingly cheap and re-decide repeatedly.
+        prices2 = prices.copy()
+        prices2[:] = 10.0
+        prices2[3] = 0.001
+        for t in range(1, 4):
+            counts = policy.decide(t, 500.0, prices2, f[t])
+        assert counts[3] > 0
+
+
+class TestConstantPortfolio:
+    def test_calibrates_once_then_freezes(self, small_markets, small_dataset):
+        policy = ConstantPortfolioPolicy(small_markets, calibrate_at=2)
+        f = small_dataset.failure_probs
+        p = small_dataset.prices
+        policy.decide(0, 100.0, p[0], f[0])
+        assert policy.weights is None
+        policy.decide(2, 100.0, p[2], f[2])
+        frozen = policy.weights.copy()
+        # Later price shifts must not change the mix.
+        policy.decide(3, 100.0, p[3] * 100.0, f[3])
+        np.testing.assert_array_equal(policy.weights, frozen)
+
+    def test_explicit_weights(self, small_markets, small_dataset):
+        w = np.array([1.0, 1.0, 0, 0, 0, 0])
+        policy = ConstantPortfolioPolicy(small_markets, weights=w)
+        counts = policy.decide(
+            0, 400.0, small_dataset.prices[0], small_dataset.failure_probs[0]
+        )
+        assert counts[2:].sum() == 0
+        assert counts[:2].sum() > 0
+
+    def test_autoscales_counts(self, small_markets, small_dataset):
+        w = np.array([1.0, 0, 0, 0, 0, 0])
+        policy = ConstantPortfolioPolicy(small_markets, weights=w)
+        low = policy.decide(0, 100.0, small_dataset.prices[0], small_dataset.failure_probs[0])
+        high = policy.decide(1, 1000.0, small_dataset.prices[1], small_dataset.failure_probs[1])
+        assert high.sum() > low.sum()
+
+    def test_weight_validation(self, small_markets):
+        with pytest.raises(ValueError):
+            ConstantPortfolioPolicy(small_markets, weights=np.ones(3))
+        with pytest.raises(ValueError):
+            ConstantPortfolioPolicy(small_markets, weights=np.zeros(6))
+        with pytest.raises(ValueError):
+            ConstantPortfolioPolicy(small_markets, calibrate_at=-1)
+
+
+class TestOnDemand:
+    def test_requires_ondemand_markets(self, catalog, small_markets):
+        with pytest.raises(ValueError):
+            OnDemandPolicy(small_markets)  # all spot
+
+    def test_allocates_only_ondemand(self, catalog):
+        markets = catalog.all_markets()[:8]  # mix of spot/od
+        policy = OnDemandPolicy(markets)
+        prices = np.ones(8)
+        counts = policy.decide(0, 500.0, prices, np.zeros(8))
+        for i, m in enumerate(markets):
+            if counts[i] > 0:
+                assert not m.revocable
+
+    def test_named_market(self, catalog):
+        markets = catalog.all_markets()[:8]
+        name = markets[1].instance.name
+        policy = OnDemandPolicy(markets, market_name=name)
+        counts = policy.decide(0, 100.0, np.ones(8), np.zeros(8))
+        assert counts[policy.index] > 0
+        with pytest.raises(ValueError):
+            OnDemandPolicy(markets, market_name="x1e.16xlarge")
+
+
+class TestQuThreshold:
+    def test_overprovision_factor(self, small_markets):
+        policy = QuThresholdPolicy(
+            small_markets, num_markets=4, failure_threshold=1
+        )
+        assert policy.overprovision_factor == pytest.approx(4 / 3)
+
+    def test_survives_k_failures(self, small_markets, small_dataset):
+        policy = QuThresholdPolicy(
+            small_markets, num_markets=4, failure_threshold=1
+        )
+        counts = policy.decide(
+            0, 600.0, small_dataset.prices[0], small_dataset.failure_probs[0]
+        )
+        caps = np.array([m.capacity_rps for m in small_markets])
+        per_market = counts * caps
+        used = np.where(per_market > 0)[0]
+        assert used.size == 4
+        # Losing the biggest used market still covers demand.
+        worst = per_market.sum() - per_market[used].max()
+        assert worst >= 600.0 - caps[used].max()  # up to one-server slack
+
+    def test_validation(self, small_markets):
+        with pytest.raises(ValueError):
+            QuThresholdPolicy(small_markets, num_markets=0)
+        with pytest.raises(ValueError):
+            QuThresholdPolicy(small_markets, num_markets=3, failure_threshold=3)

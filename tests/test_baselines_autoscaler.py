@@ -1,0 +1,67 @@
+"""Unit tests for the threshold autoscaler."""
+
+import pytest
+
+from repro.baselines import ThresholdAutoscaler
+
+
+class TestThresholdAutoscaler:
+    def test_first_observation_sets_target(self):
+        asc = ThresholdAutoscaler(
+            desired_utilization=0.5, scale_in_threshold=0.3
+        )
+        assert asc(0, 100.0) == pytest.approx(200.0)
+
+    def test_holds_inside_band(self):
+        asc = ThresholdAutoscaler(
+            desired_utilization=0.7,
+            scale_out_threshold=0.9,
+            scale_in_threshold=0.4,
+        )
+        asc(0, 70.0)  # target = 100
+        target = asc(1, 75.0)  # util 0.75: inside band
+        assert target == pytest.approx(100.0)
+
+    def test_scales_out_immediately(self):
+        asc = ThresholdAutoscaler(desired_utilization=0.7)
+        asc(0, 70.0)  # target 100
+        target = asc(1, 95.0)  # util 0.95 > 0.85
+        assert target == pytest.approx(95.0 / 0.7)
+
+    def test_scale_in_waits_for_cooldown(self):
+        asc = ThresholdAutoscaler(
+            desired_utilization=0.7, scale_in_cooldown=2
+        )
+        asc(0, 70.0)  # target 100, change at t=0
+        t1 = asc(1, 20.0)  # util 0.2 < 0.5, but cooldown not elapsed
+        t2 = asc(2, 20.0)
+        t3 = asc(3, 20.0)  # cooldown of 2 elapsed -> shrink
+        assert t1 == pytest.approx(100.0)
+        assert t2 == pytest.approx(100.0)
+        assert t3 == pytest.approx(20.0 / 0.7)
+
+    def test_zero_demand(self):
+        asc = ThresholdAutoscaler()
+        assert asc(0, 0.0) == 0.0
+
+    def test_works_as_target_fn(self, small_markets, small_dataset):
+        from repro.baselines import ConstantPortfolioPolicy
+
+        policy = ConstantPortfolioPolicy(
+            small_markets, target_fn=ThresholdAutoscaler()
+        )
+        counts = policy.decide(
+            0, 500.0, small_dataset.prices[0], small_dataset.failure_probs[0]
+        )
+        caps = [m.capacity_rps for m in small_markets]
+        assert counts @ __import__("numpy").array(caps) >= 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdAutoscaler(desired_utilization=1.5)
+        with pytest.raises(ValueError):
+            ThresholdAutoscaler(scale_in_threshold=0.9)
+        with pytest.raises(ValueError):
+            ThresholdAutoscaler(scale_out_threshold=0.5)
+        with pytest.raises(ValueError):
+            ThresholdAutoscaler(scale_in_cooldown=-1)

@@ -1,0 +1,79 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "fig3",
+            "fig4a",
+            "fig4bcd",
+            "fig5",
+            "fig6a",
+            "fig6b",
+            "fig7a",
+            "fig7b",
+            "lookahead",
+            "gcloud",
+        }
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6b" in out
+
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "r5d.24xlarge" in out
+        assert "1.92e+03" in out  # the paper's calibrated 1920 req/s capacity
+
+    def test_advisor(self, capsys):
+        assert main(["advisor", "--markets", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "interruption" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SpotWeb" in out
+
+    def test_experiment_fig3(self, capsys):
+        assert main(["experiment", "fig3", "--weeks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "wikipedia" in out
+
+    def test_simulate(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--markets",
+                "4",
+                "--weeks",
+                "1",
+                "--policies",
+                "qu",
+                "ondemand",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "qu" in out and "ondemand" in out
+        assert "savings" in out
+
+    def test_simulate_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policies", "tributary"])

@@ -1,0 +1,71 @@
+"""Unit tests for allocation constraints (Eqs. 7-10)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AllocationConstraints
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        c = AllocationConstraints()
+        assert c.a_total_min == 1.0
+
+    def test_rejects_inverted_totals(self):
+        with pytest.raises(ValueError):
+            AllocationConstraints(a_total_min=2.0, a_total_max=1.0)
+
+    def test_rejects_bad_market_max(self):
+        with pytest.raises(ValueError):
+            AllocationConstraints(a_market_max=0.0)
+        with pytest.raises(ValueError):
+            AllocationConstraints(a_total_max=0.5, a_market_max=0.9)
+
+
+class TestBuildRows:
+    def test_shapes(self):
+        c = AllocationConstraints()
+        A, l, u = c.build_rows(num_markets=4, horizon=3)
+        assert A.shape == (4 * 3 + 3, 4 * 3)
+        assert l.shape == u.shape == (15,)
+
+    def test_box_rows(self):
+        c = AllocationConstraints(a_market_max=0.4)
+        A, l, u = c.build_rows(3, 1)
+        np.testing.assert_array_equal(A[:3], np.eye(3))
+        assert np.all(l[:3] == 0.0)
+        assert np.all(u[:3] == 0.4)
+
+    def test_unreachable_total_rejected(self):
+        c = AllocationConstraints(a_market_max=0.4)
+        with pytest.raises(ValueError, match="infeasible constraints"):
+            c.build_rows(2, 1)  # 2 * 0.4 < a_total_min = 1.0
+
+    def test_total_rows_per_interval(self):
+        c = AllocationConstraints(a_total_min=1.0, a_total_max=1.5)
+        A, l, u = c.build_rows(3, 2)
+        # Interval 0 total row touches only the first 3 variables.
+        np.testing.assert_array_equal(A[6], [1, 1, 1, 0, 0, 0])
+        np.testing.assert_array_equal(A[7], [0, 0, 0, 1, 1, 1])
+        assert l[6] == 1.0 and u[6] == 1.5
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            AllocationConstraints().build_rows(0, 1)
+
+
+class TestFeasible:
+    def test_accepts_valid(self):
+        c = AllocationConstraints(a_total_max=2.0, a_market_max=0.8)
+        assert c.feasible(np.array([0.6, 0.6]))
+
+    def test_rejects_under_provisioned(self):
+        c = AllocationConstraints()
+        assert not c.feasible(np.array([0.3, 0.3]))
+
+    def test_rejects_over_concentrated(self):
+        c = AllocationConstraints(a_market_max=0.5, a_total_max=2.0)
+        assert not c.feasible(np.array([0.9, 0.4]))
+
+    def test_rejects_negative(self):
+        assert not AllocationConstraints().feasible(np.array([-0.1, 1.2]))

@@ -1,0 +1,115 @@
+"""Unit tests for the cost model (Eqs. 3-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel
+
+
+@pytest.fixture
+def model():
+    return CostModel(penalty=0.02, long_running_fraction=0.1, risk_aversion=5.0)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CostModel(penalty=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(long_running_fraction=1.5)
+        with pytest.raises(ValueError):
+            CostModel(risk_aversion=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(churn_penalty=-0.1)
+
+
+class TestProvisioningCost:
+    def test_eq3(self, model):
+        # A * lambda * C summed, times hours.
+        cost = model.provisioning_cost(
+            np.array([0.5, 0.5]), np.array([0.001, 0.002]), 1000.0, 1.0
+        )
+        assert cost == pytest.approx(0.5 * 1000 * 0.001 + 0.5 * 1000 * 0.002)
+
+    def test_coefficients_consistent(self, model):
+        C = np.array([0.001, 0.003])
+        coeffs = model.provisioning_coefficients(C, 500.0, 2.0)
+        A = np.array([0.4, 0.6])
+        assert coeffs @ A == pytest.approx(
+            model.provisioning_cost(A, C, 500.0, 2.0)
+        )
+
+
+class TestSLACost:
+    def test_no_shortfall_only_drop_term(self, model):
+        # lambda == lambda_pred: only the migration-drop term remains.
+        cost = model.sla_cost(
+            np.array([1.0]), np.array([0.2]), actual_rps=100.0, predicted_rps=100.0
+        )
+        assert cost == pytest.approx(0.02 * 1.0 * 0.2 * 100.0 * 0.1)
+
+    def test_shortfall_term(self, model):
+        cost = model.sla_cost(
+            np.array([1.0]), np.array([0.0]), actual_rps=120.0, predicted_rps=100.0
+        )
+        assert cost == pytest.approx(0.02 * 1.0 * 20.0)
+
+    def test_overprediction_has_no_shortfall_penalty(self, model):
+        cost = model.sla_cost(
+            np.array([1.0]), np.array([0.0]), actual_rps=80.0, predicted_rps=100.0
+        )
+        assert cost == 0.0
+
+    def test_zero_L_ignores_failures(self):
+        model = CostModel(penalty=0.02, long_running_fraction=0.0)
+        cost = model.sla_cost(
+            np.array([1.0]), np.array([0.9]), actual_rps=100.0, predicted_rps=100.0
+        )
+        assert cost == 0.0
+
+    def test_coefficients_include_expected_shortfall(self, model):
+        coeffs = model.sla_coefficients(
+            np.array([0.1, 0.2]), predicted_rps=100.0, expected_shortfall_rps=10.0
+        )
+        A = np.array([0.5, 0.5])
+        expected = 0.02 * (
+            0.5 * (0.1 * 100 * 0.1 + 10.0) + 0.5 * (0.2 * 100 * 0.1 + 10.0)
+        )
+        assert coeffs @ A == pytest.approx(expected)
+
+
+class TestRisk:
+    def test_eq5(self, model):
+        M = np.array([[0.09, 0.03], [0.03, 0.04]])
+        A = np.array([0.6, 0.4])
+        assert model.risk(A, M) == pytest.approx(5.0 * A @ M @ A)
+
+    def test_diversification_reduces_risk(self, model):
+        """Splitting between two uncorrelated equal markets halves A'MA."""
+        M = 0.09 * np.eye(2)
+        concentrated = model.risk(np.array([1.0, 0.0]), M)
+        split = model.risk(np.array([0.5, 0.5]), M)
+        assert split == pytest.approx(concentrated / 2)
+
+    def test_correlation_negates_diversification(self, model):
+        M_ind = 0.09 * np.eye(2)
+        M_corr = np.full((2, 2), 0.09)
+        split = np.array([0.5, 0.5])
+        assert model.risk(split, M_corr) == pytest.approx(
+            model.risk(np.array([1.0, 0.0]), M_ind)
+        )
+
+
+class TestIntervalCost:
+    def test_sums_components(self, model):
+        A = np.array([0.5, 0.5])
+        C = np.array([0.001, 0.002])
+        f = np.array([0.1, 0.1])
+        M = 0.01 * np.eye(2)
+        total = model.interval_cost(A, C, f, M, 110.0, 100.0)
+        expected = (
+            model.provisioning_cost(A, C, 100.0)
+            + model.sla_cost(A, f, 110.0, 100.0)
+            + model.risk(A, M)
+        )
+        assert total == pytest.approx(expected)

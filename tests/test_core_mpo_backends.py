@@ -1,0 +1,67 @@
+"""Backend agreement tests and extra runner coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, MPOOptimizer
+from repro.simulator import CostSimulator
+from repro.workloads import constant_workload
+
+
+class TestMPOBackends:
+    def test_backends_agree(self, small_markets, small_dataset):
+        """ADMM and active-set backends reach the same optimum."""
+        M = small_dataset.event_covariance()
+        targets = np.array([1000.0, 1200.0])
+        prices = small_dataset.prices[:2]
+        failures = small_dataset.failure_probs[:2]
+        kwargs = dict(horizon=2, cost_model=CostModel(churn_penalty=0.3))
+        res_admm = MPOOptimizer(small_markets, backend="admm", **kwargs).optimize(
+            targets, prices, failures, M
+        )
+        res_aset = MPOOptimizer(
+            small_markets, backend="active_set", **kwargs
+        ).optimize(targets, prices, failures, M)
+        assert res_aset.solver.objective == pytest.approx(
+            res_admm.solver.objective, rel=1e-3, abs=1e-5
+        )
+        np.testing.assert_allclose(
+            res_aset.plan.fractions, res_admm.plan.fractions, atol=5e-3
+        )
+
+    def test_unknown_backend_rejected(self, small_markets):
+        with pytest.raises(ValueError, match="backend"):
+            MPOOptimizer(small_markets, backend="simplex")
+
+
+class TestRunnerLifetime:
+    def test_forced_lifetime_revocations(self, small_dataset):
+        """Google-style max lifetime forces periodic revocations."""
+        ds = small_dataset
+        calm = type(ds)(
+            markets=ds.markets,
+            prices=ds.prices,
+            failure_probs=np.zeros_like(ds.failure_probs),
+        )
+        trace = constant_workload(48, 100.0)
+
+        class FixedPolicy:
+            def decide(self, t, observed, prices, probs):
+                counts = np.zeros(6, dtype=int)
+                counts[0] = 3
+                return counts
+
+        no_life = CostSimulator(calm, trace, seed=0).run(FixedPolicy())
+        with_life = CostSimulator(
+            calm, trace, seed=0, max_lifetime_intervals=24
+        ).run(FixedPolicy())
+        assert no_life.revocation_events == 0
+        assert with_life.revocation_events >= 1
+
+    def test_lifetime_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            CostSimulator(
+                small_dataset,
+                constant_workload(5, 10.0),
+                max_lifetime_intervals=0,
+            )

@@ -1,0 +1,116 @@
+"""Property-based tests for the multi-period optimizer (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AllocationConstraints, CostModel, MPOOptimizer
+from repro.markets import default_catalog
+
+
+def build_optimizer(num_markets, horizon, *, alpha=1.0, gamma=0.0, constraints=None):
+    markets = default_catalog().spot_markets(num_markets)
+    return MPOOptimizer(
+        markets,
+        horizon=horizon,
+        cost_model=CostModel(risk_aversion=alpha, churn_penalty=gamma),
+        constraints=constraints or AllocationConstraints(a_total_max=2.0),
+    )
+
+
+def random_inputs(rng, num_markets, horizon):
+    prices = rng.uniform(0.01, 5.0, size=(horizon, num_markets))
+    failures = rng.uniform(0.0, 0.3, size=(horizon, num_markets))
+    base = rng.uniform(0.0, 0.3, size=(num_markets, num_markets))
+    M = base @ base.T + 1e-4 * np.eye(num_markets)
+    targets = rng.uniform(100.0, 50_000.0, size=horizon)
+    return targets, prices, failures, M
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    num_markets=st.integers(2, 10),
+    horizon=st.integers(1, 5),
+)
+def test_plan_always_feasible(seed, num_markets, horizon):
+    """Every optimized plan satisfies the allocation constraints."""
+    rng = np.random.default_rng(seed)
+    constraints = AllocationConstraints(a_total_min=1.0, a_total_max=1.8)
+    opt = build_optimizer(num_markets, horizon, constraints=constraints)
+    targets, prices, failures, M = random_inputs(rng, num_markets, horizon)
+    res = opt.optimize(targets, prices, failures, M)
+    assert res.solver.status.ok
+    for tau in range(horizon):
+        assert constraints.feasible(res.plan.fractions[tau], tol=5e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), num_markets=st.integers(2, 8))
+def test_deployed_capacity_covers_target(seed, num_markets):
+    """Integer counts realize at least the target demand."""
+    rng = np.random.default_rng(seed)
+    opt = build_optimizer(num_markets, 2)
+    targets, prices, failures, M = random_inputs(rng, num_markets, 2)
+    res = opt.optimize(targets, prices, failures, M)
+    counts = res.plan.counts(0)
+    assert counts @ opt.capacities >= targets[0] - 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_price_increase_never_attracts_allocation(seed):
+    """Raising one market's price (only) must not increase its share."""
+    rng = np.random.default_rng(seed)
+    n, h = 5, 2
+    opt = build_optimizer(n, h, alpha=0.1)
+    targets, prices, failures, M = random_inputs(rng, n, h)
+    res_lo = opt.optimize(targets, prices, failures, M)
+    j = int(rng.integers(0, n))
+    prices_hi = prices.copy()
+    prices_hi[:, j] *= 10.0
+    res_hi = opt.optimize(targets, prices_hi, failures, M)
+    assert (
+        res_hi.plan.fractions[:, j].sum()
+        <= res_lo.plan.fractions[:, j].sum() + 1e-3
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), gamma=st.floats(0.1, 10.0))
+def test_churn_penalty_never_increases_distance_to_current(seed, gamma):
+    """A churn penalty pulls the plan towards the deployed allocation."""
+    rng = np.random.default_rng(seed)
+    n = 5
+    targets, prices, failures, M = random_inputs(rng, n, 1)
+    current = rng.uniform(0.0, 0.4, size=n)
+    current *= 1.0 / max(current.sum(), 1e-9)  # feasible-ish start
+
+    free = build_optimizer(n, 1, gamma=0.0).optimize(
+        targets, prices, failures, M, current_fractions=current
+    )
+    sticky = build_optimizer(n, 1, gamma=gamma).optimize(
+        targets, prices, failures, M, current_fractions=current
+    )
+    d_free = float(np.abs(free.plan.fractions[0] - current).sum())
+    d_sticky = float(np.abs(sticky.plan.fractions[0] - current).sum())
+    assert d_sticky <= d_free + 1e-2
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_objective_decomposition_consistent(seed):
+    """Reported cost components evaluate to the objective's linear parts."""
+    rng = np.random.default_rng(seed)
+    n, h = 4, 3
+    opt = build_optimizer(n, h, alpha=2.0)
+    targets, prices, failures, M = random_inputs(rng, n, h)
+    res = opt.optimize(targets, prices, failures, M)
+    # Recompute provisioning from the plan directly.
+    per_req = prices / opt.capacities[None, :]
+    manual = sum(
+        float((res.plan.fractions[t] * per_req[t]).sum() * targets[t])
+        for t in range(h)
+    )
+    assert res.provisioning_cost == pytest.approx(manual, rel=1e-9)
+    assert res.risk >= 0.0

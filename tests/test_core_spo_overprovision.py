@@ -1,0 +1,101 @@
+"""Unit tests for the SPO optimizer, capacity planner and shortfall tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllocationConstraints,
+    CapacityPlanner,
+    CostModel,
+    MPOOptimizer,
+    ShortfallTracker,
+    SPOOptimizer,
+)
+from repro.predictors.base import PredictionResult
+
+
+class TestSPO:
+    def test_is_h1_special_case(self, small_markets, small_dataset):
+        """SPO must produce the same allocation as MPO with H=1."""
+        M = small_dataset.event_covariance()
+        prices = small_dataset.prices[0]
+        failures = small_dataset.failure_probs[0]
+        spo = SPOOptimizer(small_markets)
+        mpo = MPOOptimizer(small_markets, horizon=1)
+        r1 = spo.optimize(1000.0, prices, failures, M)
+        r2 = mpo.optimize(
+            np.array([1000.0]), prices[None, :], failures[None, :], M
+        )
+        np.testing.assert_allclose(
+            r1.plan.fractions, r2.plan.fractions, atol=1e-4
+        )
+
+    def test_respects_constraints(self, small_markets, small_dataset):
+        constraints = AllocationConstraints(a_total_max=1.3, a_market_max=0.5)
+        spo = SPOOptimizer(small_markets, constraints=constraints)
+        res = spo.optimize(
+            500.0,
+            small_dataset.prices[0],
+            small_dataset.failure_probs[0],
+            small_dataset.event_covariance(),
+        )
+        assert constraints.feasible(res.plan.fractions[0], tol=1e-3)
+
+    def test_accessors(self, small_markets):
+        spo = SPOOptimizer(small_markets, cost_model=CostModel(penalty=0.0))
+        assert spo.markets == small_markets
+        assert spo.cost_model.penalty == 0.0
+        assert spo.constraints.a_total_min == 1.0
+
+
+class TestCapacityPlanner:
+    def _prediction(self):
+        mean = np.array([100.0, 110.0])
+        return PredictionResult(mean, mean - 10.0, mean + 20.0)
+
+    def test_uses_upper_bound(self):
+        planner = CapacityPlanner()
+        np.testing.assert_allclose(
+            planner.targets(self._prediction()), [120.0, 130.0]
+        )
+
+    def test_point_mode(self):
+        planner = CapacityPlanner(use_upper_bound=False)
+        np.testing.assert_allclose(
+            planner.targets(self._prediction()), [100.0, 110.0]
+        )
+
+    def test_extra_padding_and_floor(self):
+        planner = CapacityPlanner(extra_padding=0.5, min_rps=200.0)
+        np.testing.assert_allclose(
+            planner.targets(self._prediction()), [200.0, 200.0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityPlanner(extra_padding=-0.1)
+        with pytest.raises(ValueError):
+            CapacityPlanner(min_rps=-1.0)
+
+
+class TestShortfallTracker:
+    def test_only_under_predictions_count(self):
+        tr = ShortfallTracker(window=10)
+        tr.record(actual_rps=120.0, predicted_rps=100.0)  # under by 20
+        tr.record(actual_rps=80.0, predicted_rps=100.0)  # over: counts as 0
+        assert tr.expected_shortfall_rps == pytest.approx(10.0)
+        assert len(tr) == 2
+
+    def test_empty_is_zero(self):
+        assert ShortfallTracker().expected_shortfall_rps == 0.0
+
+    def test_window_rolls(self):
+        tr = ShortfallTracker(window=2)
+        tr.record(200.0, 100.0)
+        tr.record(100.0, 100.0)
+        tr.record(100.0, 100.0)
+        assert tr.expected_shortfall_rps == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShortfallTracker(window=0)

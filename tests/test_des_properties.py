@@ -1,0 +1,57 @@
+"""Property-based tests for the DES engine and request conservation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator import ClusterConfig, ClusterSimulation, Simulator
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50),
+)
+def test_events_always_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired: list[float] = []
+    for d in delays:
+        sim.schedule(d, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=30),
+    cancel_idx=st.integers(0, 29),
+)
+def test_cancelled_events_never_fire(delays, cancel_idx):
+    sim = Simulator()
+    fired: list[int] = []
+    events = [
+        sim.schedule(d, fired.append, i) for i, d in enumerate(delays)
+    ]
+    cancel_idx = cancel_idx % len(events)
+    events[cancel_idx].cancel()
+    sim.run()
+    assert cancel_idx not in fired
+    assert len(fired) == len(delays) - 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000), rate=st.floats(5.0, 60.0))
+def test_request_conservation(seed, rate):
+    """Every arrival terminates as served, dropped, or still in flight."""
+    config = ClusterConfig(
+        seed=seed, boot_seconds=0.0, warmup_seconds=0.0, cold_multiplier=1.0
+    )
+    cluster = ClusterSimulation(config)
+    cluster.add_server(50.0, boot_seconds=0.0)
+    rec = cluster.run(20.0, rate=rate)
+    in_flight = sum(s.in_flight for s in cluster.servers.values())
+    arrivals = rec.served + rec.dropped + rec.failed + in_flight
+    # Poisson(rate * 20) arrivals, all accounted for.
+    assert arrivals >= 1
+    expected = rate * 20.0
+    sigma = np.sqrt(expected)
+    assert abs(arrivals - expected) < 6 * sigma + 5

@@ -1,0 +1,132 @@
+"""Cross-module integration tests: the full SpotWeb pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExoSphereLoopPolicy, OnDemandPolicy, QuThresholdPolicy
+from repro.core import CostModel, SpotWebController
+from repro.core.policy import SpotWebPolicy
+from repro.markets import (
+    PurchaseOption,
+    default_catalog,
+    generate_market_dataset,
+)
+from repro.predictors import (
+    AR1PricePredictor,
+    ReactiveFailurePredictor,
+    SplinePredictor,
+)
+from repro.simulator import CostSimulator
+from repro.workloads import wikipedia_like
+
+
+@pytest.fixture(scope="module")
+def setup():
+    catalog = default_catalog()
+    markets = catalog.spot_markets(8)
+    dataset = generate_market_dataset(markets, intervals=7 * 24, seed=21)
+    trace = wikipedia_like(1, seed=21).scaled(20_000.0)
+    return markets, dataset, trace
+
+
+def spotweb_policy(markets, horizon=4):
+    n = len(markets)
+    controller = SpotWebController(
+        markets,
+        SplinePredictor(24),
+        AR1PricePredictor(n),
+        ReactiveFailurePredictor(n),
+        horizon=horizon,
+        cost_model=CostModel(churn_penalty=0.2),
+    )
+    return SpotWebPolicy(controller)
+
+
+class TestEndToEnd:
+    def test_spotweb_run_is_healthy(self, setup):
+        markets, dataset, trace = setup
+        sim = CostSimulator(dataset, trace, seed=21)
+        report = sim.run(spotweb_policy(markets), name="spotweb")
+        assert report.total_cost > 0
+        assert report.unserved_fraction < 0.03
+        # Capacity tracks demand: never less than demand for most intervals.
+        covered = np.mean(report.capacity_rps >= report.demand_rps)
+        assert covered > 0.9
+
+    def test_spotweb_beats_exosphere_on_violations(self, setup):
+        markets, dataset, trace = setup
+        sim = CostSimulator(dataset, trace, seed=21)
+        sw = sim.run(spotweb_policy(markets), name="spotweb")
+        exo = sim.run(ExoSphereLoopPolicy(markets), name="exo")
+        assert sw.unserved_fraction < exo.unserved_fraction
+
+    def test_spot_saves_vs_ondemand(self):
+        """The abstract's claim: large savings vs conventional on-demand."""
+        catalog = default_catalog()
+        # Universe with both purchase options for the first 6 types.
+        markets = catalog.all_markets()[:12]
+        dataset = generate_market_dataset(markets, intervals=5 * 24, seed=22)
+        trace = wikipedia_like(1, seed=22).scaled(20_000.0).window(0, 5 * 24)
+        sim = CostSimulator(dataset, trace, seed=22)
+        sw = sim.run(spotweb_policy(markets), name="spotweb")
+        od = sim.run(OnDemandPolicy(markets), name="ondemand")
+        saving = sw.savings_vs(od)
+        assert saving > 0.4  # paper: up to 90%
+
+    def test_policies_face_identical_weather(self, setup):
+        markets, dataset, trace = setup
+        sim = CostSimulator(dataset, trace, seed=5)
+        a = sim.run(QuThresholdPolicy(markets, num_markets=4, failure_threshold=1))
+        b = sim.run(QuThresholdPolicy(markets, num_markets=4, failure_threshold=1))
+        assert a.total_cost == b.total_cost
+
+    def test_diversification_limits_single_market_exposure(self, setup):
+        markets, dataset, trace = setup
+        from repro.core import AllocationConstraints
+
+        n = len(markets)
+        controller = SpotWebController(
+            markets,
+            SplinePredictor(24),
+            AR1PricePredictor(n),
+            ReactiveFailurePredictor(n),
+            horizon=2,
+            constraints=AllocationConstraints(a_market_max=0.4, a_total_max=2.0),
+        )
+        policy = SpotWebPolicy(controller)
+        sim = CostSimulator(dataset, trace, seed=21)
+        report = sim.run(policy)
+        caps = dataset.capacities
+        share = (report.counts * caps[None, :]) / np.maximum(
+            (report.counts * caps[None, :]).sum(axis=1, keepdims=True), 1e-9
+        )
+        # After warm-up, no market carries more than ~max share + rounding.
+        assert np.quantile(share[24:].max(axis=1), 0.9) < 0.75
+
+
+class TestCloudLBIntegration:
+    def test_cloud_warning_reaches_balancer(self):
+        """TransientCloud warnings wired into the transiency-aware LB."""
+        from repro.loadbalancer import TransiencyAwareLoadBalancer
+        from repro.markets import TransientCloud
+        from repro.simulator import ClusterConfig, ClusterSimulation
+
+        catalog = default_catalog()
+        market = catalog.market("m4.xlarge", PurchaseOption.SPOT)
+        config = ClusterConfig(seed=0, boot_seconds=2.0, warning_seconds=10.0)
+        cluster = ClusterSimulation(
+            config, lambda rec: TransiencyAwareLoadBalancer(rec)
+        )
+        server = cluster.add_server(market.capacity_rps, boot_seconds=0.0)
+        cluster.add_server(market.capacity_rps, boot_seconds=0.0)
+
+        cloud = TransientCloud(warning_seconds=10.0)
+        vm = cloud.request(market, 1, now=0.0)[0]
+        # Bridge: a cloud warning triggers the LB and schedules the kill.
+        cloud.on_warning(
+            lambda v, t: cluster.revoke(server.server_id, warning_seconds=10.0)
+        )
+        cluster.sim.schedule(5.0, lambda: cloud.revoke_vm(vm, 5.0))
+        rec = cluster.run(30.0, rate=30.0)
+        assert not server.alive
+        assert rec.drop_rate() < 0.05

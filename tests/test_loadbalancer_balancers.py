@@ -1,0 +1,215 @@
+"""Unit tests for the vanilla and transiency-aware balancers.
+
+Uses a scripted fake backend so balancer logic is tested in isolation from
+the queueing model.
+"""
+
+import pytest
+
+from repro.loadbalancer import TransiencyAwareLoadBalancer, VanillaLoadBalancer
+from repro.simulator.metrics import LatencyRecorder
+
+
+class FakeBackend:
+    def __init__(
+        self,
+        server_id: int,
+        capacity_rps: float = 100.0,
+        *,
+        accepting: bool = True,
+        alive: bool = True,
+        wait: float = 0.0,
+        utilization: float = 0.5,
+    ):
+        self.server_id = server_id
+        self.capacity_rps = capacity_rps
+        self._accepting = accepting
+        self._alive = alive
+        self._wait = wait
+        self._util = utilization
+        self.submitted: list = []
+        self.drained = False
+
+    @property
+    def alive(self):
+        return self._alive
+
+    @property
+    def accepting(self):
+        return self._accepting and self._alive and not self.drained
+
+    def submit(self, session_id=None, *, migrated=False, service_scale=1.0):
+        if not self._alive or not self._accepting:
+            return False
+        if self.drained and not migrated:
+            return False
+        self.submitted.append((session_id, service_scale))
+        return True
+
+    def expected_wait(self):
+        return self._wait if self.accepting else float("inf")
+
+    def utilization(self):
+        return self._util
+
+    def drain(self):
+        self.drained = True
+
+    def die(self):
+        self._alive = False
+
+
+@pytest.fixture
+def recorder():
+    return LatencyRecorder()
+
+
+class TestVanilla:
+    def test_routes_to_registered_backend(self, recorder):
+        lb = VanillaLoadBalancer(recorder)
+        b = FakeBackend(0)
+        lb.add_backend(b)
+        assert lb.dispatch(0.0)
+        assert len(b.submitted) == 1
+
+    def test_drop_when_empty(self, recorder):
+        lb = VanillaLoadBalancer(recorder)
+        assert not lb.dispatch(0.0)
+        assert recorder.dropped == 1
+
+    def test_sticky_sessions(self, recorder):
+        lb = VanillaLoadBalancer(recorder)
+        a, b = FakeBackend(0), FakeBackend(1)
+        lb.add_backend(a)
+        lb.add_backend(b)
+        lb.dispatch(0.0, session_id=7)
+        first = lb.sessions.backend_of(7)
+        for _ in range(5):
+            lb.dispatch(0.0, session_id=7)
+        assert lb.sessions.backend_of(7) == first
+        target = a if first == 0 else b
+        assert len(target.submitted) == 6
+
+    def test_keeps_routing_to_dead_until_health_check(self, recorder):
+        lb = VanillaLoadBalancer(recorder, health_check_seconds=5.0, retries=0)
+        dead = FakeBackend(0)
+        dead.die()
+        lb.add_backend(dead)
+        assert not lb.dispatch(0.0)  # drop: backend dead, not yet detected
+        assert 0 in lb.backends
+        assert not lb.dispatch(4.0)  # still in rotation
+        lb.dispatch(5.1)  # health check fires: removed
+        assert 0 not in lb.backends
+
+    def test_retries_other_backends(self, recorder):
+        lb = VanillaLoadBalancer(recorder, retries=1)
+        bad = FakeBackend(0, accepting=False)
+        good = FakeBackend(1)
+        lb.add_backend(bad)
+        lb.add_backend(good)
+        for _ in range(4):
+            assert lb.dispatch(0.0)
+        assert len(good.submitted) == 4
+
+    def test_ignores_warnings(self, recorder):
+        lb = VanillaLoadBalancer(recorder)
+        b = FakeBackend(0)
+        lb.add_backend(b)
+        lb.on_warning(0, 0.0)
+        assert not b.drained
+        assert 0 in lb.wrr
+
+    def test_set_weights_unknown_backend(self, recorder):
+        lb = VanillaLoadBalancer(recorder)
+        with pytest.raises(KeyError):
+            lb.set_weights({3: 1.0})
+
+    def test_serving_capacity(self, recorder):
+        lb = VanillaLoadBalancer(recorder)
+        lb.add_backend(FakeBackend(0, 100.0))
+        lb.add_backend(FakeBackend(1, 50.0, accepting=False))
+        assert lb.serving_capacity() == 100.0
+
+
+class TestTransiencyAware:
+    def test_warning_with_headroom_drains_immediately(self, recorder):
+        lb = TransiencyAwareLoadBalancer(recorder)
+        doomed = FakeBackend(0, 100.0, utilization=0.5)
+        spare = FakeBackend(1, 1000.0, utilization=0.1)
+        lb.add_backend(doomed)
+        lb.add_backend(spare)
+        lb.dispatch(0.0, session_id=1)
+        lb.dispatch(0.0, session_id=2)
+        lb.on_warning(0, 10.0)
+        assert doomed.drained
+        assert 0 not in lb.wrr
+        # All sessions now point at the survivor.
+        assert lb.sessions.sessions_on(1) >= set()
+        assert lb.sessions.sessions_on(0) == set()
+
+    def test_warning_without_headroom_defers_and_reprovisions(self, recorder):
+        calls = []
+        lb = TransiencyAwareLoadBalancer(
+            recorder,
+            reprovision=lambda cap, now: calls.append((cap, now)),
+            drain_grace_seconds=60.0,
+        )
+        doomed = FakeBackend(0, 100.0, utilization=0.9)
+        busy = FakeBackend(1, 100.0, utilization=0.9)
+        lb.add_backend(doomed)
+        lb.add_backend(busy)
+        lb.on_warning(0, 10.0)
+        assert not doomed.drained  # keeps serving
+        assert calls == [(100.0, 10.0)]
+        # Replacement capacity shows up: next dispatch drains the doomed one.
+        lb.add_backend(FakeBackend(2, 1000.0, utilization=0.0))
+        lb.dispatch(20.0)
+        assert doomed.drained
+
+    def test_grace_deadline_forces_drain(self, recorder):
+        lb = TransiencyAwareLoadBalancer(
+            recorder, reprovision=lambda c, n: None, drain_grace_seconds=30.0
+        )
+        doomed = FakeBackend(0, 100.0, utilization=0.9)
+        busy = FakeBackend(1, 100.0, utilization=0.9)
+        lb.add_backend(doomed)
+        lb.add_backend(busy)
+        lb.on_warning(0, 0.0)
+        lb.dispatch(29.0)
+        assert not doomed.drained
+        lb.dispatch(31.0)
+        assert doomed.drained
+
+    def test_admission_control_drops_when_overloaded(self, recorder):
+        lb = TransiencyAwareLoadBalancer(recorder, admission_wait_seconds=1.0)
+        slow = FakeBackend(0, wait=5.0)
+        lb.add_backend(slow)
+        assert not lb.dispatch(0.0)
+        assert recorder.dropped == 1
+        assert len(slow.submitted) == 0  # protected from overload
+
+    def test_migrated_sessions_counted(self, recorder):
+        lb = TransiencyAwareLoadBalancer(recorder)
+        doomed = FakeBackend(0, utilization=0.2)
+        survivor = FakeBackend(1, 1000.0, utilization=0.0)
+        lb.add_backend(doomed)
+        lb.add_backend(survivor)
+        # Pin two sessions to the doomed backend.
+        lb.sessions.assign(1, 0)
+        lb.sessions.assign(2, 0)
+        lb.on_warning(0, 0.0)
+        assert lb.migrations == 2
+        assert lb.sessions.backend_of(1) == 1
+        assert lb.sessions.backend_of(2) == 1
+
+    def test_unknown_backend_warning_ignored(self, recorder):
+        lb = TransiencyAwareLoadBalancer(recorder)
+        lb.on_warning(42, 0.0)  # no crash
+
+    def test_validation(self, recorder):
+        with pytest.raises(ValueError):
+            TransiencyAwareLoadBalancer(recorder, headroom_threshold=0.0)
+        with pytest.raises(ValueError):
+            TransiencyAwareLoadBalancer(recorder, admission_wait_seconds=0.0)
+        with pytest.raises(ValueError):
+            TransiencyAwareLoadBalancer(recorder, drain_grace_seconds=-1.0)

@@ -1,0 +1,41 @@
+"""Unit tests for the session table."""
+
+from repro.loadbalancer import SessionTable
+
+
+class TestSessionTable:
+    def test_assign_and_lookup(self):
+        t = SessionTable()
+        t.assign(1, "a")
+        assert t.backend_of(1) == "a"
+        assert t.sessions_on("a") == {1}
+        assert len(t) == 1
+
+    def test_reassign_moves(self):
+        t = SessionTable()
+        t.assign(1, "a")
+        t.assign(1, "b")
+        assert t.backend_of(1) == "b"
+        assert t.sessions_on("a") == set()
+        assert t.sessions_on("b") == {1}
+
+    def test_close(self):
+        t = SessionTable()
+        t.assign(1, "a")
+        t.close(1)
+        assert t.backend_of(1) is None
+        assert len(t) == 0
+        t.close(99)  # idempotent on unknown ids
+
+    def test_evict_backend(self):
+        t = SessionTable()
+        t.assign(1, "a")
+        t.assign(2, "a")
+        t.assign(3, "b")
+        orphans = t.evict_backend("a")
+        assert orphans == {1, 2}
+        assert t.backend_of(1) is None
+        assert t.backend_of(3) == "b"
+
+    def test_evict_unknown_backend(self):
+        assert SessionTable().evict_backend("nope") == set()

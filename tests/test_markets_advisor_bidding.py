@@ -1,0 +1,115 @@
+"""Unit tests for the Spot Advisor emulation and bid-era mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.markets import (
+    OnDemandBid,
+    QuantileBid,
+    advisor_table,
+    bucket_for,
+    default_catalog,
+    effective_failure_probs,
+    generate_price_matrix,
+    revocations_from_bids,
+)
+
+
+@pytest.fixture(scope="module")
+def markets():
+    return default_catalog().spot_markets(5)
+
+
+@pytest.fixture(scope="module")
+def prices(markets):
+    return generate_price_matrix(markets, 24 * 14, seed=0)
+
+
+class TestAdvisorBuckets:
+    @pytest.mark.parametrize(
+        "p,label",
+        [
+            (0.0, "<5%"),
+            (0.049, "<5%"),
+            (0.05, "5-10%"),
+            (0.12, "10-15%"),
+            (0.19, "15-20%"),
+            (0.5, ">20%"),
+            (1.0, ">20%"),
+        ],
+    )
+    def test_bucketing(self, p, label):
+        assert bucket_for(p).label == label
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bucket_for(-0.1)
+        with pytest.raises(ValueError):
+            bucket_for(1.1)
+
+    def test_table(self, markets, prices):
+        probs = np.full((10, 5), 0.07)
+        rows = advisor_table(markets, probs, prices[:10])
+        assert len(rows) == 5
+        assert all(r["interruption_frequency"] == "5-10%" for r in rows)
+        assert all(0 <= r["savings_over_ondemand"] <= 1 for r in rows)
+
+    def test_table_width_check(self, markets):
+        with pytest.raises(ValueError):
+            advisor_table(markets, np.ones((3, 2)) * 0.1)
+
+
+class TestBidStrategies:
+    def test_ondemand_bid(self, markets, prices):
+        bids = OnDemandBid().bids(markets, prices)
+        expected = np.array([m.instance.ondemand_price for m in markets])
+        np.testing.assert_allclose(bids, expected)
+
+    def test_ondemand_multiplier(self, markets, prices):
+        bids = OnDemandBid(multiplier=2.0).bids(markets, prices)
+        expected = 2.0 * np.array([m.instance.ondemand_price for m in markets])
+        np.testing.assert_allclose(bids, expected)
+
+    def test_quantile_bid_between_extremes(self, markets, prices):
+        bids = QuantileBid(0.9).bids(markets, prices)
+        assert np.all(bids >= prices.min(axis=0))
+        assert np.all(bids <= prices.max(axis=0) + 1e-12)
+
+    def test_quantile_bid_cold_start(self, markets):
+        bid = QuantileBid(0.9).bid(markets[0], np.array([]))
+        assert bid == markets[0].instance.ondemand_price
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnDemandBid(multiplier=0.0)
+        with pytest.raises(ValueError):
+            QuantileBid(quantile=0.0)
+
+
+class TestBidRevocations:
+    def test_crossings(self):
+        prices = np.array([[1.0, 5.0], [3.0, 1.0]])
+        events = revocations_from_bids(prices, np.array([2.0, 2.0]))
+        np.testing.assert_array_equal(events, [[False, True], [True, False]])
+
+    def test_quantile_controls_revocation_rate(self, markets, prices):
+        aggressive = QuantileBid(0.5).bids(markets, prices)
+        safe = QuantileBid(0.99).bids(markets, prices)
+        rate_aggr = revocations_from_bids(prices, aggressive).mean()
+        rate_safe = revocations_from_bids(prices, safe).mean()
+        assert rate_aggr > rate_safe
+        assert rate_aggr == pytest.approx(0.5, abs=0.1)
+
+    def test_effective_failure_probs_in_range(self, markets, prices):
+        bids = QuantileBid(0.9).bids(markets, prices)
+        f = effective_failure_probs(prices, bids, window=48)
+        assert f.shape == prices.shape
+        assert np.all((f >= 0) & (f <= 1))
+        # Long-run frequency near the quantile complement.
+        assert f[-1].mean() == pytest.approx(0.1, abs=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            revocations_from_bids(np.ones((2, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            effective_failure_probs(np.ones((2, 2)), np.ones(2), window=0)

@@ -1,0 +1,64 @@
+"""Unit tests for price-process calibration."""
+
+import numpy as np
+import pytest
+
+from repro.markets.calibration import fit_price_process
+from repro.markets.price_process import SpotPriceProcess
+
+
+class TestFitPriceProcess:
+    def test_roundtrip_recovers_discount(self):
+        """Fit on a generated series: the calm discount comes back close."""
+        rng = np.random.default_rng(0)
+        truth = SpotPriceProcess(
+            ondemand_price=1.0,
+            base_discount=0.25,
+            reversion=0.2,
+            volatility=0.05,
+            p_enter_pressure=0.01,
+            p_exit_pressure=0.2,
+        )
+        series = truth.sample(24 * 60, rng)
+        fit = fit_price_process(series, 1.0)
+        assert fit.process.base_discount == pytest.approx(0.25, abs=0.08)
+        # Mean reversion direction captured: high persistence -> low reversion.
+        assert 0.01 <= fit.process.reversion <= 0.6
+
+    def test_fitted_process_generates_similar_scale(self):
+        rng = np.random.default_rng(1)
+        truth = SpotPriceProcess(ondemand_price=2.0, base_discount=0.3)
+        series = truth.sample(24 * 30, rng)
+        fit = fit_price_process(series, 2.0)
+        regen = fit.process.sample(24 * 30, np.random.default_rng(2))
+        assert np.median(regen) == pytest.approx(np.median(series), rel=0.5)
+
+    def test_pressure_regime_detected(self):
+        rng = np.random.default_rng(3)
+        stormy = SpotPriceProcess(
+            ondemand_price=1.0,
+            base_discount=0.2,
+            p_enter_pressure=0.05,
+            p_exit_pressure=0.1,
+            pressure_discount=0.9,
+        )
+        series = stormy.sample(24 * 60, rng)
+        fit = fit_price_process(series, 1.0)
+        assert fit.pressure_fraction > 0.02
+        assert fit.process.pressure_discount > fit.process.base_discount
+
+    def test_constant_series(self):
+        fit = fit_price_process(np.full(100, 0.25), 1.0)
+        assert fit.process.base_discount == pytest.approx(0.25)
+        # Degenerate dynamics: tiny volatility, bounded parameters.
+        assert fit.process.volatility <= 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_price_process(np.ones(5), 1.0)
+        with pytest.raises(ValueError):
+            fit_price_process(np.zeros(50), 1.0)
+        with pytest.raises(ValueError):
+            fit_price_process(np.ones(50), 0.0)
+        with pytest.raises(ValueError):
+            fit_price_process(np.ones(50), 1.0, pressure_quantile=0.4)

@@ -1,0 +1,53 @@
+"""Unit tests for the GCP-preemptible market mode."""
+
+import numpy as np
+import pytest
+
+from repro.markets import PurchaseOption, default_catalog, gcp_like_dataset
+from repro.markets.gcp import GCP_DISCOUNT
+
+
+class TestGCPLikeDataset:
+    @pytest.fixture(scope="class")
+    def mixed(self, catalog):
+        spot = catalog.spot_markets(4)
+        od = [
+            catalog.market(m.instance.name, PurchaseOption.ON_DEMAND)
+            for m in spot
+        ]
+        return spot + od
+
+    def test_prices_flat_at_fixed_discount(self, mixed):
+        ds = gcp_like_dataset(mixed, intervals=48, seed=0)
+        for j, market in enumerate(mixed):
+            col = ds.prices[:, j]
+            assert np.all(col == col[0])
+            if market.revocable:
+                assert col[0] == pytest.approx(
+                    GCP_DISCOUNT * market.instance.ondemand_price
+                )
+            else:
+                assert col[0] == pytest.approx(market.instance.ondemand_price)
+
+    def test_preemption_in_published_band(self, mixed):
+        ds = gcp_like_dataset(mixed, intervals=48, seed=0)
+        for j, market in enumerate(mixed):
+            col = ds.failure_probs[:, j]
+            assert np.all(col == col[0])
+            if market.revocable:
+                assert 0.05 <= col[0] <= 0.15
+            else:
+                assert col[0] == 0.0
+
+    def test_deterministic(self, mixed):
+        a = gcp_like_dataset(mixed, intervals=24, seed=3)
+        b = gcp_like_dataset(mixed, intervals=24, seed=3)
+        np.testing.assert_array_equal(a.failure_probs, b.failure_probs)
+
+    def test_default_universe(self):
+        ds = gcp_like_dataset(intervals=24)
+        assert ds.num_markets == len(default_catalog())
+
+    def test_validation(self, mixed):
+        with pytest.raises(ValueError):
+            gcp_like_dataset(mixed, intervals=0)

@@ -1,0 +1,142 @@
+"""Unit tests for spot price processes."""
+
+import numpy as np
+import pytest
+
+from repro.markets import (
+    ConstantPriceProcess,
+    PurchaseOption,
+    SpotPriceProcess,
+    default_catalog,
+    generate_price_matrix,
+)
+
+
+class TestConstantPriceProcess:
+    def test_flat_series(self):
+        rng = np.random.default_rng(0)
+        series = ConstantPriceProcess(0.5).sample(10, rng)
+        assert np.all(series == 0.5)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantPriceProcess(0.5).sample(-1, np.random.default_rng(0))
+
+
+class TestSpotPriceProcess:
+    def _proc(self, **kw):
+        defaults = dict(ondemand_price=1.0)
+        defaults.update(kw)
+        return SpotPriceProcess(**defaults)
+
+    def test_prices_within_bounds(self):
+        rng = np.random.default_rng(1)
+        proc = self._proc(floor=0.1, cap=0.9)
+        series = proc.sample(2000, rng)
+        assert np.all(series >= 0.1 - 1e-12)
+        assert np.all(series <= 0.9 + 1e-12)
+
+    def test_mean_near_base_discount_in_calm_market(self):
+        rng = np.random.default_rng(2)
+        proc = self._proc(base_discount=0.25, p_enter_pressure=0.0, volatility=0.05)
+        series = proc.sample(5000, rng)
+        assert np.median(series) == pytest.approx(0.25, rel=0.15)
+
+    def test_pressure_regime_raises_prices(self):
+        rng = np.random.default_rng(3)
+        calm = self._proc(p_enter_pressure=0.0).sample(3000, rng)
+        rng = np.random.default_rng(3)
+        stressed = self._proc(
+            p_enter_pressure=0.5, p_exit_pressure=0.05
+        ).sample(3000, rng)
+        assert stressed.mean() > calm.mean()
+
+    def test_common_shocks_induce_correlation(self):
+        # Disable the (independent) pressure regimes so the shared shock
+        # stream is the only coupling channel being measured.
+        rng = np.random.default_rng(4)
+        shocks = np.random.default_rng(99).normal(size=4000)
+        a = self._proc(volatility=0.1, p_enter_pressure=0.0).sample(
+            4000, rng, common_shocks=shocks, common_weight=0.95
+        )
+        rng = np.random.default_rng(5)
+        b = self._proc(volatility=0.1, p_enter_pressure=0.0).sample(
+            4000, rng, common_shocks=shocks, common_weight=0.95
+        )
+        corr = np.corrcoef(np.log(a), np.log(b))[0, 1]
+        assert corr > 0.5
+
+    def test_zero_steps(self):
+        assert self._proc().sample(0, np.random.default_rng(0)).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpotPriceProcess(1.0, base_discount=1.5)
+        with pytest.raises(ValueError):
+            SpotPriceProcess(1.0, reversion=0.0)
+        with pytest.raises(ValueError):
+            SpotPriceProcess(1.0, floor=0.5, cap=0.4)
+        with pytest.raises(ValueError):
+            proc = SpotPriceProcess(1.0)
+            proc.sample(
+                5,
+                np.random.default_rng(0),
+                common_shocks=np.zeros(3),
+                common_weight=0.5,
+            )
+
+
+class TestGeneratePriceMatrix:
+    def test_shape_and_determinism(self):
+        markets = default_catalog().spot_markets(8)
+        a = generate_price_matrix(markets, 100, seed=7)
+        b = generate_price_matrix(markets, 100, seed=7)
+        assert a.shape == (100, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ondemand_columns_flat(self):
+        catalog = default_catalog()
+        markets = [
+            catalog.market("m4.large", PurchaseOption.ON_DEMAND),
+            catalog.market("m4.large", PurchaseOption.SPOT),
+        ]
+        prices = generate_price_matrix(markets, 50, seed=1)
+        assert np.all(prices[:, 0] == prices[0, 0])
+        assert prices[:, 1].std() > 0
+
+    def test_spot_cheaper_than_ondemand_on_average(self):
+        markets = default_catalog().spot_markets(10)
+        prices = generate_price_matrix(markets, 24 * 14, seed=2)
+        ondemand = np.array([m.instance.ondemand_price for m in markets])
+        assert np.all(prices.mean(axis=0) < ondemand)
+
+    def test_family_correlation(self):
+        catalog = default_catalog()
+        # Two markets in the same family share a shock stream; suppress the
+        # independent pressure regimes so the channel is measurable.
+        same = [catalog.market("m5.large"), catalog.market("m5.xlarge")]
+        overrides = {
+            m.name: SpotPriceProcess(
+                ondemand_price=m.instance.ondemand_price,
+                p_enter_pressure=0.0,
+                volatility=0.08,
+            )
+            for m in same
+        }
+        prices = generate_price_matrix(
+            same,
+            24 * 30,
+            seed=3,
+            family_correlation=0.9,
+            process_overrides=overrides,
+        )
+        r_same = np.corrcoef(np.log(prices[:, 0]), np.log(prices[:, 1]))[0, 1]
+        assert r_same > 0.2
+
+    def test_cheapest_market_rotates(self):
+        """The Fig. 5 premise: no market stays cheapest forever."""
+        markets = default_catalog().spot_markets(12)
+        prices = generate_price_matrix(markets, 24 * 14, seed=4)
+        caps = np.array([m.capacity_rps for m in markets])
+        cheapest = np.argmin(prices / caps[None, :], axis=1)
+        assert len(set(cheapest.tolist())) >= 2

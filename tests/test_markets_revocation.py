@@ -1,0 +1,166 @@
+"""Unit and property tests for the revocation models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.markets import (
+    CorrelatedRevocationSampler,
+    PurchaseOption,
+    RevocationModel,
+    default_catalog,
+    event_covariance,
+    failure_covariance,
+    generate_price_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def markets():
+    return default_catalog().spot_markets(8)
+
+
+@pytest.fixture(scope="module")
+def prices(markets):
+    return generate_price_matrix(markets, 24 * 7, seed=0)
+
+
+class TestRevocationModel:
+    def test_probabilities_in_range(self, markets, prices):
+        model = RevocationModel(markets, seed=0)
+        f = model.probabilities(prices)
+        assert f.shape == prices.shape
+        assert np.all((f >= 0) & (f <= 0.95))
+
+    def test_ondemand_markets_never_fail(self):
+        catalog = default_catalog()
+        mixed = [
+            catalog.market("m4.large", PurchaseOption.ON_DEMAND),
+            catalog.market("m4.large", PurchaseOption.SPOT),
+        ]
+        prices = generate_price_matrix(mixed, 48, seed=1)
+        f = RevocationModel(mixed, seed=1).probabilities(prices)
+        assert np.all(f[:, 0] == 0.0)
+        assert np.all(f[:, 1] > 0.0)
+
+    def test_price_pressure_raises_failure_probability(self, markets):
+        model = RevocationModel(markets, seed=2, price_sensitivity=2.0)
+        ondemand = np.array([m.instance.ondemand_price for m in markets])
+        cheap = np.tile(0.1 * ondemand, (50, 1))
+        pricey = np.tile(0.9 * ondemand, (50, 1))
+        assert (
+            model.probabilities(pricey).mean()
+            > model.probabilities(cheap).mean()
+        )
+
+    def test_deterministic_given_seed(self, markets, prices):
+        f1 = RevocationModel(markets, seed=3).probabilities(prices)
+        f2 = RevocationModel(markets, seed=3).probabilities(prices)
+        np.testing.assert_array_equal(f1, f2)
+
+    def test_width_mismatch_rejected(self, markets):
+        model = RevocationModel(markets)
+        with pytest.raises(ValueError):
+            model.probabilities(np.ones((5, 3)))
+
+
+class TestCovariances:
+    def test_failure_covariance_positive_definite(self, markets, prices):
+        f = RevocationModel(markets, seed=0).probabilities(prices)
+        M = failure_covariance(f)
+        assert np.all(np.linalg.eigvalsh(M) > 0)
+
+    def test_event_covariance_diag_is_bernoulli_variance(self):
+        probs = np.tile([0.1, 0.3], (50, 1))
+        M = event_covariance(probs)
+        assert M[0, 0] == pytest.approx(0.1 * 0.9, rel=0.01)
+        assert M[1, 1] == pytest.approx(0.3 * 0.7, rel=0.01)
+
+    def test_event_covariance_couples_comoving_markets(self):
+        rng = np.random.default_rng(0)
+        base = 0.1 + 0.05 * rng.normal(size=200)
+        probs = np.clip(np.column_stack([base, base, rng.uniform(0.05, 0.15, 200)]), 0, 1)
+        M = event_covariance(probs)
+        assert M[0, 1] > 5 * abs(M[0, 2])
+
+    def test_single_row_fallback(self):
+        M = failure_covariance(np.array([[0.1, 0.2]]))
+        assert M.shape == (2, 2)
+        assert np.all(np.linalg.eigvalsh(M) > 0)
+
+    def test_event_covariance_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            event_covariance(np.array([[0.5, 1.5]]))
+
+
+class TestCorrelatedRevocationSampler:
+    def test_marginals_match(self):
+        n = 4
+        corr = np.eye(n)
+        sampler = CorrelatedRevocationSampler(corr, seed=0)
+        p = np.array([0.05, 0.2, 0.5, 0.0])
+        draws = np.stack([sampler.sample(p) for _ in range(4000)])
+        rates = draws.mean(axis=0)
+        # Binomial 4-sigma band.
+        for i in range(n):
+            sigma = np.sqrt(max(p[i] * (1 - p[i]), 1e-9) / 4000)
+            assert abs(rates[i] - p[i]) < 4 * sigma + 1e-9
+
+    def test_exact_zero_and_one(self):
+        sampler = CorrelatedRevocationSampler(np.eye(2), seed=1)
+        draws = np.stack(
+            [sampler.sample(np.array([0.0, 1.0])) for _ in range(100)]
+        )
+        assert not draws[:, 0].any()
+        assert draws[:, 1].all()
+
+    def test_positive_correlation_increases_joint_failures(self):
+        p = np.array([0.2, 0.2])
+        ind = CorrelatedRevocationSampler(np.eye(2), seed=2)
+        corr = CorrelatedRevocationSampler(
+            np.array([[1.0, 0.9], [0.9, 1.0]]), seed=2
+        )
+        joint_ind = np.mean(
+            [ind.sample(p).all() for _ in range(5000)]
+        )
+        joint_corr = np.mean(
+            [corr.sample(p).all() for _ in range(5000)]
+        )
+        assert joint_corr > joint_ind * 1.5
+
+    def test_non_psd_correlation_repaired(self):
+        bad = np.array([[1.0, 0.9, -0.9], [0.9, 1.0, 0.9], [-0.9, 0.9, 1.0]])
+        sampler = CorrelatedRevocationSampler(bad, seed=3)
+        # Must not raise and must produce valid draws.
+        out = sampler.sample(np.array([0.1, 0.1, 0.1]))
+        assert out.shape == (3,)
+
+    def test_sample_path_shape(self):
+        sampler = CorrelatedRevocationSampler(np.eye(3), seed=4)
+        path = sampler.sample_path(np.full((10, 3), 0.1))
+        assert path.shape == (10, 3)
+        assert path.dtype == bool
+
+    def test_validation(self):
+        sampler = CorrelatedRevocationSampler(np.eye(2), seed=5)
+        with pytest.raises(ValueError):
+            sampler.sample(np.array([0.1]))
+        with pytest.raises(ValueError):
+            sampler.sample(np.array([0.1, 1.2]))
+        with pytest.raises(ValueError):
+            CorrelatedRevocationSampler(np.ones((2, 3)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 8),
+    rows=st.integers(2, 40),
+)
+def test_event_covariance_always_psd(seed, n, rows):
+    rng = np.random.default_rng(seed)
+    probs = rng.uniform(0.0, 0.5, size=(rows, n))
+    M = event_covariance(probs)
+    w = np.linalg.eigvalsh(M)
+    assert np.all(w > 0)
+    np.testing.assert_allclose(M, M.T, atol=1e-12)

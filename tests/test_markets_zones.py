@@ -1,0 +1,84 @@
+"""Unit tests for availability-zone market expansion."""
+
+import numpy as np
+import pytest
+
+from repro.markets.zones import ZoneMarket, expand_zones, generate_zone_dataset
+
+
+class TestExpandZones:
+    def test_cross_product_size(self, catalog):
+        markets = expand_zones(catalog, zones=("a", "b", "c"))
+        assert len(markets) == 3 * len(catalog)
+
+    def test_type_truncation(self, catalog):
+        markets = expand_zones(catalog, zones=("a", "b"), types=10)
+        assert len(markets) == 20
+
+    def test_names_carry_zone(self, catalog):
+        markets = expand_zones(catalog, zones=("a",), types=1)
+        assert markets[0].name.endswith(":a:spot")
+        assert markets[0].capacity_rps == markets[0].market.capacity_rps
+        assert markets[0].revocable
+
+    def test_duplicate_zone_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            expand_zones(catalog, zones=("a", "a"))
+        with pytest.raises(ValueError):
+            expand_zones(catalog, zones=())
+
+
+class TestZoneDataset:
+    @pytest.fixture(scope="class")
+    def zone_setup(self, catalog):
+        markets = expand_zones(catalog, zones=("a", "b", "c"), types=4)
+        dataset = generate_zone_dataset(
+            markets, 24 * 21, seed=0, cross_zone_correlation=0.9
+        )
+        return markets, dataset
+
+    def test_shape(self, zone_setup):
+        markets, dataset = zone_setup
+        assert dataset.prices.shape == (24 * 21, 12)
+
+    def test_same_type_across_zones_correlated(self, zone_setup):
+        markets, dataset = zone_setup
+        # Columns 0..2 are the same type in zones a, b, c.
+        assert markets[0].instance.name == markets[1].instance.name
+        r = np.corrcoef(
+            np.log(dataset.prices[:, 0]), np.log(dataset.prices[:, 1])
+        )[0, 1]
+        assert r > 0.15
+
+    def test_zones_still_diverge(self, zone_setup):
+        markets, dataset = zone_setup
+        # Prices are not identical across zones (zone-local shocks).
+        assert not np.allclose(dataset.prices[:, 0], dataset.prices[:, 1])
+
+    def test_hundreds_of_markets_universe(self, catalog):
+        markets = expand_zones(catalog, zones=("a", "b", "c"))
+        assert len(markets) == 120  # the paper's "hundreds" scale
+
+    def test_validation(self, catalog):
+        markets = expand_zones(catalog, zones=("a",), types=2)
+        with pytest.raises(ValueError):
+            generate_zone_dataset(markets, 0)
+        with pytest.raises(ValueError):
+            generate_zone_dataset(markets, 5, cross_zone_correlation=1.5)
+
+
+class TestZoneMarketsInOptimizer:
+    def test_optimizer_runs_on_zone_universe(self, catalog):
+        from repro.core import MPOOptimizer
+
+        zone_markets = expand_zones(catalog, zones=("a", "b"), types=5)
+        dataset = generate_zone_dataset(zone_markets, 10, seed=1)
+        opt = MPOOptimizer(dataset.markets, horizon=2)
+        res = opt.optimize(
+            np.array([5000.0, 5000.0]),
+            dataset.prices[:2],
+            dataset.failure_probs[:2],
+            dataset.event_covariance(),
+        )
+        assert res.solver.status.ok
+        assert res.plan.fractions.shape == (2, 10)

@@ -1,0 +1,124 @@
+"""Unit tests for the monitoring hub and halog-style balancer stats."""
+
+import numpy as np
+import pytest
+
+from repro.loadbalancer import BalancerStats
+from repro.markets import default_catalog
+from repro.monitoring import MonitoringHub
+
+
+@pytest.fixture
+def hub(small_markets):
+    return MonitoringHub(small_markets)
+
+
+class TestMonitoringHub:
+    def test_snapshot_requires_feeds(self, hub):
+        with pytest.raises(RuntimeError, match="price"):
+            hub.snapshot(0.0)
+        hub.ingest_prices(np.full(6, 0.5))
+        with pytest.raises(RuntimeError, match="failure"):
+            hub.snapshot(0.0)
+
+    def test_snapshot_contents(self, hub, small_markets):
+        hub.ingest_prices(np.full(6, 0.5))
+        hub.ingest_failure_probs(np.full(6, 0.1))
+        hub.ingest_workload(1234.0)
+        hub.ingest_balancer_stats({"p90_s": 0.2})
+        snap = hub.snapshot(42.0)
+        assert snap.timestamp == 42.0
+        assert snap.observed_rps == 1234.0
+        np.testing.assert_allclose(
+            snap.per_request_prices,
+            0.5 / np.array([m.capacity_rps for m in small_markets]),
+        )
+        assert snap.balancer_stats["p90_s"] == 0.2
+
+    def test_histories_accumulate(self, hub):
+        hub.ingest_prices(np.full(6, 0.5))
+        hub.ingest_failure_probs(np.full(6, 0.1))
+        hub.snapshot(0.0)
+        hub.ingest_prices(np.full(6, 0.6))
+        hub.ingest_failure_probs(np.full(6, 0.2))
+        hub.snapshot(1.0)
+        assert hub.price_history().shape == (2, 6)
+        assert hub.failure_history()[1, 0] == 0.2
+
+    def test_warning_relay(self, hub):
+        seen = []
+        hub.on_warning(lambda bid, now: seen.append((bid, now)))
+        hub.relay_warning(7, 99.0)
+        assert seen == [(7, 99.0)]
+
+    def test_feed_validation(self, hub):
+        with pytest.raises(ValueError):
+            hub.ingest_prices(np.ones(3))
+        with pytest.raises(ValueError):
+            hub.ingest_prices(-np.ones(6))
+        with pytest.raises(ValueError):
+            hub.ingest_failure_probs(2 * np.ones(6))
+        with pytest.raises(ValueError):
+            hub.ingest_workload(-1.0)
+        with pytest.raises(ValueError):
+            MonitoringHub([])
+
+    def test_empty_histories(self, hub):
+        assert hub.price_history().shape == (0, 6)
+        assert hub.failure_history().shape == (0, 6)
+
+
+class TestBalancerStats:
+    def test_arrival_rate_and_throughput(self):
+        stats = BalancerStats(window_seconds=100.0)
+        for i in range(101):
+            stats.record_served(float(i), backend_id=0, latency=0.1)
+        assert stats.arrival_rate() == pytest.approx(1.01, abs=0.05)
+        assert stats.throughput() == pytest.approx(1.01, abs=0.05)
+
+    def test_drop_rate(self):
+        stats = BalancerStats()
+        stats.record_served(0.0, 0, 0.1)
+        stats.record_unserved(1.0)
+        assert stats.drop_rate() == pytest.approx(0.5)
+
+    def test_window_trims_old_records(self):
+        stats = BalancerStats(window_seconds=10.0)
+        stats.record_served(0.0, 0, 5.0)  # will age out
+        for t in range(100, 110):
+            stats.record_served(float(t), 0, 0.1)
+        pct = stats.latency_percentiles((99.0,))
+        assert pct[99.0] < 1.0
+
+    def test_per_backend_load(self):
+        stats = BalancerStats()
+        stats.record_served(0.0, 1, 0.1)
+        stats.record_served(1.0, 1, 0.1)
+        stats.record_served(2.0, 2, 0.1)
+        load = stats.per_backend_load()
+        assert load == {1: 2, 2: 1}
+
+    def test_snapshot_payload(self):
+        stats = BalancerStats()
+        for t in range(20):
+            stats.record_served(float(t), 0, 0.05 * (t % 4))
+        snap = stats.snapshot()
+        assert set(snap) == {
+            "arrival_rate_rps",
+            "throughput_rps",
+            "drop_rate",
+            "p50_s",
+            "p90_s",
+            "p99_s",
+        }
+
+    def test_empty(self):
+        stats = BalancerStats()
+        assert stats.arrival_rate() == 0.0
+        assert np.isnan(stats.latency_percentiles((50.0,))[50.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BalancerStats(window_seconds=0.0)
+        with pytest.raises(ValueError):
+            BalancerStats().record_served(0.0, 0, -1.0)

@@ -1,0 +1,49 @@
+"""Unit tests for the parallel sweep helpers."""
+
+import os
+
+import pytest
+
+from repro.parallel import pmap, sweep_grid
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_tag(x):
+    return (x, os.getpid())
+
+
+class TestPmap:
+    def test_order_preserved_serial(self):
+        assert pmap(_square, [3, 1, 2], max_workers=1) == [9, 1, 4]
+
+    def test_order_preserved_parallel(self):
+        out = pmap(_square, list(range(20)), max_workers=4)
+        assert out == [x * x for x in range(20)]
+
+    def test_empty(self):
+        assert pmap(_square, []) == []
+
+    def test_parallel_uses_multiple_processes_when_possible(self):
+        out = pmap(_pid_tag, list(range(8)), max_workers=4)
+        pids = {pid for _, pid in out}
+        # Either real parallelism (several pids) or the graceful serial
+        # fallback (exactly this process) — both are correct.
+        assert len(pids) >= 1
+        assert [x for x, _ in out] == list(range(8))
+
+
+class TestSweepGrid:
+    def test_cross_product(self):
+        grid = sweep_grid(a=(1, 2), b=("x",))
+        assert grid == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_empty_grid(self):
+        assert sweep_grid() == [{}]
+
+    def test_order_stable(self):
+        grid = sweep_grid(m=(6, 12), h=(2, 4))
+        assert grid[0] == {"m": 6, "h": 2}
+        assert grid[-1] == {"m": 12, "h": 4}

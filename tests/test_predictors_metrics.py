@@ -1,0 +1,70 @@
+"""Unit tests for prediction metrics."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.metrics import (
+    error_histogram,
+    mae,
+    mape,
+    provisioning_error_stats,
+    relative_errors,
+    rmse,
+)
+
+
+class TestRelativeErrors:
+    def test_sign_convention(self):
+        errs = relative_errors(np.array([100.0, 100.0]), np.array([110.0, 90.0]))
+        np.testing.assert_allclose(errs, [0.1, -0.1])
+
+    def test_zero_demand_skipped(self):
+        errs = relative_errors(np.array([0.0, 100.0]), np.array([5.0, 120.0]))
+        np.testing.assert_allclose(errs, [0.2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.ones(2), np.ones(3))
+        with pytest.raises(ValueError):
+            relative_errors(np.array([]), np.array([]))
+
+
+class TestPointMetrics:
+    def test_mae_rmse_mape(self):
+        a = np.array([100.0, 200.0])
+        p = np.array([110.0, 180.0])
+        assert mae(a, p) == pytest.approx(15.0)
+        assert rmse(a, p) == pytest.approx(np.sqrt((100 + 400) / 2))
+        assert mape(a, p) == pytest.approx((0.1 + 0.1) / 2)
+
+
+class TestProvisioningStats:
+    def test_mixed_over_under(self):
+        actual = np.array([100.0, 100.0, 100.0, 100.0])
+        prov = np.array([110.0, 120.0, 95.0, 100.0])
+        s = provisioning_error_stats(actual, prov)
+        assert s.mean_over == pytest.approx(0.15)
+        assert s.max_over == pytest.approx(0.20)
+        assert s.mean_under == pytest.approx(0.05)
+        assert s.max_under == pytest.approx(0.05)
+        assert s.frac_under == pytest.approx(0.25)
+
+    def test_all_over(self):
+        s = provisioning_error_stats(
+            np.array([100.0, 100.0]), np.array([120.0, 130.0])
+        )
+        assert s.mean_under == 0.0
+        assert s.frac_under == 0.0
+
+    def test_as_row_percentages(self):
+        s = provisioning_error_stats(np.array([100.0]), np.array([115.0]))
+        assert s.as_row()["mean_over_%"] == pytest.approx(15.0)
+
+
+class TestHistogram:
+    def test_mass_preserved_under_clipping(self):
+        errs = np.array([-2.0, -0.1, 0.0, 0.1, 3.0])
+        edges, counts = error_histogram(errs, bins=10, limit=0.5)
+        assert counts.sum() == 5
+        assert edges.size == 11
+        assert edges[0] == -0.5 and edges[-1] == 0.5

@@ -1,0 +1,72 @@
+"""Unit tests for the ridge-regression predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import RidgePredictor
+from repro.predictors.metrics import mape
+from repro.workloads import wikipedia_like
+
+
+class TestRidgePredictor:
+    def test_cold_start_persists_last(self):
+        p = RidgePredictor(24)
+        p.observe(50.0)
+        r = p.predict(2)
+        np.testing.assert_array_equal(r.mean, [50.0, 50.0])
+
+    def test_learns_diurnal_pattern(self):
+        trace = wikipedia_like(3, seed=11)
+        p = RidgePredictor(24, refit_every=24)
+        preds, acts = [], []
+        for t in range(len(trace)):
+            if t >= 14 * 24:
+                preds.append(p.predict(1).mean[0])
+                acts.append(trace.rates[t])
+            p.observe(trace.rates[t])
+        assert mape(np.array(acts), np.array(preds)) < 0.06
+
+    def test_multi_horizon_bounds(self):
+        trace = wikipedia_like(2, seed=12)
+        p = RidgePredictor(24, refit_every=24, max_horizon=6)
+        p.observe_many(trace.rates)
+        r = p.predict(6)
+        assert r.horizon == 6
+        assert np.all(r.upper >= r.mean)
+        assert np.all(r.lower <= r.mean)
+        with pytest.raises(ValueError):
+            p.predict(7)
+
+    def test_nonnegative_predictions(self):
+        p = RidgePredictor(24, refit_every=24)
+        rng = np.random.default_rng(0)
+        p.observe_many(np.abs(rng.normal(5.0, 5.0, size=20 * 24)))
+        assert np.all(p.predict(4).mean >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RidgePredictor(0)
+        with pytest.raises(ValueError):
+            RidgePredictor(24, lags=0)
+        with pytest.raises(ValueError):
+            RidgePredictor(24, l2=0.0)
+        with pytest.raises(ValueError):
+            RidgePredictor(24, refit_every=0)
+        with pytest.raises(ValueError):
+            RidgePredictor(24).observe(-1.0)
+        with pytest.raises(ValueError):
+            RidgePredictor(24).predict(0)
+
+    def test_plugs_into_controller(self, small_markets, small_dataset):
+        from repro.core import SpotWebController
+        from repro.predictors import ReactiveFailurePredictor, ReactivePricePredictor
+
+        ctrl = SpotWebController(
+            small_markets,
+            RidgePredictor(24, max_horizon=4),
+            ReactivePricePredictor(6),
+            ReactiveFailurePredictor(6),
+            horizon=4,
+        )
+        d = ctrl.step(500.0, small_dataset.prices[0], small_dataset.failure_probs[0])
+        assert d.provisioned_rps > 0

@@ -1,0 +1,194 @@
+"""Unit tests for workload predictors (spline, baseline, reactive, EWMA, oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import (
+    BaselinePredictor,
+    EWMAPredictor,
+    NoisyOraclePredictor,
+    OraclePredictor,
+    PredictionResult,
+    ReactivePredictor,
+    SplinePredictor,
+)
+from repro.workloads import constant_workload, wikipedia_like
+
+
+class TestPredictionResult:
+    def test_bounds_must_bracket_mean(self):
+        with pytest.raises(ValueError):
+            PredictionResult(np.array([1.0]), np.array([2.0]), np.array([3.0]))
+        with pytest.raises(ValueError):
+            PredictionResult(np.array([1.0]), np.array([0.0]), np.array([0.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PredictionResult(np.ones(2), np.ones(3), np.ones(2))
+
+    def test_horizon(self):
+        r = PredictionResult(np.ones(4), np.ones(4), np.ones(4))
+        assert r.horizon == 4
+
+
+class TestReactivePredictor:
+    def test_persists_last_value(self):
+        p = ReactivePredictor()
+        p.observe(42.0)
+        r = p.predict(3)
+        np.testing.assert_array_equal(r.mean, [42.0, 42.0, 42.0])
+
+    def test_cold_start_is_zero(self):
+        r = ReactivePredictor().predict(2)
+        np.testing.assert_array_equal(r.mean, [0.0, 0.0])
+
+    def test_padding(self):
+        p = ReactivePredictor(padding_fraction=0.1)
+        p.observe(100.0)
+        r = p.predict(1)
+        assert r.upper[0] == pytest.approx(110.0)
+
+    def test_validation(self):
+        p = ReactivePredictor()
+        with pytest.raises(ValueError):
+            p.observe(-1.0)
+        with pytest.raises(ValueError):
+            p.predict(0)
+
+
+class TestEWMAPredictor:
+    def test_tracks_level(self):
+        p = EWMAPredictor(alpha=0.5)
+        for v in (100.0, 100.0, 100.0, 100.0):
+            p.observe(v)
+        assert p.predict(1).mean[0] == pytest.approx(100.0)
+
+    def test_band_grows_with_horizon(self):
+        p = EWMAPredictor()
+        rng = np.random.default_rng(0)
+        for v in 100 + 10 * rng.standard_normal(200):
+            p.observe(max(0.0, v))
+        r = p.predict(5)
+        widths = r.upper - r.lower
+        assert np.all(np.diff(widths) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWMAPredictor(alpha=0.0)
+
+
+class TestOraclePredictor:
+    def test_exact_future(self):
+        trace = constant_workload(10, 0.0)
+        trace.rates[:] = np.arange(10, dtype=float)
+        p = OraclePredictor(trace)
+        r = p.predict(3)
+        np.testing.assert_array_equal(r.mean, [0.0, 1.0, 2.0])
+        p.observe(0.0)
+        np.testing.assert_array_equal(p.predict(2).mean, [1.0, 2.0])
+
+    def test_clamps_at_end(self):
+        p = OraclePredictor(np.array([5.0, 7.0]))
+        p.observe(0)
+        p.observe(0)
+        np.testing.assert_array_equal(p.predict(3).mean, [7.0, 7.0, 7.0])
+
+
+class TestNoisyOraclePredictor:
+    def test_zero_error_equals_truth(self):
+        trace = wikipedia_like(1, seed=0)
+        p = NoisyOraclePredictor(trace, 0.0, seed=1)
+        np.testing.assert_allclose(p.predict(4).mean, trace.rates[:4])
+
+    def test_error_magnitude_tracks_parameter(self):
+        trace = wikipedia_like(1, seed=0)
+        errs = []
+        p = NoisyOraclePredictor(trace, 0.2, seed=1)
+        for t in range(100):
+            pred = p.predict(1).mean[0]
+            errs.append((pred - trace.rates[t]) / trace.rates[t])
+            p.observe(trace.rates[t])
+        assert 0.1 < np.std(errs) < 0.35
+
+    def test_repeated_predict_is_stable(self):
+        trace = wikipedia_like(1, seed=0)
+        p = NoisyOraclePredictor(trace, 0.1, seed=2)
+        np.testing.assert_array_equal(p.predict(3).mean, p.predict(3).mean)
+
+
+class TestSplinePredictor:
+    def test_learns_diurnal_pattern(self):
+        trace = wikipedia_like(3, seed=3)
+        p = SplinePredictor(24)
+        p.observe_many(trace.rates[: 14 * 24])
+        errs = []
+        for t in range(14 * 24, 16 * 24):
+            pred = p.predict(1).mean[0]
+            errs.append(abs(pred - trace.rates[t]) / trace.rates[t])
+            p.observe(trace.rates[t])
+        assert np.mean(errs) < 0.08  # paper: 3-5% typical error
+
+    def test_upper_bound_rarely_undershoots(self):
+        trace = wikipedia_like(3, seed=4)
+        p = SplinePredictor(24)
+        under = 0
+        total = 0
+        for t in range(len(trace)):
+            if t >= 14 * 24:
+                target = p.predict(1).upper[0]
+                under += target < trace.rates[t]
+                total += 1
+            p.observe(trace.rates[t])
+        assert under / total < 0.10
+
+    def test_multi_horizon_shapes(self):
+        p = SplinePredictor(24, max_horizon=12)
+        p.observe_many(wikipedia_like(2, seed=5).rates)
+        r = p.predict(12)
+        assert r.horizon == 12
+        with pytest.raises(ValueError):
+            p.predict(13)
+
+    def test_cold_start_reactive_fallback(self):
+        p = SplinePredictor(24)
+        p.observe(50.0)
+        r = p.predict(2)
+        np.testing.assert_array_equal(r.mean, [50.0, 50.0])
+
+    def test_constant_input_predicts_constant(self):
+        p = SplinePredictor(24)
+        p.observe_many(np.full(14 * 24, 200.0))
+        r = p.predict(4)
+        np.testing.assert_allclose(r.mean, 200.0, rtol=0.05)
+
+    def test_rejects_negative_observation(self):
+        with pytest.raises(ValueError):
+            SplinePredictor(24).observe(-5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SplinePredictor(0)
+        with pytest.raises(ValueError):
+            SplinePredictor(24, confidence=1.5)
+
+
+class TestBaselinePredictor:
+    def test_no_padding(self):
+        trace = wikipedia_like(2, seed=6)
+        p = BaselinePredictor(24)
+        p.observe_many(trace.rates)
+        r = p.predict(3)
+        np.testing.assert_array_equal(r.mean, r.upper)
+        np.testing.assert_array_equal(r.mean, r.lower)
+
+    def test_roughly_symmetric_errors(self):
+        """The [1] algorithm under-provisions about half the time."""
+        trace = wikipedia_like(3, seed=7)
+        p = BaselinePredictor(24)
+        under = total = 0
+        for t in range(len(trace)):
+            if t >= 14 * 24:
+                under += p.predict(1).mean[0] < trace.rates[t]
+                total += 1
+            p.observe(trace.rates[t])
+        assert 0.25 < under / total < 0.75

@@ -1,0 +1,72 @@
+"""Long-running request class tests — the end-to-end face of Eq. 4's L."""
+
+import pytest
+
+from repro.loadbalancer import TransiencyAwareLoadBalancer
+from repro.simulator import ClusterConfig, ClusterSimulation
+
+
+def make_cluster(long_fraction, *, seed=0):
+    config = ClusterConfig(
+        seed=seed,
+        boot_seconds=0.0,
+        warmup_seconds=0.0,
+        cold_multiplier=1.0,
+        warning_seconds=5.0,
+        long_request_fraction=long_fraction,
+        long_service_scale=200.0,  # 0.1 s base -> ~20 s: exceeds the warning
+        queue_limit_seconds=30.0,
+    )
+    cluster = ClusterSimulation(
+        config, lambda rec: TransiencyAwareLoadBalancer(rec)
+    )
+    return cluster
+
+
+class TestLongRequests:
+    def test_long_requests_slow_the_tail(self):
+        short = make_cluster(0.0)
+        short.add_server(200.0, boot_seconds=0.0)
+        rec_s = short.run(60.0, rate=50.0)
+
+        mixed = make_cluster(0.05)
+        mixed.add_server(200.0, boot_seconds=0.0)
+        rec_m = mixed.run(60.0, rate=50.0)
+        assert rec_m.percentile(99) > rec_s.percentile(99)
+
+    def test_revocation_fails_inflight_long_requests(self):
+        """With L > 0, even the transiency-aware balancer loses the
+        long-running requests caught in flight on a revoked server."""
+        cluster = make_cluster(0.3, seed=1)
+        a = cluster.add_server(100.0, boot_seconds=0.0)
+        cluster.add_server(100.0, boot_seconds=0.0)
+        cluster.schedule_revocation(a.server_id, 20.0, warning_seconds=5.0)
+        rec = cluster.run(60.0, rate=60.0)
+        # Some in-flight (necessarily long, ~20 s >> 5 s warning) requests die.
+        assert rec.failed > 0
+
+    def test_pure_short_requests_survive_revocation(self):
+        cluster = make_cluster(0.0, seed=1)
+        a = cluster.add_server(100.0, boot_seconds=0.0)
+        cluster.add_server(100.0, boot_seconds=0.0)
+        cluster.schedule_revocation(a.server_id, 20.0, warning_seconds=5.0)
+        rec = cluster.run(60.0, rate=60.0)
+        # Short requests (0.1 s << 5 s warning) drain cleanly.
+        assert rec.failed <= 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(long_request_fraction=1.5)
+        with pytest.raises(ValueError):
+            ClusterConfig(long_service_scale=0.5)
+
+    def test_server_rejects_bad_scale(self):
+        from repro.simulator import LatencyRecorder, SimServer, Simulator
+
+        sim = Simulator()
+        server = SimServer(
+            sim, LatencyRecorder(), server_id=0, capacity_rps=10.0,
+            boot_seconds=0.0,
+        )
+        with pytest.raises(ValueError):
+            server.submit(service_scale=0.0)

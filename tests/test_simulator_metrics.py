@@ -1,0 +1,58 @@
+"""Unit tests for latency/SLO accounting."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import LatencyRecorder
+
+
+class TestRecorder:
+    def test_counts(self):
+        rec = LatencyRecorder()
+        rec.record_served(1.0, 0.1)
+        rec.record_served(2.0, 0.2)
+        rec.record_dropped(3.0)
+        rec.record_failed(4.0)
+        assert rec.served == 2
+        assert rec.total == 4
+        assert rec.drop_rate() == pytest.approx(0.5)
+
+    def test_percentiles(self):
+        rec = LatencyRecorder()
+        for i in range(100):
+            rec.record_served(float(i), i / 100.0)
+        assert rec.percentile(50) == pytest.approx(0.495, abs=0.02)
+        assert rec.percentile(99) > rec.percentile(50)
+        assert rec.mean() == pytest.approx(0.495, abs=0.01)
+
+    def test_empty_percentile_nan(self):
+        rec = LatencyRecorder()
+        assert np.isnan(rec.percentile(50))
+        assert np.isnan(rec.mean())
+        assert rec.drop_rate() == 0.0
+        assert rec.slo_violation_rate() == 0.0
+
+    def test_slo_violations_include_unserved(self):
+        rec = LatencyRecorder(slo_threshold=1.0)
+        rec.record_served(0.0, 0.5)   # ok
+        rec.record_served(0.0, 2.0)   # late
+        rec.record_dropped(0.0)       # violation
+        assert rec.slo_violation_rate() == pytest.approx(2 / 3)
+
+    def test_window(self):
+        rec = LatencyRecorder()
+        rec.record_served(10.0, 0.1)
+        rec.record_served(70.0, 0.2)
+        rec.record_served(130.0, 0.3)
+        window = rec.window(60.0, 120.0)
+        np.testing.assert_allclose(window, [0.2])
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record_served(0.0, -0.1)
+
+    def test_summary_keys(self):
+        rec = LatencyRecorder()
+        rec.record_served(0.0, 0.1)
+        s = rec.summary()
+        assert set(s) >= {"served", "dropped", "mean_s", "p90_s", "slo_violation_rate"}

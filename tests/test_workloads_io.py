@@ -1,0 +1,94 @@
+"""Unit tests for the real-trace loaders."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import load_csv_trace, load_wikipedia_pagecounts
+
+
+class TestCSVLoader:
+    def test_plain_single_column(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("10\n20\n30\n")
+        trace = load_csv_trace(p)
+        np.testing.assert_array_equal(trace.rates, [10.0, 20.0, 30.0])
+        assert trace.name == "t"
+
+    def test_timestamp_value(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("2008-06-01T00:00,100\n2008-06-01T01:00,200\n")
+        trace = load_csv_trace(p, value_column=-1)
+        np.testing.assert_array_equal(trace.rates, [100.0, 200.0])
+
+    def test_header_autodetected(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("time,rps\n0,5\n1,7\n")
+        trace = load_csv_trace(p, value_column=1)
+        np.testing.assert_array_equal(trace.rates, [5.0, 7.0])
+
+    def test_named_column(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("time,rps,errors\n0,5,1\n1,7,0\n")
+        trace = load_csv_trace(p, value_column="rps")
+        np.testing.assert_array_equal(trace.rates, [5.0, 7.0])
+
+    def test_missing_named_column(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("time,rps\n0,5\n")
+        with pytest.raises(ValueError, match="not in header"):
+            load_csv_trace(p, value_column="load")
+
+    def test_bad_row(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("rps\n5\nxyz\n")
+        with pytest.raises(ValueError, match="bad row"):
+            load_csv_trace(p, value_column=0)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("")
+        with pytest.raises(ValueError, match="no data"):
+            load_csv_trace(p)
+
+    def test_interval_and_name_override(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("1\n2\n")
+        trace = load_csv_trace(p, interval_seconds=60.0, name="minute-trace")
+        assert trace.interval_seconds == 60.0
+        assert trace.name == "minute-trace"
+
+
+class TestPagecountsLoader:
+    def _write_hour(self, tmp_path, idx, lines):
+        p = tmp_path / f"pagecounts-{idx:02d}"
+        p.write_text("\n".join(lines) + "\n")
+        return p
+
+    def test_aggregates_matching_project(self, tmp_path):
+        h0 = self._write_hour(
+            tmp_path,
+            0,
+            ["en Main_Page 3600 10000", "de Hauptseite 7200 5000", "en Foo 3600 1"],
+        )
+        h1 = self._write_hour(tmp_path, 1, ["en Main_Page 7200 9"])
+        trace = load_wikipedia_pagecounts([h0, h1], project_prefix="en")
+        np.testing.assert_allclose(trace.rates, [2.0, 2.0])
+
+    def test_subproject_prefix_matches(self, tmp_path):
+        h0 = self._write_hour(
+            tmp_path, 0, ["en.m Mobile 3600 1", "enwiki Other 3600 1"]
+        )
+        trace = load_wikipedia_pagecounts([h0], project_prefix="en")
+        # 'en.m' matches (prefix + dot); 'enwiki' does not.
+        np.testing.assert_allclose(trace.rates, [1.0])
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        h0 = self._write_hour(
+            tmp_path, 0, ["garbage", "en Page notanumber 5", "en Page 3600 5"]
+        )
+        trace = load_wikipedia_pagecounts([h0])
+        np.testing.assert_allclose(trace.rates, [1.0])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            load_wikipedia_pagecounts([])
