@@ -13,6 +13,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.devtools.contracts import set_contracts
+
+# Benchmarks measure the hot path as deployed: runtime contracts off
+# (equivalent to running with SPOTWEB_CONTRACTS=0).
+set_contracts(False)
+
 
 @pytest.fixture
 def run_once(benchmark):

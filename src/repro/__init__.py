@@ -24,6 +24,8 @@ Package map
 - :mod:`repro.baselines` — ExoSphere-in-a-loop, constant portfolio,
   on-demand, Qu-style threshold over-provisioning.
 - :mod:`repro.experiments` — one runner per table/figure of the paper.
+- :mod:`repro.devtools` — ``spotlint`` static analysis + runtime
+  shape/sign/unit contracts guarding the invariants above.
 """
 
 __version__ = "1.0.0"
@@ -39,4 +41,5 @@ __all__ = [
     "baselines",
     "analysis",
     "experiments",
+    "devtools",
 ]

@@ -17,7 +17,7 @@ import argparse
 import sys
 from typing import Callable
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
 
 
 def _run_table1(args) -> str:

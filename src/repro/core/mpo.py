@@ -32,13 +32,14 @@ import numpy as np
 from repro.core.constraints import AllocationConstraints
 from repro.core.costs import CostModel
 from repro.core.portfolio import PortfolioPlan
+from repro.devtools.contracts import shapes
 from repro.markets.catalog import Market
 from repro.solvers import ADMMSolver, SolverResult
 
 __all__ = ["MPOOptimizer", "MPOResult"]
 
 
-@dataclass
+@dataclass(frozen=True)
 class MPOResult:
     """Outcome of one receding-horizon optimization step."""
 
@@ -143,6 +144,13 @@ class MPOOptimizer:
         return self._solver
 
     # ---------------------------------------------------------------- solve
+    @shapes(
+        "()|(H,)",
+        "(N,)|(H,N)",
+        "(N,)|(H,N)",
+        "(N,N)",
+        current_fractions="(N,)",
+    )
     def optimize(
         self,
         predicted_rps: np.ndarray,
@@ -213,7 +221,8 @@ class MPOOptimizer:
         if gamma > 0:
             q[:N] += -2.0 * gamma * current_fractions
 
-        assert self._constraint_rows is not None
+        if self._constraint_rows is None:  # pragma: no cover - set by _get_solver
+            raise RuntimeError("constraint rows not built; call _get_solver first")
         rows, lower, upper = self._constraint_rows
         if self.backend == "active_set":
             from repro.solvers.active_set import solve_qp_active_set

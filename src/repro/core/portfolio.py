@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.devtools.contracts import nonneg, shapes
 from repro.markets.catalog import Market
 
 __all__ = ["Allocation", "PortfolioPlan", "allocation_to_counts"]
@@ -68,6 +69,8 @@ class Allocation:
         return float(self.counts(workload_rps) @ self.capacities)
 
 
+@shapes("(N,)", "()", "(N,)", ret="(N,)")
+@nonneg("fractions", "workload_rps")
 def allocation_to_counts(
     fractions: np.ndarray, workload_rps: float, capacities: np.ndarray
 ) -> np.ndarray:

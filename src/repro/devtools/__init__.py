@@ -1,0 +1,67 @@
+"""Developer tooling for the SpotWeb reproduction.
+
+Two halves, both enforcing the same domain invariants from different
+directions:
+
+- :mod:`repro.devtools.rules` + :mod:`repro.devtools.lint` — ``spotlint``,
+  an AST-based static-analysis pass with SpotWeb-specific rules
+  (``SW001``–``SW008``): seeded-``Generator`` RNG threading, no wall-clock
+  inside the DES, no float ``==``, genuinely immutable frozen dataclasses,
+  explicit ``__all__`` per module, and more.  Run it with
+  ``python -m repro.devtools.lint src/`` or the ``spotlint`` console
+  script; CI gates on a clean tree.
+- :mod:`repro.devtools.contracts` — runtime shape/sign/unit contracts
+  (``@shapes``, ``@nonneg``, unit-tagged scalars) applied at the hot
+  seams and toggled by the ``SPOTWEB_CONTRACTS`` environment variable.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.contracts import (
+    ContractError,
+    UnitScalar,
+    contracts_enabled,
+    freeze_arrays,
+    nonneg,
+    per_request_prices,
+    require_unit,
+    rps,
+    set_contracts,
+    shapes,
+    usd_per_hour,
+    usd_per_hour_per_rps,
+)
+from repro.devtools.rules import RULES, Finding, Rule
+
+# The lint engine is re-exported lazily (PEP 562) so that running
+# ``python -m repro.devtools.lint`` does not import the module twice.
+_LINT_EXPORTS = ("lint_file", "lint_paths", "lint_source")
+
+
+def __getattr__(name: str):
+    if name in _LINT_EXPORTS:
+        from repro.devtools import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ContractError",
+    "UnitScalar",
+    "contracts_enabled",
+    "freeze_arrays",
+    "nonneg",
+    "per_request_prices",
+    "require_unit",
+    "rps",
+    "set_contracts",
+    "shapes",
+    "usd_per_hour",
+    "usd_per_hour_per_rps",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "RULES",
+    "Finding",
+    "Rule",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.devtools`` — alias for the spotlint CLI."""
+
+import sys
+
+from repro.devtools.lint import main
+
+sys.exit(main())

@@ -1,0 +1,352 @@
+"""Runtime array/shape/unit contracts for SpotWeb's hot seams.
+
+The optimizer pipeline moves ``(H, N)`` portfolio matrices, ``(N,)`` price
+vectors and per-request prices between layers; a transposed matrix or a
+$/hour value where $/hour-per-req/s is expected fails *silently* — the QP
+still solves, the answer is just wrong.  This module provides cheap,
+switchable call-time checks:
+
+- :func:`shapes` — declare symbolic shapes per parameter
+  (``@shapes("(H,N)", "(N,)")``); dimension symbols must bind consistently
+  across all parameters of one call.  Alternatives are supported with
+  ``|`` (``"()|(H,)"`` accepts a scalar or a vector).
+- :func:`nonneg` — declare that named parameters (arrays, scalars, or the
+  values of a mapping) are elementwise non-negative, the ``A >= 0``
+  portfolio invariant.
+- :func:`freeze_arrays` — make ndarray fields of a (frozen) dataclass
+  genuinely immutable from ``__post_init__``.
+- Unit-tagged scalars (:class:`UnitScalar` plus :func:`usd_per_hour`,
+  :func:`usd_per_hour_per_rps`, :func:`rps`) and the canonical
+  :func:`per_request_prices` conversion, so the $/hour → $/hour-per-req/s
+  cleaning step happens in exactly one audited place.
+
+Checks are active by default and controlled by the ``SPOTWEB_CONTRACTS``
+environment variable (``0``/``false``/``off`` disables them — benchmarks
+run with checks off).  When disabled the wrappers reduce to a single
+boolean test per call.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from collections.abc import Mapping
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "ContractError",
+    "contracts_enabled",
+    "set_contracts",
+    "shapes",
+    "nonneg",
+    "freeze_arrays",
+    "UnitScalar",
+    "usd_per_hour",
+    "usd_per_hour_per_rps",
+    "rps",
+    "require_unit",
+    "per_request_prices",
+]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+_ENV_VAR = "SPOTWEB_CONTRACTS"
+_DISABLED_VALUES = {"0", "false", "off", "no"}
+
+_enabled = os.environ.get(_ENV_VAR, "1").strip().lower() not in _DISABLED_VALUES
+
+
+class ContractError(ValueError):
+    """A runtime contract (shape, sign, or unit) was violated."""
+
+
+def contracts_enabled() -> bool:
+    """Whether contract checks run on this process right now."""
+    return _enabled
+
+
+def set_contracts(flag: bool) -> bool:
+    """Enable/disable checks process-wide; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+# --------------------------------------------------------------------------
+# Shape specs
+# --------------------------------------------------------------------------
+
+_SKIP = (None, "*", "...")
+
+
+def _parse_single(spec: str) -> tuple[object, ...]:
+    text = spec.strip()
+    if not (text.startswith("(") and text.endswith(")")):
+        raise ValueError(f"shape spec must be parenthesized, got {spec!r}")
+    inner = text[1:-1].strip()
+    if not inner:
+        return ()
+    dims: list[object] = []
+    for token in inner.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token == "*":
+            dims.append("*")
+        elif token.lstrip("-").isdigit():
+            dims.append(int(token))
+        elif token.isidentifier():
+            dims.append(token)
+        else:
+            raise ValueError(f"bad dimension {token!r} in shape spec {spec!r}")
+    return tuple(dims)
+
+
+def _parse_spec(spec: str) -> tuple[tuple[object, ...], ...]:
+    """``"()|(H,)"`` → alternatives; each a tuple of int/symbol/``*`` dims."""
+    return tuple(_parse_single(alt) for alt in spec.split("|"))
+
+
+def _try_bind(
+    shape: tuple[int, ...],
+    dims: tuple[object, ...],
+    bindings: dict[str, int],
+) -> dict[str, int] | None:
+    """Match ``shape`` against one alternative; return updated bindings."""
+    if len(shape) != len(dims):
+        return None
+    trial = dict(bindings)
+    for actual, dim in zip(shape, dims):
+        if dim == "*":
+            continue
+        if isinstance(dim, int):
+            if actual != dim:
+                return None
+        else:
+            bound = trial.get(dim)
+            if bound is None:
+                trial[dim] = actual
+            elif bound != actual:
+                return None
+    return trial
+
+
+def _check_shape(
+    qualname: str,
+    pname: str,
+    value: Any,
+    alternatives: tuple[tuple[object, ...], ...],
+    bindings: dict[str, int],
+) -> dict[str, int]:
+    shape = np.shape(value)
+    for dims in alternatives:
+        trial = _try_bind(shape, dims, bindings)
+        if trial is not None:
+            return trial
+    expected = " | ".join(
+        "(" + ", ".join(str(d) for d in dims) + ")" for dims in alternatives
+    )
+    raise ContractError(
+        f"{qualname}: parameter '{pname}' has shape {shape}, expected "
+        f"{expected} with bindings {bindings or '{}'}"
+    )
+
+
+def shapes(*pos_specs: str | None, ret: str | None = None, **kw_specs: str) -> Callable[[_F], _F]:
+    """Declare symbolic shape contracts for a function's parameters.
+
+    Positional specs map onto the function's parameters in order
+    (``self``/``cls`` is skipped automatically); keyword specs address
+    parameters by name.  ``None`` or ``"*"`` skips a parameter, as do
+    ``None`` argument values at call time.  ``ret=`` checks the return
+    value against the same symbol bindings.
+    """
+    parsed_kw = {
+        name: _parse_spec(spec) for name, spec in kw_specs.items() if spec not in _SKIP
+    }
+    parsed_ret = _parse_spec(ret) if ret not in _SKIP else None
+
+    def decorate(func: _F) -> _F:
+        signature = inspect.signature(func)
+        names = list(signature.parameters)
+        if names and names[0] in ("self", "cls"):
+            names = names[1:]
+        if len(pos_specs) > len(names):
+            raise ValueError(
+                f"{func.__qualname__}: {len(pos_specs)} shape specs for "
+                f"{len(names)} parameters"
+            )
+        spec_map = dict(parsed_kw)
+        for name, spec in zip(names, pos_specs):
+            if spec not in _SKIP:
+                spec_map[name] = _parse_spec(spec)
+        unknown = set(spec_map) - set(signature.parameters)
+        if unknown:
+            raise ValueError(
+                f"{func.__qualname__}: shape specs for unknown parameters "
+                f"{sorted(unknown)}"
+            )
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _enabled:
+                return func(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            bindings: dict[str, int] = {}
+            for pname, alternatives in spec_map.items():
+                value = bound.arguments.get(pname, None)
+                if value is None:
+                    continue
+                bindings = _check_shape(
+                    func.__qualname__, pname, value, alternatives, bindings
+                )
+            result = func(*args, **kwargs)
+            if parsed_ret is not None and result is not None:
+                _check_shape(
+                    func.__qualname__, "<return>", result, parsed_ret, bindings
+                )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def nonneg(*param_names: str, tol: float = 1e-9) -> Callable[[_F], _F]:
+    """Declare that named parameters are elementwise non-negative.
+
+    Accepts scalars, array-likes, and mappings (checked over their values).
+    ``None`` values are skipped.  This is the paper's ``A >= 0`` portfolio
+    invariant applied at the call boundary.
+    """
+
+    def decorate(func: _F) -> _F:
+        signature = inspect.signature(func)
+        unknown = set(param_names) - set(signature.parameters)
+        if unknown:
+            raise ValueError(
+                f"{func.__qualname__}: nonneg specs for unknown parameters "
+                f"{sorted(unknown)}"
+            )
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _enabled:
+                return func(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            for pname in param_names:
+                value = bound.arguments.get(pname, None)
+                if value is None:
+                    continue
+                if isinstance(value, Mapping):
+                    values = list(value.values())
+                else:
+                    values = value
+                arr = np.asarray(values, dtype=float)
+                if arr.size and float(arr.min()) < -tol:
+                    raise ContractError(
+                        f"{func.__qualname__}: parameter '{pname}' must be "
+                        f"non-negative, min value {float(arr.min())!r}"
+                    )
+            return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+# --------------------------------------------------------------------------
+# Immutability helper
+# --------------------------------------------------------------------------
+
+
+def freeze_arrays(obj: Any, *field_names: str) -> None:
+    """Coerce dataclass fields to read-only float ndarrays.
+
+    Intended for ``__post_init__`` of frozen dataclasses (uses
+    ``object.__setattr__`` so it works there).  Arrays are converted with
+    ``np.asarray`` — an ndarray input is frozen *in place*, so construct
+    snapshots/results from fresh or copied arrays.
+    """
+    for name in field_names:
+        arr = np.asarray(getattr(obj, name), dtype=float)
+        arr.setflags(write=False)
+        object.__setattr__(obj, name, arr)
+
+
+# --------------------------------------------------------------------------
+# Unit-tagged scalars
+# --------------------------------------------------------------------------
+
+
+class UnitScalar(float):
+    """A float carrying a unit tag; arithmetic degrades to plain float.
+
+    The tag exists to be *checked at seams* with :func:`require_unit`, not
+    to implement dimensional analysis — this keeps the hot path as cheap
+    as ordinary floats.
+    """
+
+    __slots__ = ("unit",)
+
+    def __new__(cls, value: float, unit: str) -> "UnitScalar":
+        obj = super().__new__(cls, value)
+        obj.unit = unit
+        return obj
+
+    def __repr__(self) -> str:
+        return f"{float(self)!r} [{self.unit}]"
+
+
+def usd_per_hour(value: float) -> UnitScalar:
+    """Tag a server price in $/hour (the raw market feed unit)."""
+    if value < 0:
+        raise ContractError(f"price must be non-negative, got {value!r}")
+    return UnitScalar(value, "USD/hour")
+
+
+def usd_per_hour_per_rps(value: float) -> UnitScalar:
+    """Tag a *cleaned* per-request price in $/hour per req/s."""
+    if value < 0:
+        raise ContractError(f"per-request price must be non-negative, got {value!r}")
+    return UnitScalar(value, "USD/hour/rps")
+
+
+def rps(value: float) -> UnitScalar:
+    """Tag a request rate in req/s."""
+    if value < 0:
+        raise ContractError(f"request rate must be non-negative, got {value!r}")
+    return UnitScalar(value, "req/s")
+
+
+def require_unit(value: float, unit: str) -> float:
+    """Check a tagged scalar's unit at a seam; returns the plain float.
+
+    Untagged plain floats pass through unchecked (the tags are opt-in),
+    but a *mismatched* tag is always an error, even with contracts
+    disabled — unit bugs are never acceptable.
+    """
+    if isinstance(value, UnitScalar) and value.unit != unit:
+        raise ContractError(f"expected a value in {unit}, got {value!r}")
+    return float(value)
+
+
+@shapes("(N,)", "(N,)", ret="(N,)")
+def per_request_prices(prices: np.ndarray, capacities: np.ndarray) -> np.ndarray:
+    """The paper's data-cleaning step: $/hour → $/hour per req/s.
+
+    ``per_request[i] = prices[i] / capacity_rps[i]`` — the only sanctioned
+    place this conversion happens, so the load balancer and optimizer can
+    never disagree on units.
+    """
+    prices = np.asarray(prices, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if np.any(capacities <= 0):
+        raise ContractError("capacities must be positive to convert prices")
+    if np.any(prices < 0):
+        raise ContractError("prices must be non-negative")
+    return prices / capacities

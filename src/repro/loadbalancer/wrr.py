@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro.devtools.contracts import nonneg
+
 __all__ = ["SmoothWeightedRoundRobin"]
 
 
@@ -37,6 +39,7 @@ class SmoothWeightedRoundRobin:
     def weights(self) -> dict[Hashable, float]:
         return dict(self._weights)
 
+    @nonneg("weights")
     def set_weights(self, weights: dict[Hashable, float]) -> None:
         """Replace the full weight table (credits persist where keys do)."""
         for key, w in weights.items():

@@ -20,6 +20,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.devtools.contracts import freeze_arrays, per_request_prices, shapes
 from repro.markets.catalog import Market
 
 __all__ = ["MonitoringSnapshot", "MonitoringHub"]
@@ -27,7 +28,12 @@ __all__ = ["MonitoringSnapshot", "MonitoringHub"]
 
 @dataclass(frozen=True)
 class MonitoringSnapshot:
-    """Everything the controller needs for one decision interval."""
+    """Everything the controller needs for one decision interval.
+
+    Genuinely immutable: the array fields are made read-only on
+    construction, so a snapshot handed to the controller can never be
+    corrupted by a downstream consumer.
+    """
 
     timestamp: float
     prices: np.ndarray  # (N,) $/hour
@@ -35,6 +41,9 @@ class MonitoringSnapshot:
     failure_probs: np.ndarray  # (N,)
     observed_rps: float
     balancer_stats: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        freeze_arrays(self, "prices", "per_request_prices", "failure_probs")
 
 
 class MonitoringHub:
@@ -62,6 +71,7 @@ class MonitoringHub:
         self._warning_listeners: list[Callable[[int, float], None]] = []
 
     # ------------------------------------------------------------------ feeds
+    @shapes("(N,)")
     def ingest_prices(self, prices: np.ndarray) -> None:
         prices = np.asarray(prices, dtype=float).ravel()
         if prices.shape != (len(self.markets),):
@@ -70,6 +80,7 @@ class MonitoringHub:
             raise ValueError("prices must be non-negative")
         self._prices = prices.copy()
 
+    @shapes("(N,)")
     def ingest_failure_probs(self, probs: np.ndarray) -> None:
         probs = np.asarray(probs, dtype=float).ravel()
         if probs.shape != (len(self.markets),):
@@ -109,7 +120,7 @@ class MonitoringHub:
         snap = MonitoringSnapshot(
             timestamp=float(timestamp),
             prices=self._prices.copy(),
-            per_request_prices=self._prices / self.capacities,
+            per_request_prices=per_request_prices(self._prices, self.capacities),
             failure_probs=self._failure_probs.copy(),
             observed_rps=self._observed_rps,
             balancer_stats=dict(self._balancer_stats),

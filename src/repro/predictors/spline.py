@@ -21,6 +21,7 @@ under-predictions widens the interval, automatically raising the padding.
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 
 import numpy as np
@@ -30,6 +31,8 @@ from scipy.stats import norm
 from repro.predictors.base import PredictionResult, WorkloadPredictor
 
 __all__ = ["SplinePredictor"]
+
+logger = logging.getLogger(__name__)
 
 
 class SplinePredictor(WorkloadPredictor):
@@ -130,8 +133,18 @@ class SplinePredictor(WorkloadPredictor):
         s = self.smoothing * ux.size * max(np.var(uy), 1e-9)
         try:
             self._spline = splrep(ux, uy, s=s, per=(ux.size > self.period // 2))
-        except Exception:
-            # Degenerate geometry (e.g. constant input): fall back to mean.
+        except (ValueError, TypeError, np.linalg.LinAlgError) as exc:
+            # Degenerate fit geometry (e.g. constant input, too few distinct
+            # phases for the spline order): fall back to the seasonal mean
+            # and say so, instead of silently swallowing everything.
+            logger.warning(
+                "spline refit failed at t=%d on %d samples (%s: %s); "
+                "falling back to cold-start prediction",
+                self._t,
+                n,
+                type(exc).__name__,
+                exc,
+            )
             self._spline = None
             return
         seasonal = self._seasonal(np.arange(start_t, self._t))

@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+from repro.devtools.contracts import shapes
 from repro.solvers.lp import solve_lp
 from repro.solvers.result import SolverResult, SolverStatus
 
@@ -51,6 +52,7 @@ def _kkt_solve(
     return sol[:n], sol[n:]
 
 
+@shapes("(N,N)", "(N,)", "(M,N)", "(M,)", "(M,)", x0="(N,)")
 def solve_qp_active_set(
     P: np.ndarray,
     q: np.ndarray,

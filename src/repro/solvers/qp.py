@@ -38,6 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve
 
+from repro.devtools.contracts import shapes
 from repro.solvers.result import SolverResult, SolverStatus
 
 __all__ = ["QPProblem", "ADMMSolver", "solve_qp"]
@@ -221,6 +222,7 @@ class ADMMSolver:
                 raise ValueError("warm-start y has wrong dimension")
             self._y = y / self._E
 
+    @shapes("(N,)", "(M,)", "(M,)")
     def solve(self, q: np.ndarray, l: np.ndarray, u: np.ndarray) -> SolverResult:
         """Solve ``min 1/2 x'Px + q'x  s.t.  l <= Ax <= u``.
 

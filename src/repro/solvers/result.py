@@ -7,6 +7,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.devtools.contracts import freeze_arrays
+
+__all__ = ["SolverStatus", "SolverResult"]
+
 
 class SolverStatus(enum.Enum):
     """Termination status of a solve."""
@@ -22,9 +26,9 @@ class SolverStatus(enum.Enum):
         return self in (SolverStatus.OPTIMAL, SolverStatus.MAX_ITERATIONS)
 
 
-@dataclass
+@dataclass(frozen=True)
 class SolverResult:
-    """Outcome of a QP/LP solve.
+    """Outcome of a QP/LP solve.  Immutable, down to the solution arrays.
 
     Attributes
     ----------
@@ -54,5 +58,4 @@ class SolverResult:
     solve_time: float = field(default=0.0)
 
     def __post_init__(self) -> None:
-        self.x = np.asarray(self.x, dtype=float)
-        self.y = np.asarray(self.y, dtype=float)
+        freeze_arrays(self, "x", "y")

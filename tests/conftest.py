@@ -5,8 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.devtools.contracts import set_contracts
 from repro.markets import default_catalog, generate_market_dataset
 from repro.workloads import wikipedia_like
+
+# The runtime contract layer (shape/sign/unit checks at the hot seams) is
+# always active under the test suite, regardless of SPOTWEB_CONTRACTS.
+set_contracts(True)
 
 
 @pytest.fixture(scope="session")

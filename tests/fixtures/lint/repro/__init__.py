@@ -1,0 +1,3 @@
+"""Fixture package mimicking the real layout (for module-name derivation)."""
+
+__all__: list[str] = []

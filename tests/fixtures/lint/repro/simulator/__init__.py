@@ -1,0 +1,3 @@
+"""Fixture subpackage resolving to the DES-owned `repro.simulator` scope."""
+
+__all__: list[str] = []

@@ -1,0 +1,10 @@
+"""Bad: wall-clock reads inside a DES-owned module."""
+
+import time
+from datetime import datetime
+
+__all__ = ["now"]
+
+
+def now():
+    return time.time(), datetime.now()

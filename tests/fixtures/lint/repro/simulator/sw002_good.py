@@ -1,0 +1,11 @@
+"""Good: durations via perf_counter, simulated time via the DES clock."""
+
+import time
+
+__all__ = ["measure"]
+
+
+def measure(sim_clock: float):
+    start = time.perf_counter()
+    elapsed = time.perf_counter() - start
+    return sim_clock + elapsed

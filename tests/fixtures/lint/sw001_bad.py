@@ -1,0 +1,13 @@
+"""Bad: global-state RNG calls (np.random module functions, stdlib random)."""
+
+import random
+
+import numpy as np
+
+__all__ = ["draw"]
+
+
+def draw():
+    a = np.random.normal(size=3)
+    b = random.random()
+    return a, b

@@ -1,0 +1,13 @@
+"""Good: seeded Generator threading; constructors are allowed."""
+
+import random
+
+import numpy as np
+
+__all__ = ["draw"]
+
+
+def draw(rng: np.random.Generator):
+    gen = np.random.default_rng(0)
+    local = random.Random(7)
+    return gen.normal(size=3), rng.uniform(), local.randint(0, 3)

@@ -1,0 +1,9 @@
+"""Wall-clock outside repro.simulator / repro.core — out of SW002 scope."""
+
+import time
+
+__all__ = ["wall_now"]
+
+
+def wall_now():
+    return time.time()

@@ -1,0 +1,10 @@
+"""Bad: float equality comparisons."""
+
+__all__ = ["checks"]
+
+
+def checks(x, y):
+    a = x == 1.0
+    b = 0.5 != y
+    c = float(x) == y
+    return a, b, c

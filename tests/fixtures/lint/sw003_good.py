@@ -1,0 +1,12 @@
+"""Good: tolerance-based comparison; integer equality is fine."""
+
+import math
+
+__all__ = ["checks"]
+
+
+def checks(x, y):
+    a = math.isclose(x, 1.0)
+    b = abs(x - y) < 1e-9
+    c = len([x]) == 1
+    return a, b, c

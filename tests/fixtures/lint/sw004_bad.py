@@ -1,0 +1,14 @@
+"""Bad: frozen dataclass whose ndarray fields stay writable."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Snapshot"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    prices: np.ndarray
+    probs: np.ndarray
+    label: str

@@ -1,0 +1,26 @@
+"""Good: both immutability idioms the linter recognizes."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devtools.contracts import freeze_arrays
+
+__all__ = ["Direct", "ViaHelper"]
+
+
+@dataclass(frozen=True)
+class Direct:
+    prices: np.ndarray
+
+    def __post_init__(self):
+        self.prices.setflags(write=False)
+
+
+@dataclass(frozen=True)
+class ViaHelper:
+    prices: np.ndarray
+    probs: np.ndarray
+
+    def __post_init__(self):
+        freeze_arrays(self, "prices", "probs")

@@ -1,0 +1,13 @@
+"""Bad: mutable default arguments."""
+
+__all__ = ["append", "merge"]
+
+
+def append(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def merge(extra, *, base=dict()):
+    base.update(extra)
+    return base

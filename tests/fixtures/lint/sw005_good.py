@@ -1,0 +1,10 @@
+"""Good: None sentinel, constructed inside the body."""
+
+__all__ = ["append"]
+
+
+def append(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

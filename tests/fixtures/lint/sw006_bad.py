@@ -1,0 +1,14 @@
+"""Bad: bare except and blanket except Exception."""
+
+__all__ = ["swallow"]
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:
+        pass
+    try:
+        return fn()
+    except:
+        return None

@@ -1,0 +1,10 @@
+"""Good: the handler names what it actually guards."""
+
+__all__ = ["parse"]
+
+
+def parse(text):
+    try:
+        return float(text)
+    except (TypeError, ValueError):
+        return None

@@ -1,0 +1,11 @@
+"""Bad: __all__ lists a ghost name and misses a public def."""
+
+__all__ = ["exists", "ghost"]
+
+
+def exists():
+    return 1
+
+
+def unlisted():
+    return 2

@@ -1,0 +1,17 @@
+"""Good: complete __all__, underscore names exempt, imports count as defined."""
+
+from math import sqrt
+
+__all__ = ["area", "Shape", "sqrt"]
+
+
+def area(r):
+    return 3 * r * r
+
+
+class Shape:
+    pass
+
+
+def _private():
+    return None

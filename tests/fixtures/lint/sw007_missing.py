@@ -1,0 +1,5 @@
+"""Bad: no __all__ at all."""
+
+
+def helper():
+    return 1

@@ -1,0 +1,8 @@
+"""Bad: assert guards an invariant in library code."""
+
+__all__ = ["half"]
+
+
+def half(n):
+    assert n % 2 == 0, "n must be even"
+    return n // 2

@@ -1,0 +1,9 @@
+"""Good: invariants raise real exceptions."""
+
+__all__ = ["half"]
+
+
+def half(n):
+    if n % 2:
+        raise ValueError("n must be even")
+    return n // 2

@@ -1,0 +1,208 @@
+"""Tests for the runtime contract layer (shapes, nonneg, units, freezing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devtools.contracts import (
+    ContractError,
+    UnitScalar,
+    contracts_enabled,
+    freeze_arrays,
+    nonneg,
+    per_request_prices,
+    require_unit,
+    rps,
+    set_contracts,
+    shapes,
+    usd_per_hour,
+    usd_per_hour_per_rps,
+)
+
+
+@pytest.fixture(autouse=True)
+def _contracts_on():
+    prev = set_contracts(True)
+    yield
+    set_contracts(prev)
+
+
+# ------------------------------------------------------------------- shapes
+def test_shapes_accepts_consistent_bindings():
+    @shapes("(H,N)", "(N,)")
+    def f(plan, prices):
+        return plan @ prices
+
+    plan = np.ones((4, 3))
+    assert f(plan, np.ones(3)).shape == (4,)
+
+
+def test_shapes_rejects_symbol_mismatch():
+    @shapes("(H,N)", "(N,)")
+    def f(plan, prices):
+        return plan @ prices
+
+    with pytest.raises(ContractError, match="prices"):
+        f(np.ones((4, 3)), np.ones(5))
+
+
+def test_shapes_rejects_wrong_ndim():
+    @shapes("(N,)")
+    def f(v):
+        return v
+
+    with pytest.raises(ContractError):
+        f(np.ones((2, 2)))
+
+
+def test_shapes_alternatives_allow_scalar_or_vector():
+    @shapes("()|(H,)")
+    def f(target):
+        return target
+
+    f(3.5)
+    f(np.ones(4))
+    with pytest.raises(ContractError):
+        f(np.ones((2, 2)))
+
+
+def test_shapes_fixed_and_wildcard_dims():
+    @shapes("(2,*)")
+    def f(pair):
+        return pair
+
+    f(np.ones((2, 7)))
+    with pytest.raises(ContractError):
+        f(np.ones((3, 7)))
+
+
+def test_shapes_skips_none_values_and_star_specs():
+    @shapes("(N,)", "*", extra="(N,)")
+    def f(v, anything, extra=None):
+        return v
+
+    f(np.ones(3), {"not": "an array"})
+    f(np.ones(3), 0, extra=np.ones(3))
+    with pytest.raises(ContractError):
+        f(np.ones(3), 0, extra=np.ones(4))
+
+
+def test_shapes_checks_return_value():
+    @shapes("(N,)", ret="(N,)")
+    def good(v):
+        return v * 2
+
+    @shapes("(N,)", ret="(N,)")
+    def bad(v):
+        return np.outer(v, v)
+
+    good(np.ones(3))
+    with pytest.raises(ContractError, match="<return>"):
+        bad(np.ones(3))
+
+
+def test_shapes_is_a_noop_when_disabled():
+    @shapes("(N,)")
+    def f(v):
+        return "ran"
+
+    set_contracts(False)
+    assert not contracts_enabled()
+    assert f(np.ones((2, 2))) == "ran"
+
+
+def test_shapes_rejects_specs_for_unknown_params_at_decoration():
+    with pytest.raises(ValueError, match="unknown"):
+
+        @shapes(typo="(N,)")
+        def f(v):
+            return v
+
+
+def test_shapes_methods_skip_self():
+    class Hub:
+        @shapes("(N,)")
+        def ingest(self, prices):
+            return prices.sum()
+
+    assert Hub().ingest(np.ones(3)) == 3.0
+    with pytest.raises(ContractError):
+        Hub().ingest(np.ones((3, 1)))
+
+
+# ------------------------------------------------------------------- nonneg
+def test_nonneg_arrays_scalars_and_mappings():
+    @nonneg("fractions", "rate", "weights")
+    def f(fractions, rate, weights):
+        return True
+
+    assert f(np.ones(3), 2.0, {"a": 0.5, "b": 0.0})
+    with pytest.raises(ContractError, match="fractions"):
+        f(np.array([0.2, -0.3]), 2.0, {})
+    with pytest.raises(ContractError, match="rate"):
+        f(np.ones(3), -1.0, {})
+    with pytest.raises(ContractError, match="weights"):
+        f(np.ones(3), 1.0, {"a": -0.5})
+
+
+def test_nonneg_tolerates_solver_jitter_and_none():
+    @nonneg("v")
+    def f(v=None):
+        return True
+
+    assert f(np.array([0.0, -1e-12]))
+    assert f(None)
+
+
+# ----------------------------------------------------------------- freezing
+def test_freeze_arrays_makes_fields_readonly():
+    class Box:
+        def __init__(self, data):
+            self.data = data
+
+    box = Box([1.0, 2.0])
+    freeze_arrays(box, "data")
+    assert isinstance(box.data, np.ndarray)
+    with pytest.raises(ValueError):
+        box.data[0] = 9.0
+
+
+# -------------------------------------------------------------------- units
+def test_unit_scalars_tag_and_check():
+    price = usd_per_hour(0.123)
+    assert float(price) == pytest.approx(0.123)
+    assert price.unit == "USD/hour"
+    assert require_unit(price, "USD/hour") == pytest.approx(0.123)
+    with pytest.raises(ContractError):
+        require_unit(price, "USD/hour/rps")
+    # Plain floats pass through: tags are opt-in.
+    assert require_unit(0.5, "USD/hour") == 0.5
+
+
+def test_unit_mismatch_raises_even_with_contracts_disabled():
+    set_contracts(False)
+    with pytest.raises(ContractError):
+        require_unit(rps(100.0), "USD/hour")
+
+
+def test_unit_helpers_reject_negative_values():
+    for helper in (usd_per_hour, usd_per_hour_per_rps, rps):
+        with pytest.raises(ContractError):
+            helper(-1.0)
+
+
+def test_unit_arithmetic_degrades_to_float():
+    total = usd_per_hour(0.1) * 3
+    assert not isinstance(total, UnitScalar)
+    assert total == pytest.approx(0.3)
+
+
+def test_per_request_prices_conversion():
+    prices = np.array([1.0, 2.0])
+    caps = np.array([100.0, 400.0])
+    np.testing.assert_allclose(per_request_prices(prices, caps), [0.01, 0.005])
+    with pytest.raises(ContractError):
+        per_request_prices(prices, np.array([100.0, 0.0]))
+    with pytest.raises(ContractError):
+        per_request_prices(np.array([-1.0, 2.0]), caps)

@@ -1,0 +1,155 @@
+"""Unit tests for every spotlint rule: one positive and one negative each,
+plus suppression comments, module-name scoping, and the CLI contract."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import lint_file, lint_paths, lint_source, main
+from repro.devtools.rules import RULES, module_name_for
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+# ---------------------------------------------------------------- rule table
+RULE_CASES = [
+    ("SW001", "sw001_bad.py", 2, "sw001_good.py"),
+    ("SW002", "repro/simulator/sw002_bad.py", 2, "repro/simulator/sw002_good.py"),
+    ("SW003", "sw003_bad.py", 3, "sw003_good.py"),
+    ("SW004", "sw004_bad.py", 2, "sw004_good.py"),
+    ("SW005", "sw005_bad.py", 2, "sw005_good.py"),
+    ("SW006", "sw006_bad.py", 2, "sw006_good.py"),
+    ("SW007", "sw007_bad.py", 2, "sw007_good.py"),
+    ("SW008", "sw008_bad.py", 1, "sw008_good.py"),
+]
+
+
+def test_every_registered_rule_has_a_case():
+    assert {case[0] for case in RULE_CASES} == set(RULES)
+
+
+@pytest.mark.parametrize("rule,bad,count,good", RULE_CASES, ids=[c[0] for c in RULE_CASES])
+def test_rule_positive(rule, bad, count, good):
+    findings = lint_file(FIXTURES / bad, select={rule})
+    assert len(findings) == count
+    assert all(f.rule == rule for f in findings)
+    assert all(f.line > 0 for f in findings)
+
+
+@pytest.mark.parametrize("rule,bad,count,good", RULE_CASES, ids=[c[0] for c in RULE_CASES])
+def test_rule_negative(rule, bad, count, good):
+    assert lint_file(FIXTURES / good, select={rule}) == []
+
+
+# ------------------------------------------------------------ rule specifics
+def test_sw002_out_of_scope_module_is_clean():
+    # Same wall-clock calls, but the module does not resolve under
+    # repro.simulator / repro.core — the DES-ownership rule must not fire.
+    assert lint_file(FIXTURES / "sw002_scope.py", select={"SW002"}) == []
+
+
+def test_sw007_missing_all_is_one_finding():
+    findings = lint_file(FIXTURES / "sw007_missing.py", select={"SW007"})
+    assert len(findings) == 1
+    assert "no `__all__`" in findings[0].message
+
+
+def test_sw007_entry_scripts_exempt(tmp_path):
+    script = tmp_path / "__main__.py"
+    script.write_text("import sys\nsys.exit(0)\n")
+    assert lint_file(script, select={"SW007"}) == []
+
+
+def test_sw007_package_init_may_export_submodules(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('__all__ = ["mod"]\n')
+    (pkg / "mod.py").write_text("__all__: list[str] = []\n")
+    assert lint_file(pkg / "__init__.py", select={"SW007"}) == []
+
+
+def test_sw007_pep562_dynamic_exports_allowed(tmp_path):
+    mod = tmp_path / "lazy.py"
+    mod.write_text(
+        '__all__ = ["lazy_thing"]\n\n\n'
+        "def __getattr__(name):\n"
+        "    raise AttributeError(name)\n"
+    )
+    assert lint_file(mod, select={"SW007"}) == []
+
+
+def test_module_name_derivation():
+    assert module_name_for(FIXTURES / "repro" / "simulator" / "sw002_bad.py") == (
+        "repro.simulator.sw002_bad"
+    )
+    assert module_name_for(FIXTURES / "sw001_bad.py") == "sw001_bad"
+
+
+def test_syntax_error_becomes_sw000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    findings = lint_file(bad)
+    assert [f.rule for f in findings] == ["SW000"]
+
+
+# ------------------------------------------------------------- suppressions
+def test_line_suppression_silences_the_rule():
+    assert lint_file(FIXTURES / "suppress_line.py", select={"SW006"}) == []
+
+
+def test_file_suppression_silences_everywhere():
+    assert lint_file(FIXTURES / "suppress_file.py", select={"SW006"}) == []
+
+
+def test_wrong_rule_suppression_does_not_silence():
+    findings = lint_file(FIXTURES / "suppress_wrong.py", select={"SW006"})
+    assert len(findings) == 1
+
+
+def test_disable_all_silences_everything_on_line():
+    assert lint_file(FIXTURES / "suppress_all.py", select={"SW006"}) == []
+
+
+def test_lint_source_respects_ignore():
+    src = (FIXTURES / "sw006_bad.py").read_text()
+    findings = lint_source(src, FIXTURES / "sw006_bad.py", ignore={"SW006"})
+    assert all(f.rule != "SW006" for f in findings)
+
+
+# --------------------------------------------------------------------- CLI
+def test_cli_exits_nonzero_with_findings(capsys):
+    code = main([str(FIXTURES / "sw006_bad.py"), "--select", "SW006"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SW006" in out
+    # file:line:col format, clickable in editors.
+    assert "sw006_bad.py:" in out
+
+
+def test_cli_exits_zero_on_clean_input(capsys):
+    code = main([str(FIXTURES / "sw006_good.py"), "--select", "SW006"])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_rule_ids(capsys):
+    code = main([str(FIXTURES / "sw006_bad.py"), "--select", "SW999"])
+    assert code == 2
+    assert "SW999" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+def test_lint_paths_walks_directories():
+    findings = lint_paths([FIXTURES], select={"SW006"})
+    files = {Path(f.path).name for f in findings}
+    assert "sw006_bad.py" in files
+    assert "suppress_wrong.py" in files
+    assert "suppress_file.py" not in files

@@ -1,0 +1,80 @@
+"""Regression tests: "frozen" snapshot/result dataclasses are genuinely
+immutable — attribute assignment AND element-level array mutation raise."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import MPOOptimizer
+from repro.monitoring import MonitoringHub, MonitoringSnapshot
+from repro.solvers import SolverResult, SolverStatus
+
+
+def make_snapshot():
+    return MonitoringSnapshot(
+        timestamp=0.0,
+        prices=np.array([1.0, 2.0]),
+        per_request_prices=np.array([0.01, 0.005]),
+        failure_probs=np.array([0.05, 0.1]),
+        observed_rps=100.0,
+    )
+
+
+def test_snapshot_attribute_assignment_raises():
+    snap = make_snapshot()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        snap.observed_rps = 0.0
+
+
+def test_snapshot_array_mutation_raises():
+    snap = make_snapshot()
+    for field in ("prices", "per_request_prices", "failure_probs"):
+        with pytest.raises(ValueError):
+            getattr(snap, field)[0] = 42.0
+
+
+def test_hub_snapshots_are_readonly(catalog):
+    markets = catalog.spot_markets(3)
+    hub = MonitoringHub(markets)
+    hub.ingest_prices(np.array([0.1, 0.2, 0.3]))
+    hub.ingest_failure_probs(np.array([0.01, 0.02, 0.03]))
+    snap = hub.snapshot(0.0)
+    with pytest.raises(ValueError):
+        snap.prices[0] = 1e9
+    # The cleaned feed is the audited $/hour-per-req/s conversion.
+    caps = np.array([m.capacity_rps for m in markets])
+    np.testing.assert_allclose(snap.per_request_prices, snap.prices / caps)
+
+
+def test_solver_result_is_frozen():
+    result = SolverResult(
+        x=np.array([1.0, 2.0]),
+        y=np.array([0.0]),
+        objective=1.0,
+        status=SolverStatus.OPTIMAL,
+        iterations=3,
+    )
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        result.objective = 0.0
+    with pytest.raises(ValueError):
+        result.x[0] = 7.0
+    with pytest.raises(ValueError):
+        result.y[0] = 7.0
+
+
+def test_mpo_result_is_frozen(small_markets):
+    n = len(small_markets)
+    opt = MPOOptimizer(small_markets, horizon=2)
+    res = opt.optimize(
+        np.full(2, 500.0),
+        np.full((2, n), 0.1),
+        np.full((2, n), 0.05),
+        np.eye(n) * 1e-4,
+    )
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        res.sla_cost = 0.0
+    with pytest.raises(ValueError):
+        res.solver.x[0] = 1.0

@@ -1,0 +1,30 @@
+"""The CI gate: the whole source tree must be spotlint-clean.
+
+If this test fails, either fix the violation or — when the code is right
+and the rule is wrong for that line — add a
+``# spotlint: disable=SWxxx`` suppression with a reason in the adjacent
+code review.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.lint import lint_paths, main
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def test_src_tree_is_spotlint_clean():
+    findings = lint_paths([SRC])
+    report = "\n".join(f.format() for f in findings)
+    assert not findings, f"spotlint found violations:\n{report}"
+
+
+def test_cli_gate_exit_codes(capsys):
+    assert main([str(SRC)]) == 0
+    capsys.readouterr()
+    bad_fixture = Path(__file__).parent / "fixtures" / "lint" / "sw001_bad.py"
+    assert main([str(bad_fixture)]) == 1
+    out = capsys.readouterr().out
+    assert "SW001" in out and "sw001_bad.py:" in out
