@@ -21,3 +21,7 @@ def test_fig7b_scalability(run_once):
         assert med < 5.0, f"median solve for N={nm}, H={h} took {med:.2f}s"
     # Even the largest sweep point stays within the usable range.
     assert res.times[(144, 10)][0] < 5.0
+    # Cold start (construction + first factorization) is tracked per cell.
+    assert set(res.cold) == set(res.times)
+    for (nm, h), cold in res.cold.items():
+        assert cold > 0.0

@@ -1,0 +1,43 @@
+"""Machine-readable performance baselines (``BENCH_*.json``).
+
+Every PR that touches the solver or simulator needs a number to beat; this
+package produces it.  Two benchmark families:
+
+- :func:`bench_mpo` — MPO solve latency per ``(markets, horizon, backend)``
+  cell: cold start (construction + first factorization + solve) and warm
+  re-solve (median/max ms), plus structured-vs-dense speedups and the
+  objective gap between backends (which must stay at solver tolerance).
+- :func:`bench_sim` — :class:`repro.simulator.CostSimulator` throughput in
+  intervals/second under a deliberately cheap policy, so the number tracks
+  the simulator core rather than any optimizer.
+
+Results are plain dictionaries written/read by :func:`write_bench` /
+:func:`load_bench` under versioned schemas, and checked by
+:func:`crossover_violations` (the structured path must win wherever
+``N·H >= 288``).  The CLI front-end is ``python -m repro bench``, which
+emits ``BENCH_mpo.json`` and ``BENCH_sim.json``.
+"""
+
+from repro.bench.mpo import bench_mpo
+from repro.bench.sim import bench_sim
+from repro.bench.report import (
+    SCHEMA_MPO,
+    SCHEMA_SIM,
+    crossover_violations,
+    format_bench_mpo,
+    format_bench_sim,
+    load_bench,
+    write_bench,
+)
+
+__all__ = [
+    "bench_mpo",
+    "bench_sim",
+    "SCHEMA_MPO",
+    "SCHEMA_SIM",
+    "crossover_violations",
+    "format_bench_mpo",
+    "format_bench_sim",
+    "load_bench",
+    "write_bench",
+]

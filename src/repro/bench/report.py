@@ -1,0 +1,118 @@
+"""Benchmark result schemas, JSON persistence, and regression checks.
+
+``BENCH_mpo.json`` / ``BENCH_sim.json`` at the repo root are the recorded
+baselines; CI regenerates them on a smaller grid and fails the build when
+the structured solver loses to the dense one past the crossover point.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_MPO",
+    "SCHEMA_SIM",
+    "write_bench",
+    "load_bench",
+    "crossover_violations",
+    "format_bench_mpo",
+    "format_bench_sim",
+]
+
+SCHEMA_MPO = "spotweb-bench-mpo/1"
+SCHEMA_SIM = "spotweb-bench-sim/1"
+_KNOWN_SCHEMAS = (SCHEMA_MPO, SCHEMA_SIM)
+
+
+def write_bench(data: dict, path: str | Path) -> Path:
+    """Write a benchmark dict as stable, diff-friendly JSON."""
+    if data.get("schema") not in _KNOWN_SCHEMAS:
+        raise ValueError(f"unknown bench schema: {data.get('schema')!r}")
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load a benchmark JSON file, validating its schema tag."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") not in _KNOWN_SCHEMAS:
+        raise ValueError(f"unknown bench schema: {data.get('schema')!r}")
+    if not isinstance(data.get("cells"), list):
+        raise ValueError("bench file has no 'cells' list")
+    return data
+
+
+def crossover_violations(mpo_data: dict, *, min_vars: int = 288) -> list[dict]:
+    """Cells past the crossover where the structured path lost to dense.
+
+    The structured factorization is O(H·N³) vs the dense O((N·H)³); by
+    ``N·H >= min_vars`` it must be winning on warm re-solves.  Returns the
+    offending speedup entries (empty list == healthy).
+    """
+    if mpo_data.get("schema") != SCHEMA_MPO:
+        raise ValueError("crossover check needs a bench-mpo result")
+    return [
+        entry
+        for entry in mpo_data.get("speedups", [])
+        if entry["variables"] >= min_vars and entry["warm_speedup"] < 1.0
+    ]
+
+
+def format_bench_mpo(data: dict) -> str:
+    from repro.analysis.report import format_table
+
+    rows = [
+        [
+            c["markets"],
+            c["horizon"],
+            c["backend"],
+            c["cold_ms"],
+            c["warm_median_ms"],
+            c["warm_max_ms"],
+        ]
+        for c in data["cells"]
+    ]
+    table = format_table(
+        ["markets", "H", "backend", "cold_ms", "warm_med_ms", "warm_max_ms"],
+        rows,
+        title="MPO solve latency",
+    )
+    if data.get("speedups"):
+        srows = [
+            [
+                s["markets"],
+                s["horizon"],
+                s["warm_speedup"],
+                s["cold_speedup"],
+                s["objective_gap"],
+            ]
+            for s in data["speedups"]
+        ]
+        table += "\n" + format_table(
+            ["markets", "H", "warm_x", "cold_x", "obj_gap"],
+            srows,
+            title="structured vs dense",
+        )
+    return table
+
+
+def format_bench_sim(data: dict) -> str:
+    from repro.analysis.report import format_table
+
+    rows = [
+        [
+            c["policy"],
+            c["markets"],
+            c["intervals"],
+            c["intervals_per_sec_median"],
+            c["intervals_per_sec_max"],
+        ]
+        for c in data["cells"]
+    ]
+    return format_table(
+        ["policy", "markets", "intervals", "ips_median", "ips_max"],
+        rows,
+        title="simulator throughput (intervals/sec)",
+    )

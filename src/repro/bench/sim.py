@@ -1,0 +1,83 @@
+"""Cost-simulator throughput benchmark (intervals per second).
+
+Uses a deliberately trivial policy (fixed uniform counts, no optimizer) so
+the measurement tracks :meth:`repro.simulator.CostSimulator.run` itself —
+revocation sampling, billing, shortfall accounting — and regressions in the
+interval loop show up undiluted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.report import SCHEMA_SIM
+from repro.experiments.fig7b_scalability import _replicated_markets
+from repro.markets import generate_market_dataset
+from repro.simulator import CostSimulator
+from repro.workloads import wikipedia_like
+
+__all__ = ["bench_sim", "UniformCountsPolicy"]
+
+
+class UniformCountsPolicy:
+    """Constant, optimizer-free policy: the same counts every interval."""
+
+    def __init__(self, counts: np.ndarray) -> None:
+        self.counts = np.asarray(counts, dtype=int)
+
+    def decide(
+        self,
+        t: int,
+        observed_rps: float,
+        prices: np.ndarray,
+        failure_probs: np.ndarray,
+    ) -> np.ndarray:
+        return self.counts
+
+
+def bench_sim(
+    *,
+    num_markets: int = 12,
+    weeks: int = 2,
+    peak_rps: float = 20_000.0,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Benchmark simulator throughput; returns a ``SCHEMA_SIM`` dict."""
+    markets = _replicated_markets(num_markets)
+    intervals = weeks * 7 * 24
+    dataset = generate_market_dataset(markets, intervals=intervals, seed=seed)
+    trace = wikipedia_like(weeks, seed=seed).scaled(peak_rps)
+    sim = CostSimulator(dataset, trace, seed=seed)
+    # Enough servers to carry the peak, spread uniformly.
+    per_market = int(np.ceil(peak_rps / dataset.capacities.sum())) + 1
+    policy = UniformCountsPolicy(np.full(num_markets, per_market))
+
+    rates = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        report = sim.run(policy, name="uniform")
+        elapsed = time.perf_counter() - t0
+        rates.append(sim.horizon_intervals / elapsed)
+    return {
+        "schema": SCHEMA_SIM,
+        "config": {
+            "num_markets": num_markets,
+            "weeks": weeks,
+            "peak_rps": peak_rps,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "cells": [
+            {
+                "policy": "uniform",
+                "intervals": int(sim.horizon_intervals),
+                "markets": num_markets,
+                "intervals_per_sec_median": float(np.median(rates)),
+                "intervals_per_sec_max": float(np.max(rates)),
+                "total_cost": float(report.total_cost),
+            }
+        ],
+    }

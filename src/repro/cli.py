@@ -3,12 +3,17 @@
 Commands
 --------
 - ``experiment <name>`` — run one paper experiment and print its rows
-  (``table1``, ``fig3``, ``fig4a``, ``fig4bcd``, ``fig5``, ``fig6a``,
-  ``fig6b``, ``fig7a``, ``fig7b``, ``lookahead``).
+  (``table1``, ``table1_costs``, ``fig3``, ``fig4a``, ``fig4bcd``,
+  ``fig5``, ``fig6a``, ``fig6b``, ``fig7a``, ``fig7b``, ``lookahead``).
+  ``--parallel``/``--workers`` fan independent cells over a process pool
+  with results identical to serial.
 - ``list`` — list available experiments with one-line descriptions.
 - ``catalog`` — print the instance catalog / market universe.
 - ``advisor`` — print the emulated Spot Instance Advisor table for a
   synthetic dataset.
+- ``bench`` — run the solver/simulator micro benchmarks and write the
+  machine-readable ``BENCH_mpo.json`` / ``BENCH_sim.json`` baselines
+  (``--check`` turns the structured-vs-dense crossover into a hard gate).
 """
 
 from __future__ import annotations
@@ -24,6 +29,20 @@ def _run_table1(args) -> str:
     from repro.experiments import table1
 
     return table1.format_table1()
+
+
+def _run_table1_costs(args) -> str:
+    from repro.experiments import table1
+
+    return table1.format_table1_costs(
+        table1.run_table1_costs(
+            weeks=args.weeks,
+            workload=args.workload,
+            seed=args.seed,
+            parallel=args.parallel,
+            max_workers=args.workers,
+        )
+    )
 
 
 def _run_fig3(args) -> str:
@@ -54,14 +73,20 @@ def _run_fig5(args) -> str:
     from repro.experiments import fig5_price_awareness
 
     return fig5_price_awareness.format_fig5(
-        fig5_price_awareness.run_fig5(seed=args.seed)
+        fig5_price_awareness.run_fig5(
+            seed=args.seed, parallel=args.parallel, max_workers=args.workers
+        )
     )
 
 
 def _run_fig6a(args) -> str:
     from repro.experiments import fig6a_constant
 
-    return fig6a_constant.format_fig6a(fig6a_constant.run_fig6a(seed=args.seed))
+    return fig6a_constant.format_fig6a(
+        fig6a_constant.run_fig6a(
+            seed=args.seed, parallel=args.parallel, max_workers=args.workers
+        )
+    )
 
 
 def _run_fig6b(args) -> str:
@@ -69,7 +94,11 @@ def _run_fig6b(args) -> str:
 
     return fig6b_exosphere.format_fig6b(
         fig6b_exosphere.run_fig6b(
-            weeks=args.weeks, seeds=(args.seed,), workload=args.workload
+            weeks=args.weeks,
+            seeds=(args.seed,),
+            workload=args.workload,
+            parallel=args.parallel,
+            max_workers=args.workers,
         )
     )
 
@@ -92,7 +121,12 @@ def _run_lookahead(args) -> str:
     from repro.experiments import lookahead
 
     return lookahead.format_lookahead(
-        lookahead.run_lookahead(weeks=args.weeks, seed=args.seed)
+        lookahead.run_lookahead(
+            weeks=args.weeks,
+            seed=args.seed,
+            parallel=args.parallel,
+            max_workers=args.workers,
+        )
     )
 
 
@@ -106,6 +140,7 @@ def _run_gcloud(args) -> str:
 
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "table1": ("qualitative comparison of approaches", _run_table1),
+    "table1_costs": ("Table-1 approaches head-to-head cost sweep", _run_table1_costs),
     "fig3": ("workload trace shapes", _run_fig3),
     "fig4a": ("transiency-aware load balancing (request-level DES)", _run_fig4a),
     "fig4bcd": ("prediction error with/without CI padding", _run_fig4bcd),
@@ -141,80 +176,87 @@ def _cmd_catalog(_args) -> str:
 
 
 def _cmd_simulate(args) -> str:
+    """Policy comparison over a shared universe via the sweep engine.
+
+    Each policy run is an independent cell (module-level worker in
+    :mod:`repro.experiments.table1`), so ``--parallel`` fans them out with
+    results identical to the serial run: every cell uses the same simulator
+    seed, and the dataset/trace are rebuilt per process via ``shared_setup``.
+    """
     from repro.analysis import CostLedger, format_table
-    from repro.baselines import (
-        ConstantPortfolioPolicy,
-        ExoSphereLoopPolicy,
-        OnDemandPolicy,
-        QuThresholdPolicy,
-        oracle_target,
-    )
-    from repro.core import CostModel, SpotWebController
-    from repro.core.policy import SpotWebPolicy
-    from repro.markets import (
-        PurchaseOption,
-        default_catalog,
-        generate_market_dataset,
-    )
-    from repro.predictors import (
-        AR1PricePredictor,
-        ReactiveFailurePredictor,
-        SplinePredictor,
-    )
-    from repro.simulator import CostSimulator
-    from repro.workloads import vod_like, wikipedia_like
+    from repro.experiments.table1 import POLICY_NAMES, _cost_cell
+    from repro.parallel import pmap
 
-    catalog = default_catalog()
-    spot = catalog.spot_markets(args.markets)
-    markets = spot + [
-        catalog.market(m.instance.name, PurchaseOption.ON_DEMAND) for m in spot
-    ]
-    n = len(markets)
-    dataset = generate_market_dataset(
-        markets, intervals=args.weeks * 7 * 24, seed=args.seed
-    )
-    trace_fn = wikipedia_like if args.workload == "wikipedia" else vod_like
-    trace = trace_fn(args.weeks, seed=args.seed).scaled(args.peak)
-    sim = CostSimulator(dataset, trace, seed=args.seed)
-
-    def spotweb():
-        controller = SpotWebController(
-            markets,
-            SplinePredictor(24),
-            AR1PricePredictor(n),
-            ReactiveFailurePredictor(n),
-            horizon=args.horizon,
-            cost_model=CostModel(churn_penalty=0.2),
-        )
-        return SpotWebPolicy(controller)
-
-    available = {
-        "spotweb": spotweb,
-        "exosphere": lambda: ExoSphereLoopPolicy(markets),
-        "constant": lambda: ConstantPortfolioPolicy(
-            markets, target_fn=oracle_target(trace)
-        ),
-        "qu": lambda: QuThresholdPolicy(
-            markets, num_markets=4, failure_threshold=1
-        ),
-        "ondemand": lambda: OnDemandPolicy(markets),
-    }
     names = args.policies or ["spotweb", "exosphere", "ondemand"]
-    unknown = set(names) - set(available)
+    unknown = set(names) - set(POLICY_NAMES)
     if unknown:
         raise SystemExit(f"unknown policies: {sorted(unknown)}")
+    cells = [
+        {
+            "policy": name,
+            "name": name,
+            "sim_seed": args.seed,
+            "num_markets": args.markets,
+            "weeks": args.weeks,
+            "peak_rps": args.peak,
+            "horizon": args.horizon,
+            "workload": args.workload,
+            "seed": args.seed,
+        }
+        for name in names
+    ]
+    reports = pmap(
+        _cost_cell, cells, max_workers=(args.workers if args.parallel else 1)
+    )
     ledger = CostLedger()
-    for name in names:
-        ledger.add(sim.run(available[name](), name=name))
+    for report in reports:
+        ledger.add(report)
     baseline = names[-1]
     return format_table(
         CostLedger.headers(baseline=True),
         ledger.rows(baseline=baseline),
         title=(
-            f"{args.weeks}-week simulation, {n} markets, {args.workload} "
-            f"workload (savings vs {baseline})"
+            f"{args.weeks}-week simulation, {2 * args.markets} markets, "
+            f"{args.workload} workload (savings vs {baseline})"
         ),
     )
+
+
+def _cmd_bench(args) -> str:
+    """Run the micro benchmarks and write ``BENCH_*.json`` baselines."""
+    from pathlib import Path
+
+    from repro import bench
+
+    if args.quick:
+        mpo = bench.bench_mpo(
+            market_counts=(12, 48), horizons=(6,), repeats=3, seed=args.seed
+        )
+        sim = bench.bench_sim(num_markets=8, weeks=1, repeats=2, seed=args.seed)
+    else:
+        mpo = bench.bench_mpo(seed=args.seed)
+        sim = bench.bench_sim(seed=args.seed)
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    mpo_path = bench.write_bench(mpo, out / "BENCH_mpo.json")
+    sim_path = bench.write_bench(sim, out / "BENCH_sim.json")
+    text = bench.format_bench_mpo(mpo) + "\n" + bench.format_bench_sim(sim)
+    text += f"\nwrote {mpo_path} and {sim_path}"
+    violations = bench.crossover_violations(mpo, min_vars=args.min_vars)
+    if violations:
+        detail = ", ".join(
+            f"N={v['markets']} H={v['horizon']} ({v['warm_speedup']:.2f}x)"
+            for v in violations
+        )
+        message = (
+            f"structured path slower than dense past N*H >= {args.min_vars}: "
+            f"{detail}"
+        )
+        if args.check:
+            print(text)
+            raise SystemExit(message)
+        text += f"\nWARNING: {message}"
+    return text
 
 
 def _cmd_advisor(args) -> str:
@@ -252,6 +294,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--workload", choices=("wikipedia", "vod"), default="wikipedia"
     )
+    p_exp.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan independent cells out over a process pool",
+    )
+    p_exp.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cpu count)"
+    )
 
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("catalog", help="print the instance catalog")
@@ -273,10 +323,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", choices=("wikipedia", "vod"), default="wikipedia"
     )
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the policies concurrently (identical results to serial)",
+    )
+    p_sim.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cpu count)"
+    )
 
     p_adv = sub.add_parser("advisor", help="print the emulated Spot Advisor")
     p_adv.add_argument("--markets", type=int, default=12)
     p_adv.add_argument("--seed", type=int, default=0)
+
+    p_bench = sub.add_parser(
+        "bench", help="run micro benchmarks, write BENCH_*.json baselines"
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI-sized grid instead of the full baseline grid",
+    )
+    p_bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if structured is slower than dense past crossover",
+    )
+    p_bench.add_argument("--out-dir", default=".")
+    p_bench.add_argument(
+        "--min-vars",
+        type=int,
+        default=288,
+        help="crossover threshold on N*H for the --check gate",
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -294,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_simulate(args))
     elif args.command == "advisor":
         print(_cmd_advisor(args))
+    elif args.command == "bench":
+        print(_cmd_bench(args))
     return 0
 
 

@@ -32,14 +32,14 @@ class AllocationConstraints:
         if not 0 < self.a_market_max <= self.a_total_max:
             raise ValueError("a_market_max must be in (0, a_total_max]")
 
-    def build_rows(
+    def build_bounds(
         self, num_markets: int, horizon: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Constraint rows for the stacked ``(H * N,)`` variable.
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bounds ``(l, u)`` in the canonical row order, without the rows.
 
-        Returns ``(A, l, u)``: per-variable boxes ``0 <= A_tau^i <= a_max``
-        and one total-allocation row per interval,
-        ``A_Min <= sum_i A_tau^i <= A_Max``.
+        Row order is fixed: ``N * H`` per-variable box rows first, then one
+        total-allocation row per interval.  The structured solver relies on
+        this order implicitly, so it never needs the dense row matrix.
         """
         if num_markets < 1 or horizon < 1:
             raise ValueError("num_markets and horizon must be >= 1")
@@ -50,16 +50,28 @@ class AllocationConstraints:
                 f"a_total_min = {self.a_total_min}"
             )
         n = num_markets * horizon
-        rows = np.zeros((n + horizon, n))
-        rows[:n, :n] = np.eye(n)
         lower = np.zeros(n + horizon)
         upper = np.empty(n + horizon)
         upper[:n] = self.a_market_max
+        lower[n:] = self.a_total_min
+        upper[n:] = self.a_total_max
+        return lower, upper
+
+    def build_rows(
+        self, num_markets: int, horizon: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Constraint rows for the stacked ``(H * N,)`` variable.
+
+        Returns ``(A, l, u)``: per-variable boxes ``0 <= A_tau^i <= a_max``
+        and one total-allocation row per interval,
+        ``A_Min <= sum_i A_tau^i <= A_Max``.
+        """
+        lower, upper = self.build_bounds(num_markets, horizon)
+        n = num_markets * horizon
+        rows = np.zeros((n + horizon, n))
+        rows[:n, :n] = np.eye(n)
         for tau in range(horizon):
-            row = n + tau
-            rows[row, tau * num_markets : (tau + 1) * num_markets] = 1.0
-            lower[row] = self.a_total_min
-            upper[row] = self.a_total_max
+            rows[n + tau, tau * num_markets : (tau + 1) * num_markets] = 1.0
         return rows, lower, upper
 
     def feasible(self, fractions: np.ndarray, *, tol: float = 1e-6) -> bool:

@@ -78,6 +78,7 @@ class SpotWebController:
         history_window: int = 336,
         fallback: ReactiveFallback | None = None,
         discretization: str = "ceil",
+        backend: str = "auto",
     ) -> None:
         if covariance_refresh < 1:
             raise ValueError("covariance_refresh must be >= 1")
@@ -95,6 +96,7 @@ class SpotWebController:
             cost_model=cost_model,
             constraints=constraints,
             interval_hours=interval_hours,
+            backend=backend,
         )
         self.covariance_refresh = int(covariance_refresh)
         self._failure_history: deque[np.ndarray] = deque(maxlen=history_window)

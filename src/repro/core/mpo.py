@@ -15,12 +15,27 @@ penalizes deviating from what is already running — the "transaction cost" of
 multi-period portfolio theory).  ``E[Return]`` is zero per the paper, which
 turns the objective into pure cost minimization.
 
-Everything is linear or convex-quadratic, so the program is a QP solved by
-:class:`repro.solvers.ADMMSolver`.  The Hessian and constraint matrix depend
-only on ``(N, H, M, alpha, gamma)``; the optimizer caches the factorized
-solver and warm-starts consecutive solves — this is what makes it "highly
-scalable, requiring subseconds to 5 seconds" (Fig. 7(b)) and lets it consider
-hundreds of markets where Tributary's exponential-time selection cannot.
+Everything is linear or convex-quadratic, so the program is a QP.  The
+Hessian and constraint matrix depend only on ``(N, H, M, alpha, gamma)``;
+the optimizer builds a structure descriptor and a factorized solver once
+per such key and warm-starts consecutive solves — this is what makes it
+"highly scalable, requiring subseconds to 5 seconds" (Fig. 7(b)) and lets
+it consider hundreds of markets where Tributary's exponential-time
+selection cannot.
+
+Solver backends (``backend=``):
+
+- ``"auto"`` (default) — the structured block-tridiagonal path
+  (:class:`repro.solvers.StructuredADMMSolver`, O(H·N³) factorization) once
+  the program is big enough to amortize its per-iteration Python overhead,
+  the dense path below it.
+- ``"structured"`` / ``"admm"`` — force one path (tests, benchmarks).
+- ``"active_set"`` — the exact active-set solver (small programs only).
+
+Warm starting is **horizon-shifted**: the receding-horizon loop executes
+only period 0 of each plan, so the best seed for the next solve is the
+previous plan shifted forward one period (its last period duplicated), not
+the currently deployed allocation tiled ``H`` times.
 """
 
 from __future__ import annotations
@@ -34,9 +49,21 @@ from repro.core.costs import CostModel
 from repro.core.portfolio import PortfolioPlan
 from repro.devtools.contracts import shapes
 from repro.markets.catalog import Market
-from repro.solvers import ADMMSolver, SolverResult
+from repro.solvers import (
+    ADMMCore,
+    ADMMSolver,
+    MPOStructure,
+    SolverResult,
+    StructuredADMMSolver,
+)
 
-__all__ = ["MPOOptimizer", "MPOResult"]
+__all__ = ["MPOOptimizer", "MPOResult", "STRUCTURED_MIN_VARS"]
+
+# "auto" switches to the block-tridiagonal path at this many variables
+# (N * H).  Below it the dense path's tiny BLAS calls win over the
+# structured path's extra per-iteration Python; the repro.bench MPO suite
+# and the CI perf-smoke job watch the crossover.
+STRUCTURED_MIN_VARS = 96
 
 
 @dataclass(frozen=True)
@@ -79,7 +106,7 @@ class MPOOptimizer:
         constraints: AllocationConstraints | None = None,
         interval_hours: float = 1.0,
         solver_options: dict | None = None,
-        backend: str = "admm",
+        backend: str = "auto",
     ) -> None:
         if horizon < 1:
             raise ValueError("horizon must be >= 1")
@@ -87,8 +114,10 @@ class MPOOptimizer:
             raise ValueError("need at least one market")
         if interval_hours <= 0:
             raise ValueError("interval_hours must be positive")
-        if backend not in ("admm", "active_set"):
-            raise ValueError("backend must be 'admm' or 'active_set'")
+        if backend not in ("auto", "admm", "structured", "active_set"):
+            raise ValueError(
+                "backend must be 'auto', 'admm', 'structured' or 'active_set'"
+            )
         self.backend = backend
         self.markets = list(markets)
         self.horizon = int(horizon)
@@ -97,34 +126,43 @@ class MPOOptimizer:
         self.interval_hours = float(interval_hours)
         self.solver_options = dict(solver_options or {})
         self.capacities = np.array([m.capacity_rps for m in self.markets])
-        self._solver: ADMMSolver | None = None
+        self._solver: ADMMCore | None = None
         self._solver_key: tuple | None = None
-        self._constraint_rows: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._structure: MPOStructure | None = None
+        self._dense_P: np.ndarray | None = None
+        self._constraint_rows: np.ndarray | None = None
+        self._bounds: tuple[np.ndarray, np.ndarray] | None = None
+        self._last_plan: np.ndarray | None = None
 
     @property
     def num_markets(self) -> int:
         return len(self.markets)
 
+    @property
+    def resolved_backend(self) -> str:
+        """The concrete solve path ``"auto"`` resolves to for this size."""
+        if self.backend != "auto":
+            return self.backend
+        if self.num_markets * self.horizon >= STRUCTURED_MIN_VARS:
+            return "structured"
+        return "admm"
+
     # ------------------------------------------------------------- QP pieces
+    def _structure_for(self, covariance: np.ndarray) -> MPOStructure:
+        """Block descriptor of the QP — built once per ``(N, H, M, α, γ)``."""
+        return MPOStructure(
+            num_markets=self.num_markets,
+            horizon=self.horizon,
+            risk=2.0 * self.cost_model.risk_aversion * covariance,
+            churn=2.0 * self.cost_model.churn_penalty,
+        )
+
     def _hessian(self, covariance: np.ndarray) -> np.ndarray:
         """``P`` of the QP: block-diagonal risk + tridiagonal churn."""
-        N, H = self.num_markets, self.horizon
-        alpha = self.cost_model.risk_aversion
-        gamma = self.cost_model.churn_penalty
-        P = np.zeros((N * H, N * H))
-        for tau in range(H):
-            block = slice(tau * N, (tau + 1) * N)
-            P[block, block] += 2.0 * alpha * covariance
-            diag_coeff = 2.0 if tau < H - 1 else 1.0
-            P[block, block] += 2.0 * gamma * diag_coeff * np.eye(N)
-            if tau > 0:
-                prev = slice((tau - 1) * N, tau * N)
-                P[block, prev] += -2.0 * gamma * np.eye(N)
-                P[prev, block] += -2.0 * gamma * np.eye(N)
         # The sigma regularizer in the solver handles gamma == alpha == 0.
-        return P
+        return self._structure_for(covariance).dense_hessian()
 
-    def _get_solver(self, covariance: np.ndarray) -> ADMMSolver:
+    def _ensure_solver(self, covariance: np.ndarray) -> None:
         key = (
             self.num_markets,
             self.horizon,
@@ -132,16 +170,46 @@ class MPOOptimizer:
             self.cost_model.churn_penalty,
             covariance.tobytes(),
             self.constraints,
+            self.resolved_backend,
         )
-        if self._solver is None or key != self._solver_key:
-            P = self._hessian(covariance)
-            rows, lower, upper = self.constraints.build_rows(
-                self.num_markets, self.horizon
+        if key == self._solver_key:
+            return
+        N, H = self.num_markets, self.horizon
+        backend = self.resolved_backend
+        self._structure = self._structure_for(covariance)
+        self._bounds = self.constraints.build_bounds(N, H)
+        if backend == "structured":
+            self._solver = StructuredADMMSolver(
+                self._structure, **self.solver_options
             )
-            self._constraint_rows = (rows, lower, upper)
-            self._solver = ADMMSolver(P, rows, **self.solver_options)
-            self._solver_key = key
-        return self._solver
+            self._dense_P = None
+            self._constraint_rows = None
+        else:
+            self._dense_P = self._structure.dense_hessian()
+            rows, _lower, _upper = self.constraints.build_rows(N, H)
+            self._constraint_rows = rows
+            if backend == "admm":
+                self._solver = ADMMSolver(
+                    self._dense_P, rows, **self.solver_options
+                )
+            else:  # active_set solves one-shot; no persistent solver state
+                self._solver = None
+        self._solver_key = key
+        self._last_plan = None
+
+    def _warm_start_vector(self, current_fractions: np.ndarray) -> np.ndarray:
+        """Seed for the next solve.
+
+        Receding horizon executes only period 0, so the previous plan
+        shifted forward one period (last period duplicated) is the natural
+        prediction of the new optimum; before any plan exists, fall back to
+        tiling the deployed allocation.
+        """
+        if self._last_plan is not None:
+            return np.concatenate(
+                [self._last_plan[1:].ravel(), self._last_plan[-1]]
+            )
+        return np.tile(current_fractions, self.horizon)
 
     # ---------------------------------------------------------------- solve
     @shapes(
@@ -204,7 +272,7 @@ class MPOOptimizer:
         if current_fractions.shape != (N,):
             raise ValueError(f"current_fractions must have {N} entries")
 
-        solver = self._get_solver(covariance)
+        self._ensure_solver(covariance)
         per_request_cost = prices / self.capacities[None, :]
 
         q = np.zeros(N * H)
@@ -221,22 +289,25 @@ class MPOOptimizer:
         if gamma > 0:
             q[:N] += -2.0 * gamma * current_fractions
 
-        if self._constraint_rows is None:  # pragma: no cover - set by _get_solver
-            raise RuntimeError("constraint rows not built; call _get_solver first")
-        rows, lower, upper = self._constraint_rows
-        if self.backend == "active_set":
+        if self._bounds is None:  # pragma: no cover - set by _ensure_solver
+            raise RuntimeError("bounds not built; call _ensure_solver first")
+        lower, upper = self._bounds
+        if self.resolved_backend == "active_set":
             from repro.solvers.active_set import solve_qp_active_set
 
-            result = solve_qp_active_set(solver.P_orig, q, rows, lower, upper)
+            result = solve_qp_active_set(
+                self._dense_P, q, self._constraint_rows, lower, upper
+            )
         else:
-            solver.warm_start(np.tile(current_fractions, H))
-            result = solver.solve(q, lower, upper)
+            self._solver.warm_start(self._warm_start_vector(current_fractions))
+            result = self._solver.solve(q, lower, upper)
         if not result.status.ok:
             raise ValueError(
                 f"portfolio program is {result.status.value}; check the "
                 "allocation constraints (a_total_min vs a_market_max * N)"
             )
         fractions = np.clip(result.x.reshape(H, N), 0.0, None)
+        self._last_plan = fractions.copy()
 
         plan = PortfolioPlan(self.markets, fractions, predicted_rps)
         prov = sum(

@@ -23,6 +23,7 @@ from repro.core import CostModel, SpotWebController
 from repro.core.policy import SpotWebPolicy
 from repro.baselines import ConstantPortfolioPolicy, oracle_target
 from repro.markets import MarketDataset, default_catalog
+from repro.parallel import pmap, shared_setup
 from repro.markets.catalog import Market
 from repro.markets.price_process import SpotPriceProcess, generate_price_matrix
 from repro.markets.revocation import RevocationModel
@@ -96,36 +97,64 @@ def fig5_dataset(*, hours: int = 72, seed: int = 0) -> MarketDataset:
     return MarketDataset(markets=markets, prices=prices, failure_probs=failure)
 
 
-def run_fig5(
-    *, hours: int = 72, peak_rps: float = 4000.0, seed: int = 0
-) -> Fig5Result:
-    """Constant portfolio vs MPO on the three-market price race.
+def _fig5_setup(hours: int, peak_rps: float, seed: int):
+    """Shared read-only inputs for one fig5 configuration (memoized)."""
 
-    Both sides get oracles (workload and price) so the comparison isolates
-    portfolio adaptivity, exactly as the paper configures it.
-    """
-    dataset = fig5_dataset(hours=hours, seed=seed)
+    def build():
+        dataset = fig5_dataset(hours=hours, seed=seed)
+        weeks = max(1, int(np.ceil(hours / (7 * 24))))
+        trace = wikipedia_like(weeks, seed=seed).scaled(peak_rps).window(0, hours)
+        return dataset, trace
+
+    return shared_setup(("fig5", hours, peak_rps, seed), build)
+
+
+def _fig5_policy_cell(params: dict) -> SimulationReport:
+    """One policy run — the unit the sweep executor fans out."""
+    hours, peak_rps, seed = params["hours"], params["peak_rps"], params["seed"]
+    dataset, trace = _fig5_setup(hours, peak_rps, seed)
     markets = dataset.markets
-    weeks = max(1, int(np.ceil(hours / (7 * 24))))
-    trace = wikipedia_like(weeks, seed=seed).scaled(peak_rps).window(0, hours)
-
     sim = CostSimulator(dataset, trace, seed=seed)
-
-    controller = SpotWebController(
-        markets,
-        OraclePredictor(trace),
-        OraclePricePredictor(dataset.prices),
-        ReactiveFailurePredictor(len(markets)),
-        horizon=4,
-        cost_model=CostModel(churn_penalty=0.2),
-    )
-    spotweb = sim.run(SpotWebPolicy(controller), name="spotweb")
-
-    constant = sim.run(
+    if params["policy"] == "spotweb":
+        controller = SpotWebController(
+            markets,
+            OraclePredictor(trace),
+            OraclePricePredictor(dataset.prices),
+            ReactiveFailurePredictor(len(markets)),
+            horizon=4,
+            cost_model=CostModel(churn_penalty=0.2),
+        )
+        return sim.run(SpotWebPolicy(controller), name="spotweb")
+    return sim.run(
         ConstantPortfolioPolicy(
             markets, calibrate_at=2, target_fn=oracle_target(trace)
         ),
         name="constant+oracle-as",
+    )
+
+
+def run_fig5(
+    *,
+    hours: int = 72,
+    peak_rps: float = 4000.0,
+    seed: int = 0,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> Fig5Result:
+    """Constant portfolio vs MPO on the three-market price race.
+
+    Both sides get oracles (workload and price) so the comparison isolates
+    portfolio adaptivity, exactly as the paper configures it.  The two
+    policy runs are independent; ``parallel=True`` fans them out over a
+    process pool with identical results.
+    """
+    dataset, trace = _fig5_setup(hours, peak_rps, seed)
+    cells = [
+        {"policy": name, "hours": hours, "peak_rps": peak_rps, "seed": seed}
+        for name in ("spotweb", "constant")
+    ]
+    spotweb, constant = pmap(
+        _fig5_policy_cell, cells, max_workers=(max_workers if parallel else 1)
     )
 
     cheapest = np.argmin(dataset.per_request_costs(), axis=1)

@@ -11,19 +11,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.baselines import ConstantPortfolioPolicy, oracle_target
 from repro.core import CostModel, SpotWebController
 from repro.core.policy import SpotWebPolicy
-from repro.experiments.fig5_price_awareness import fig5_dataset
+from repro.experiments.fig5_price_awareness import _fig5_setup
+from repro.parallel import pmap
 from repro.predictors import (
     OraclePredictor,
     OraclePricePredictor,
     ReactiveFailurePredictor,
 )
 from repro.simulator import CostSimulator, SimulationReport
-from repro.workloads import wikipedia_like
 
 __all__ = ["Fig6aResult", "run_fig6a", "format_fig6a"]
 
@@ -37,38 +35,51 @@ class Fig6aResult:
         return self.spotweb_by_horizon[horizon].savings_vs(self.constant)
 
 
+def _fig6a_cell(params: dict) -> SimulationReport:
+    """One policy run (constant baseline or SpotWeb at one horizon)."""
+    hours, peak_rps, seed = params["hours"], params["peak_rps"], params["seed"]
+    dataset, trace = _fig5_setup(hours, peak_rps, seed)
+    markets = dataset.markets
+    sim = CostSimulator(dataset, trace, seed=seed)
+    if params["kind"] == "constant":
+        return sim.run(
+            ConstantPortfolioPolicy(
+                markets, calibrate_at=2, target_fn=oracle_target(trace)
+            ),
+            name="constant+oracle-as",
+        )
+    h = params["horizon"]
+    controller = SpotWebController(
+        markets,
+        OraclePredictor(trace),
+        OraclePricePredictor(dataset.prices),
+        ReactiveFailurePredictor(len(markets)),
+        horizon=h,
+        cost_model=CostModel(churn_penalty=0.2),
+    )
+    return sim.run(SpotWebPolicy(controller), name=f"spotweb_H{h}")
+
+
 def run_fig6a(
     *,
     horizons: tuple[int, ...] = (2, 4),
     hours: int = 72,
     peak_rps: float = 4000.0,
     seed: int = 0,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> Fig6aResult:
-    dataset = fig5_dataset(hours=hours, seed=seed)
-    markets = dataset.markets
-    weeks = max(1, int(np.ceil(hours / (7 * 24))))
-    trace = wikipedia_like(weeks, seed=seed).scaled(peak_rps).window(0, hours)
-    sim = CostSimulator(dataset, trace, seed=seed)
-
-    constant = sim.run(
-        ConstantPortfolioPolicy(
-            markets, calibrate_at=2, target_fn=oracle_target(trace)
-        ),
-        name="constant+oracle-as",
+    base = {"hours": hours, "peak_rps": peak_rps, "seed": seed}
+    cells = [{"kind": "constant", **base}] + [
+        {"kind": "spotweb", "horizon": h, **base} for h in horizons
+    ]
+    reports = pmap(
+        _fig6a_cell, cells, max_workers=(max_workers if parallel else 1)
     )
-
-    by_horizon: dict[int, SimulationReport] = {}
-    for h in horizons:
-        controller = SpotWebController(
-            markets,
-            OraclePredictor(trace),
-            OraclePricePredictor(dataset.prices),
-            ReactiveFailurePredictor(len(markets)),
-            horizon=h,
-            cost_model=CostModel(churn_penalty=0.2),
-        )
-        by_horizon[h] = sim.run(SpotWebPolicy(controller), name=f"spotweb_H{h}")
-    return Fig6aResult(constant=constant, spotweb_by_horizon=by_horizon)
+    return Fig6aResult(
+        constant=reports[0],
+        spotweb_by_horizon=dict(zip(horizons, reports[1:])),
+    )
 
 
 def format_fig6a(result: Fig6aResult) -> str:

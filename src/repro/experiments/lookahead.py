@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.core import CostModel, SpotWebController
 from repro.core.policy import SpotWebPolicy
 from repro.markets import default_catalog, generate_market_dataset
+from repro.parallel import pmap, shared_setup, sweep_grid
 from repro.predictors import (
     AR1PricePredictor,
     OraclePredictor,
@@ -41,6 +42,39 @@ class LookaheadResult:
         return 1.0 - long_ / short if short > 0 else 0.0
 
 
+def _lookahead_setup(num_markets: int, weeks: int, peak_rps: float, seed: int):
+    """Shared read-only inputs for one lookahead configuration (memoized)."""
+
+    def build():
+        markets = default_catalog().spot_markets(num_markets)
+        dataset = generate_market_dataset(
+            markets, intervals=weeks * 7 * 24, seed=seed
+        )
+        trace = vod_like(weeks, seed=seed).scaled(peak_rps)
+        return markets, dataset, trace
+
+    return shared_setup(("lookahead", num_markets, weeks, peak_rps, seed), build)
+
+
+def _lookahead_cell(params: dict) -> float:
+    """Total cost of one (startup_seconds, horizon) cell."""
+    markets, dataset, trace = _lookahead_setup(
+        params["num_markets"], params["weeks"], params["peak_rps"], params["seed"]
+    )
+    startup, h, seed = params["startup"], params["horizon"], params["seed"]
+    sim = CostSimulator(dataset, trace, seed=seed, startup_seconds=startup)
+    controller = SpotWebController(
+        markets,
+        OraclePredictor(trace),
+        AR1PricePredictor(len(markets)),
+        ReactiveFailurePredictor(len(markets)),
+        horizon=h,
+        cost_model=CostModel(churn_penalty=0.2),
+    )
+    report = sim.run(SpotWebPolicy(controller), name=f"s{int(startup)}_H{h}")
+    return report.total_cost
+
+
 def run_lookahead(
     *,
     startups: tuple[float, ...] = (300.0, 3600.0),
@@ -49,28 +83,26 @@ def run_lookahead(
     weeks: int = 2,
     peak_rps: float = 30_000.0,
     seed: int = 7,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> LookaheadResult:
-    catalog = default_catalog()
-    markets = catalog.spot_markets(num_markets)
-    dataset = generate_market_dataset(markets, intervals=weeks * 7 * 24, seed=seed)
-    trace = vod_like(weeks, seed=seed).scaled(peak_rps)
-
-    costs: dict[tuple[float, int], float] = {}
-    for startup in startups:
-        sim = CostSimulator(dataset, trace, seed=seed, startup_seconds=startup)
-        for h in horizons:
-            controller = SpotWebController(
-                markets,
-                OraclePredictor(trace),
-                AR1PricePredictor(num_markets),
-                ReactiveFailurePredictor(num_markets),
-                horizon=h,
-                cost_model=CostModel(churn_penalty=0.2),
-            )
-            report = sim.run(
-                SpotWebPolicy(controller), name=f"s{int(startup)}_H{h}"
-            )
-            costs[(startup, h)] = report.total_cost
+    base = {
+        "num_markets": num_markets,
+        "weeks": weeks,
+        "peak_rps": peak_rps,
+        "seed": seed,
+    }
+    cells = [
+        {**cell, **base}
+        for cell in sweep_grid(startup=startups, horizon=horizons)
+    ]
+    totals = pmap(
+        _lookahead_cell, cells, max_workers=(max_workers if parallel else 1)
+    )
+    costs = {
+        (cell["startup"], cell["horizon"]): total
+        for cell, total in zip(cells, totals)
+    }
     return LookaheadResult(costs=costs, startups=startups, horizons=horizons)
 
 

@@ -8,7 +8,7 @@ experiment consumes, so testbed-vs-synthetic substitution happens here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -45,6 +45,12 @@ class MarketDataset:
     prices: np.ndarray
     failure_probs: np.ndarray
     interval_seconds: float = 3600.0
+    # Covariance estimation is O(T * N^2) and its inputs never change after
+    # construction, yet CostSimulator rebuilds its sampler per policy run and
+    # controllers re-derive M per construction — memoize per (kind, window).
+    _cov_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.prices = np.atleast_2d(np.asarray(self.prices, dtype=float))
@@ -79,15 +85,36 @@ class MarketDataset:
         """Adjusted cost per request ``C_t^i = price_t^i / r_i`` — ``(T, N)``."""
         return self.prices / self.capacities[None, :]
 
+    def _memo_covariance(self, kind: str, window: slice | None) -> np.ndarray:
+        key = (
+            (kind, None)
+            if window is None
+            else (kind, window.start, window.stop, window.step)
+        )
+        cached = self._cov_cache.get(key)
+        if cached is None:
+            probs = (
+                self.failure_probs if window is None else self.failure_probs[window]
+            )
+            fn = failure_covariance if kind == "dynamics" else event_covariance
+            cached = fn(probs)
+            cached.setflags(write=False)  # shared across callers — keep pure
+            self._cov_cache[key] = cached
+        return cached
+
     def covariance(self, window: slice | None = None) -> np.ndarray:
-        """Dynamics covariance of failure probabilities (copula input)."""
-        probs = self.failure_probs if window is None else self.failure_probs[window]
-        return failure_covariance(probs)
+        """Dynamics covariance of failure probabilities (copula input).
+
+        Memoized per window: repeat calls return the same read-only array.
+        """
+        return self._memo_covariance("dynamics", window)
 
     def event_covariance(self, window: slice | None = None) -> np.ndarray:
-        """Revocation-event covariance ``M`` — the Eq. 5 risk matrix."""
-        probs = self.failure_probs if window is None else self.failure_probs[window]
-        return event_covariance(probs)
+        """Revocation-event covariance ``M`` — the Eq. 5 risk matrix.
+
+        Memoized per window: repeat calls return the same read-only array.
+        """
+        return self._memo_covariance("event", window)
 
     def slice_markets(self, indices: list[int]) -> "MarketDataset":
         """Dataset restricted to a subset of market columns."""

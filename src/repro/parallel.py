@@ -1,14 +1,23 @@
 """Process-parallel experiment execution.
 
-The evaluation sweeps (Fig. 6(b): markets x horizons x seeds) are
-embarrassingly parallel — each cell is an independent simulation.  This
-module provides a small, dependency-free fan-out helper:
+The evaluation sweeps (Fig. 6(b): markets x horizons x seeds; the Table-1
+cost comparison: policies x seeds) are embarrassingly parallel — each cell
+is an independent simulation.  This module is the sweep engine every
+experiment runner and the CLI share:
 
 - :func:`pmap` — map a picklable function over items with a process pool,
   preserving order; degrades gracefully to serial execution when a pool is
   unavailable (restricted environments) or ``max_workers <= 1``.
 - :func:`sweep_grid` — expand a parameter grid into keyword dictionaries,
   the usual shape of an experiment sweep.
+- :func:`derive_seed` — deterministic, hash-randomization-proof seed
+  derivation, so a cell's RNG stream depends only on its parameters — never
+  on which worker ran it or in what order.  Serial and parallel sweeps
+  therefore produce bit-identical results.
+- :func:`shared_setup` — a per-process memo for expensive read-only inputs
+  (datasets, traces).  Cells that share a setup key build it once per
+  worker; on fork-based platforms a parent that pre-built it shares the
+  pages copy-on-write with every worker.
 
 Functions passed to :func:`pmap` must be module-level (picklable); the
 experiment runners in :mod:`repro.experiments` qualify.
@@ -16,15 +25,51 @@ experiment runners in :mod:`repro.experiments` qualify.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["pmap", "sweep_grid"]
+__all__ = ["pmap", "sweep_grid", "derive_seed", "shared_setup", "clear_shared_setup"]
+
+# Per-process cache behind shared_setup().  Deliberately module-level: under
+# the fork start method a parent that warms it shares the pages with every
+# worker; under spawn each worker fills it on first use.
+_SETUP_CACHE: dict[Hashable, object] = {}
+
+
+def derive_seed(base_seed: int, *components: object) -> int:
+    """Derive a deterministic sub-seed from a base seed and cell parameters.
+
+    Uses SHA-256 over the reprs, so the result is stable across processes,
+    platforms and Python's per-run hash randomization (``hash()`` is not).
+    Returns a non-negative int below ``2**63``, valid for
+    ``np.random.default_rng``.
+    """
+    payload = repr((int(base_seed),) + components).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def shared_setup(key: Hashable, factory: Callable[[], T]) -> T:
+    """Build-once accessor for expensive read-only sweep inputs.
+
+    The first call with a ``key`` in a given process invokes ``factory`` and
+    caches the result; later calls return the cached object.  Treat the
+    result as read-only — it is shared by every cell in this process.
+    """
+    if key not in _SETUP_CACHE:
+        _SETUP_CACHE[key] = factory()
+    return _SETUP_CACHE[key]  # type: ignore[return-value]
+
+
+def clear_shared_setup() -> None:
+    """Drop the per-process setup cache (tests; long-lived sessions)."""
+    _SETUP_CACHE.clear()
 
 
 def pmap(
@@ -39,7 +84,10 @@ def pmap(
     ``max_workers=None`` uses ``os.cpu_count()`` capped by the item count;
     ``max_workers<=1`` (or a pool failure, e.g. sandboxed environments with
     no semaphores) falls back to a plain serial loop, so callers never need
-    two code paths.
+    two code paths.  Workers must not rely on shared mutable state — cells
+    that need expensive common inputs should fetch them via
+    :func:`shared_setup` and derive their randomness with
+    :func:`derive_seed`, which keeps parallel output identical to serial.
     """
     items = list(items)
     if not items:

@@ -166,6 +166,10 @@ class CostSimulator:
         capacity_out = np.zeros(T)
         demand_out = np.zeros(T)
 
+        # Loop-invariant: the boot window covers a fixed fraction of every
+        # interval (servers added this interval serve nothing during it).
+        boot_frac = min(self.startup_seconds / interval_s, 1.0)
+
         observed = float(self.trace.rates[0])
         for t in range(T):
             prices = self.dataset.prices[t]
@@ -194,7 +198,6 @@ class CostSimulator:
             # but serve nothing during the startup delay — both the extra
             # dollars and the missing capacity are charged.  The first
             # interval bootstraps free (every policy starts a fleet then).
-            boot_frac = min(self.startup_seconds / interval_s, 1.0)
             if t > 0:
                 started = np.maximum(0, counts - prev_counts)
                 boot_cost = float((started * prices).sum()) * (

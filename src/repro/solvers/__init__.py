@@ -9,6 +9,9 @@ built from scratch on NumPy/SciPy:
   and cached factorizations (the receding-horizon loop re-solves the same
   problem with updated ``q``/``l``/``u`` every interval).
 - :mod:`repro.solvers.lp` — linear programming on top of the same interface.
+- :mod:`repro.solvers.structured` — a block-tridiagonal KKT fast path for
+  MPO-shaped programs (per-period blocks coupled only by the churn term),
+  O(H·N³) factorization instead of the dense path's O((N·H)³).
 - :mod:`repro.solvers.kkt` — KKT residual checks used by tests and by the
   solver's own termination criteria.
 - :mod:`repro.solvers.reference` — a slow, independent reference solver
@@ -16,15 +19,21 @@ built from scratch on NumPy/SciPy:
 """
 
 from repro.solvers.result import SolverResult, SolverStatus
-from repro.solvers.qp import ADMMSolver, QPProblem, solve_qp
+from repro.solvers.qp import ADMMCore, ADMMSolver, QPProblem, solve_qp
 from repro.solvers.lp import solve_lp
 from repro.solvers.kkt import kkt_residuals, check_kkt
 from repro.solvers.reference import solve_qp_reference
 from repro.solvers.active_set import solve_qp_active_set
+from repro.solvers.structured import (
+    BlockTridiagFactor,
+    MPOStructure,
+    StructuredADMMSolver,
+)
 
 __all__ = [
     "SolverResult",
     "SolverStatus",
+    "ADMMCore",
     "ADMMSolver",
     "QPProblem",
     "solve_qp",
@@ -33,4 +42,7 @@ __all__ = [
     "check_kkt",
     "solve_qp_reference",
     "solve_qp_active_set",
+    "BlockTridiagFactor",
+    "MPOStructure",
+    "StructuredADMMSolver",
 ]

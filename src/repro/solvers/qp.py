@@ -17,10 +17,19 @@ standard robustness devices are included:
 - **Adaptive rho** — the ADMM penalty is retuned from the ratio of primal to
   dual residuals, with the KKT matrix refactorized on each retune.
 
-The implementation is dense (NumPy/SciPy ``cho_factor``): the SpotWeb MPO
-program has ``N * H`` variables (tens to a few thousand), for which a cached
-dense Cholesky factorization beats sparse machinery.  Two properties matter
-for the receding-horizon loop:
+The iteration itself is independent of how the linear algebra is carried
+out, so it lives in :class:`ADMMCore`, parameterized over five hooks
+(``_apply_P``/``_apply_A``/``_apply_AT``/``_solve_kkt``/``_factorize``).
+Two backends implement the hooks:
+
+- :class:`ADMMSolver` (this module) — dense NumPy/SciPy ``cho_factor`` on
+  the full ``(n, n)`` KKT matrix.  For unstructured mid-size problems a
+  cached dense Cholesky beats sparse machinery.
+- :class:`repro.solvers.structured.StructuredADMMSolver` — a
+  block-tridiagonal factorization exploiting the MPO program's banded
+  time structure, O(H·N³) instead of O((N·H)³).
+
+Two properties matter for the receding-horizon loop regardless of backend:
 
 - **Cached factorization** — the KKT matrix depends only on ``P``, ``A`` and
   the penalty ``rho``; re-solves with new ``q``/``l``/``u`` (new prices and
@@ -41,7 +50,7 @@ from scipy.linalg import cho_factor, cho_solve
 from repro.devtools.contracts import shapes
 from repro.solvers.result import SolverResult, SolverStatus
 
-__all__ = ["QPProblem", "ADMMSolver", "solve_qp"]
+__all__ = ["QPProblem", "ADMMCore", "ADMMSolver", "solve_qp"]
 
 # Default algorithm parameters (OSQP defaults, tightened tolerances).
 _DEFAULT_RHO = 0.1
@@ -136,20 +145,29 @@ def _ruiz_equilibrate(
     return D, E
 
 
-class ADMMSolver:
-    """Reusable ADMM solver bound to a fixed ``(P, A)`` pair.
+class ADMMCore:
+    """The backend-independent ADMM iteration.
 
-    Construct once, then call :meth:`solve` repeatedly with updated linear
-    terms and bounds.  This is exactly the access pattern of SpotWeb's
-    receding-horizon optimizer, where the quadratic risk term and the
-    constraint matrix are fixed by the market set and horizon, while prices,
-    failure probabilities and workload predictions move every interval.
+    Subclasses provide the scalings and the linear algebra:
+
+    - set ``self._D`` (``(n,)`` variable scaling) and ``self._E`` (``(m,)``
+      row scaling) before calling ``_init_core``;
+    - implement ``_apply_P(v)``, ``_apply_A(v)``, ``_apply_AT(w)`` — the
+      *scaled* operators ``P̂v``, ``Âv``, ``Â'w``;
+    - implement ``_factorize()`` (rebuild the KKT factorization for the
+      current ``self._rho``) and ``_solve_kkt(rhs)``;
+    - implement ``_objective_orig(x)`` — ``1/2 x'Px`` in original
+      coordinates (the linear term is added by the core).
+
+    Everything else — iteration, termination, infeasibility certificates,
+    adaptive-rho retuning, warm-start state — is shared, so the dense and
+    structured paths run the *same algorithm* and land on the same optimum.
     """
 
     def __init__(
         self,
-        P: np.ndarray,
-        A: np.ndarray,
+        n: int,
+        m: int,
         *,
         rho: float = _DEFAULT_RHO,
         sigma: float = _DEFAULT_SIGMA,
@@ -158,50 +176,54 @@ class ADMMSolver:
         eps_rel: float = _DEFAULT_EPS_REL,
         max_iter: int = _DEFAULT_MAX_ITER,
         adaptive_rho: bool = True,
-        scale: bool = True,
     ) -> None:
-        P = np.atleast_2d(np.asarray(P, dtype=float))
-        A = np.atleast_2d(np.asarray(A, dtype=float))
-        if P.shape[0] != P.shape[1]:
-            raise ValueError("P must be square")
-        if A.shape[1] != P.shape[0]:
-            raise ValueError("A column count must match P dimension")
         if rho <= 0 or sigma <= 0:
             raise ValueError("rho and sigma must be positive")
         if not 0 < alpha < 2:
             raise ValueError("relaxation alpha must lie in (0, 2)")
-        self.P_orig = P
-        self.A_orig = A
+        self.n = int(n)
+        self.m = int(m)
         self.sigma = float(sigma)
         self.alpha = float(alpha)
         self.eps_abs = float(eps_abs)
         self.eps_rel = float(eps_rel)
         self.max_iter = int(max_iter)
         self.adaptive_rho = bool(adaptive_rho)
-
-        n, m = P.shape[0], A.shape[0]
-        if scale:
-            self._D, self._E = _ruiz_equilibrate(P, A)
-        else:
-            self._D, self._E = np.ones(n), np.ones(m)
-        self.P = P * self._D[:, None] * self._D[None, :]
-        self.A = A * self._E[:, None] * self._D[None, :]
         self._rho = float(rho)
+
+    def _init_core(self) -> None:
+        """Finish setup once ``_D``/``_E`` exist: factorize, zero the state."""
         self._factorize()
         # Warm-start state (in scaled coordinates), kept across solve() calls.
-        self._x = np.zeros(n)
-        self._z = np.zeros(m)
-        self._y = np.zeros(m)
+        self._x = np.zeros(self.n)
+        self._z = np.zeros(self.m)
+        self._y = np.zeros(self.m)
 
+    # -------------------------------------------------- backend hooks
+    def _apply_P(self, v: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _apply_A(self, v: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _apply_AT(self, w: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _factorize(self) -> None:
+        raise NotImplementedError
+
+    def _solve_kkt(self, rhs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _objective_orig(self, x: np.ndarray) -> float:
+        """``1/2 x' P x`` at an *unscaled* point."""
+        raise NotImplementedError
+
+    # -------------------------------------------------- public interface
     @property
     def rho(self) -> float:
         """Current ADMM penalty parameter."""
         return self._rho
-
-    def _factorize(self) -> None:
-        n = self.P.shape[0]
-        kkt = self.P + self.sigma * np.eye(n) + self._rho * (self.A.T @ self.A)
-        self._factor = cho_factor(kkt, lower=True, check_finite=False)
 
     def reset(self) -> None:
         """Forget the warm-start state (cold start the next solve)."""
@@ -215,7 +237,7 @@ class ADMMSolver:
         if x.shape != self._x.shape:
             raise ValueError("warm-start x has wrong dimension")
         self._x = x / self._D
-        self._z = self.A @ self._x
+        self._z = self._apply_A(self._x)
         if y is not None:
             y = np.asarray(y, dtype=float).ravel()
             if y.shape != self._y.shape:
@@ -232,7 +254,7 @@ class ADMMSolver:
         q = np.asarray(q, dtype=float).ravel()
         l = np.asarray(l, dtype=float).ravel()
         u = np.asarray(u, dtype=float).ravel()
-        m, n = self.A.shape
+        m, n = self.m, self.n
         if q.shape != (n,):
             raise ValueError(f"q must have {n} entries")
         if l.shape != (m,) or u.shape != (m,):
@@ -241,24 +263,22 @@ class ADMMSolver:
             raise ValueError("infeasible box: some l > u")
 
         start = time.perf_counter()
-        # Scale the linear data: q̂ = c D q, l̂ = E l.  The objective scaling
-        # constant c is folded into q and unfolded on exit via the duals.
+        # Scale the linear data: q̂ = D q, l̂ = E l, û = E u.
         qs = self._D * q
         ls = self._E * l
         us = self._E * u
 
         x, z, y = self._x, np.clip(self._z, ls, us), self._y
         sigma, alpha = self.sigma, self.alpha
-        A, P = self.A, self.P
         status = SolverStatus.MAX_ITERATIONS
         r_prim = r_dual = float("inf")
         x_prev_check, y_prev_check = x.copy(), y.copy()
         it = 0
         for it in range(1, self.max_iter + 1):
             rho = self._rho
-            rhs = sigma * x - qs + A.T @ (rho * z - y)
-            x_tilde = cho_solve(self._factor, rhs, check_finite=False)
-            z_tilde = A @ x_tilde
+            rhs = sigma * x - qs + self._apply_AT(rho * z - y)
+            x_tilde = self._solve_kkt(rhs)
+            z_tilde = self._apply_A(x_tilde)
             x_next = alpha * x_tilde + (1.0 - alpha) * x
             z_relaxed = alpha * z_tilde + (1.0 - alpha) * z
             z_next = np.clip(z_relaxed + y / rho, ls, us)
@@ -266,9 +286,9 @@ class ADMMSolver:
             x, z = x_next, z_next
 
             if it % _CHECK_EVERY == 0 or it == self.max_iter:
-                Ax = A @ x
-                Px = P @ x
-                Aty = A.T @ y
+                Ax = self._apply_A(x)
+                Px = self._apply_P(x)
+                Aty = self._apply_AT(y)
                 # Residuals in original coordinates.
                 r_prim = float(np.linalg.norm((Ax - z) / self._E, np.inf))
                 r_dual = float(np.linalg.norm((Px + qs + Aty) / self._D, np.inf))
@@ -298,7 +318,7 @@ class ADMMSolver:
         elapsed = time.perf_counter() - start
         x_out = self._D * x
         y_out = self._E * y
-        objective = float(0.5 * x_out @ self.P_orig @ x_out + q @ x_out)
+        objective = self._objective_orig(x_out) + float(q @ x_out)
         return SolverResult(
             x=x_out,
             y=y_out,
@@ -343,18 +363,18 @@ class ADMMSolver:
                     + np.sum(np.where(dy_neg < 0, ls, 0.0) * dy_neg)
                 )
                 if (
-                    np.linalg.norm(self.A.T @ dyn, np.inf) <= eps
+                    np.linalg.norm(self._apply_AT(dyn), np.inf) <= eps
                     and support <= -eps
                 ):
                     return SolverStatus.PRIMAL_INFEASIBLE
         norm_dx = float(np.linalg.norm(dx, np.inf))
         if norm_dx > eps:
             dxn = dx / norm_dx
-            Adx = self.A @ dxn
+            Adx = self._apply_A(dxn)
             upper_ok = np.all((Adx <= eps) | np.isinf(us))
             lower_ok = np.all((Adx >= -eps) | np.isinf(ls))
             if (
-                np.linalg.norm(self.P @ dxn, np.inf) <= eps
+                np.linalg.norm(self._apply_P(dxn), np.inf) <= eps
                 and float(qs @ dxn) <= -eps
                 and upper_ok
                 and lower_ok
@@ -376,6 +396,63 @@ class ADMMSolver:
             if not np.isclose(new_rho, self._rho):
                 self._rho = new_rho
                 self._factorize()
+
+
+class ADMMSolver(ADMMCore):
+    """Dense-backend ADMM solver bound to a fixed ``(P, A)`` pair.
+
+    Construct once, then call :meth:`solve` repeatedly with updated linear
+    terms and bounds.  This is exactly the access pattern of SpotWeb's
+    receding-horizon optimizer, where the quadratic risk term and the
+    constraint matrix are fixed by the market set and horizon, while prices,
+    failure probabilities and workload predictions move every interval.
+    """
+
+    def __init__(
+        self,
+        P: np.ndarray,
+        A: np.ndarray,
+        *,
+        scale: bool = True,
+        **core_kwargs,
+    ) -> None:
+        P = np.atleast_2d(np.asarray(P, dtype=float))
+        A = np.atleast_2d(np.asarray(A, dtype=float))
+        if P.shape[0] != P.shape[1]:
+            raise ValueError("P must be square")
+        if A.shape[1] != P.shape[0]:
+            raise ValueError("A column count must match P dimension")
+        n, m = P.shape[0], A.shape[0]
+        super().__init__(n, m, **core_kwargs)
+        self.P_orig = P
+        self.A_orig = A
+        if scale:
+            self._D, self._E = _ruiz_equilibrate(P, A)
+        else:
+            self._D, self._E = np.ones(n), np.ones(m)
+        self.P = P * self._D[:, None] * self._D[None, :]
+        self.A = A * self._E[:, None] * self._D[None, :]
+        self._init_core()
+
+    def _apply_P(self, v: np.ndarray) -> np.ndarray:
+        return self.P @ v
+
+    def _apply_A(self, v: np.ndarray) -> np.ndarray:
+        return self.A @ v
+
+    def _apply_AT(self, w: np.ndarray) -> np.ndarray:
+        return self.A.T @ w
+
+    def _factorize(self) -> None:
+        n = self.P.shape[0]
+        kkt = self.P + self.sigma * np.eye(n) + self._rho * (self.A.T @ self.A)
+        self._factor = cho_factor(kkt, lower=True, check_finite=False)
+
+    def _solve_kkt(self, rhs: np.ndarray) -> np.ndarray:
+        return cho_solve(self._factor, rhs, check_finite=False)
+
+    def _objective_orig(self, x: np.ndarray) -> float:
+        return float(0.5 * x @ self.P_orig @ x)
 
 
 def solve_qp(

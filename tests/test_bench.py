@@ -1,0 +1,106 @@
+"""Tests for the repro.bench benchmark/baseline layer."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    SCHEMA_MPO,
+    SCHEMA_SIM,
+    bench_mpo,
+    bench_sim,
+    crossover_violations,
+    format_bench_mpo,
+    format_bench_sim,
+    load_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_mpo():
+    return bench_mpo(
+        market_counts=(4,), horizons=(2,), repeats=2, seed=0
+    )
+
+
+class TestBenchMPO:
+    def test_grid_and_schema(self, tiny_mpo):
+        assert tiny_mpo["schema"] == SCHEMA_MPO
+        assert len(tiny_mpo["cells"]) == 2  # one per backend
+        backends = {c["backend"] for c in tiny_mpo["cells"]}
+        assert backends == {"admm", "structured"}
+        for cell in tiny_mpo["cells"]:
+            assert cell["variables"] == 8
+            assert cell["cold_ms"] > 0
+            assert cell["warm_median_ms"] > 0
+            assert cell["warm_max_ms"] >= cell["warm_median_ms"]
+
+    def test_backends_land_on_same_objective(self, tiny_mpo):
+        (speedup,) = tiny_mpo["speedups"]
+        assert speedup["objective_gap"] < 1e-6
+        assert speedup["warm_speedup"] > 0
+
+    def test_format_renders(self, tiny_mpo):
+        out = format_bench_mpo(tiny_mpo)
+        assert "structured" in out and "cold_ms" in out
+
+
+class TestBenchSim:
+    def test_throughput_positive(self):
+        data = bench_sim(num_markets=4, weeks=1, repeats=2, seed=0)
+        assert data["schema"] == SCHEMA_SIM
+        (cell,) = data["cells"]
+        assert cell["intervals"] == 7 * 24
+        assert cell["intervals_per_sec_median"] > 0
+        assert np.isfinite(cell["total_cost"])
+        assert "intervals/sec" in format_bench_sim(data)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tiny_mpo, tmp_path):
+        path = write_bench(tiny_mpo, tmp_path / "BENCH_mpo.json")
+        loaded = load_bench(path)
+        assert loaded == tiny_mpo
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="schema"):
+            write_bench({"schema": "nope", "cells": []}, tmp_path / "x.json")
+        (tmp_path / "y.json").write_text('{"schema": "nope", "cells": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(tmp_path / "y.json")
+
+    def test_committed_baselines_are_valid(self):
+        # The repo-root BENCH files are part of the perf contract.
+        root = Path(__file__).resolve().parents[1]
+        mpo = load_bench(root / "BENCH_mpo.json")
+        sim = load_bench(root / "BENCH_sim.json")
+        assert mpo["schema"] == SCHEMA_MPO
+        assert sim["schema"] == SCHEMA_SIM
+        assert crossover_violations(mpo) == []
+
+
+class TestCrossover:
+    def _data(self, entries):
+        return {"schema": SCHEMA_MPO, "cells": [], "speedups": entries}
+
+    def test_flags_slow_cells_past_threshold(self):
+        entries = [
+            {"markets": 48, "horizon": 10, "variables": 480, "warm_speedup": 0.8},
+            {"markets": 144, "horizon": 10, "variables": 1440, "warm_speedup": 4.0},
+            {"markets": 12, "horizon": 4, "variables": 48, "warm_speedup": 0.5},
+        ]
+        bad = crossover_violations(self._data(entries))
+        assert [v["variables"] for v in bad] == [480]
+
+    def test_threshold_configurable(self):
+        entries = [
+            {"markets": 12, "horizon": 4, "variables": 48, "warm_speedup": 0.5}
+        ]
+        assert crossover_violations(self._data(entries), min_vars=48)
+        assert not crossover_violations(self._data(entries), min_vars=49)
+
+    def test_requires_mpo_schema(self):
+        with pytest.raises(ValueError):
+            crossover_violations({"schema": SCHEMA_SIM, "speedups": []})

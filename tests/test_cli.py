@@ -17,6 +17,7 @@ class TestParser:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {
             "table1",
+            "table1_costs",
             "fig3",
             "fig4a",
             "fig4bcd",

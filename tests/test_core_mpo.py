@@ -161,16 +161,15 @@ class TestMultiPeriodStructure:
         res = opt.optimize(targets, prices, failures, M)
 
         # Rebuild the same QP and solve with scipy trust-constr.
-        solver = opt._get_solver(M)
-        rows, lower, upper = opt._constraint_rows
         N = len(small_markets)
+        rows, lower, upper = opt.constraints.build_rows(N, H)
         q = np.zeros(N * H)
         per_req = prices / opt.capacities[None, :]
         for tau in range(H):
             q[tau * N : (tau + 1) * N] = opt.cost_model.provisioning_coefficients(
                 per_req[tau], targets[tau], 1.0
             ) + opt.cost_model.sla_coefficients(failures[tau], targets[tau], 0.0)
-        problem = QPProblem(solver.P_orig, q, rows, lower, upper)
+        problem = QPProblem(opt._hessian(M), q, rows, lower, upper)
         ref = solve_qp_reference(problem)
         assert res.solver.objective == pytest.approx(ref.objective, rel=1e-3, abs=1e-4)
 
