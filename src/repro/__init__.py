@@ -26,6 +26,8 @@ Package map
 - :mod:`repro.experiments` — one runner per table/figure of the paper.
 - :mod:`repro.devtools` — ``spotlint`` static analysis + runtime
   shape/sign/unit contracts guarding the invariants above.
+- :mod:`repro.obs` — span tracing, metrics registry, and trace analysis
+  threaded through the control loop (off by default).
 """
 
 __version__ = "1.0.0"
@@ -42,4 +44,5 @@ __all__ = [
     "analysis",
     "experiments",
     "devtools",
+    "obs",
 ]

@@ -14,8 +14,10 @@ package produces it.  Two benchmark families:
 Results are plain dictionaries written/read by :func:`write_bench` /
 :func:`load_bench` under versioned schemas, and checked by
 :func:`crossover_violations` (the structured path must win wherever
-``N·H >= 288``).  The CLI front-end is ``python -m repro bench``, which
-emits ``BENCH_mpo.json`` and ``BENCH_sim.json``.
+``N·H >= 288``) and :func:`bench_regressions` (fresh warm medians must stay
+within a factor of the recorded baseline, cell-by-cell).  The CLI front-end
+is ``python -m repro bench``, which emits ``BENCH_mpo.json`` and
+``BENCH_sim.json``; ``--compare`` turns the regression check into a gate.
 """
 
 from repro.bench.mpo import bench_mpo
@@ -23,6 +25,7 @@ from repro.bench.sim import bench_sim
 from repro.bench.report import (
     SCHEMA_MPO,
     SCHEMA_SIM,
+    bench_regressions,
     crossover_violations,
     format_bench_mpo,
     format_bench_sim,
@@ -35,6 +38,7 @@ __all__ = [
     "bench_sim",
     "SCHEMA_MPO",
     "SCHEMA_SIM",
+    "bench_regressions",
     "crossover_violations",
     "format_bench_mpo",
     "format_bench_sim",

@@ -1,0 +1,106 @@
+"""CI perf smoke: the parallel sweep must beat serial and match bitwise.
+
+Runs the Table-1 cost sweep twice — serial and over a process pool — and
+fails unless (a) every policy's total cost is bit-identical between the
+two runs and (b) the pool delivers at least ``--min-speedup``.  Lives here
+instead of an inline script in ``ci.yml`` so the check is importable,
+testable, and versioned with the code it gates::
+
+    PYTHONPATH=src python -m repro.bench.ciperf --max-workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["check_parallel_speedup", "main"]
+
+
+def check_parallel_speedup(
+    *,
+    reps: int = 4,
+    num_markets: int = 6,
+    weeks: int = 1,
+    seed: int = 0,
+    max_workers: int = 4,
+) -> dict:
+    """Time the sweep serial vs parallel; report speedup and mismatches.
+
+    Returns ``{"serial_seconds", "parallel_seconds", "speedup",
+    "mismatches"}`` where ``mismatches`` lists every ``(policy, seed)`` key
+    whose parallel total cost differs from the serial one (must be empty:
+    the pool fans out pure cells, so results are bit-identical by design).
+    """
+    from repro.experiments.table1 import run_table1_costs
+
+    kwargs = dict(reps=reps, num_markets=num_markets, weeks=weeks, seed=seed)
+    t0 = time.perf_counter()
+    serial = run_table1_costs(parallel=False, **kwargs)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    par = run_table1_costs(parallel=True, max_workers=max_workers, **kwargs)
+    t_par = time.perf_counter() - t0
+    mismatches = [
+        key
+        for key, report in serial.reports.items()
+        if par.reports[key].total_cost != report.total_cost  # spotlint: disable=SW003
+    ]
+    return {
+        "serial_seconds": t_serial,
+        "parallel_seconds": t_par,
+        "speedup": t_serial / t_par if t_par > 0 else float("inf"),
+        "mismatches": mismatches,
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.ciperf",
+        description="Gate: parallel sweep speedup + serial/parallel equality.",
+    )
+    parser.add_argument("--reps", type=int, default=4)
+    parser.add_argument("--markets", type=int, default=6)
+    parser.add_argument("--weeks", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-workers", type=int, default=4)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="fail when the parallel run is not at least this much faster",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    result = check_parallel_speedup(
+        reps=args.reps,
+        num_markets=args.markets,
+        weeks=args.weeks,
+        seed=args.seed,
+        max_workers=args.max_workers,
+    )
+    print(
+        f"serial {result['serial_seconds']:.1f}s "
+        f"parallel {result['parallel_seconds']:.1f}s "
+        f"-> {result['speedup']:.2f}x"
+    )
+    if result["mismatches"]:
+        print(f"parallel != serial at {result['mismatches']}", file=sys.stderr)
+        return 1
+    if result["speedup"] < args.min_speedup:
+        print(
+            f"parallel sweep only {result['speedup']:.2f}x "
+            f"(need {args.min_speedup:g}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ __all__ = [
     "write_bench",
     "load_bench",
     "crossover_violations",
+    "bench_regressions",
     "format_bench_mpo",
     "format_bench_sim",
 ]
@@ -58,6 +59,50 @@ def crossover_violations(mpo_data: dict, *, min_vars: int = 288) -> list[dict]:
         for entry in mpo_data.get("speedups", [])
         if entry["variables"] >= min_vars and entry["warm_speedup"] < 1.0
     ]
+
+
+def bench_regressions(
+    fresh: dict, baseline: dict, *, factor: float = 2.5
+) -> list[dict]:
+    """Warm-latency regressions of ``fresh`` against a recorded baseline.
+
+    Cells are matched by ``(markets, horizon, backend)``; a cell regresses
+    when its warm-median latency exceeds ``factor`` times the baseline's.
+    Cells present on only one side are ignored (the CI quick grid is a
+    subset of the full baseline grid), but zero overlap is an error — a
+    vacuous comparison would silently gate nothing.
+    """
+    for data in (fresh, baseline):
+        if data.get("schema") != SCHEMA_MPO:
+            raise ValueError("regression check needs bench-mpo results")
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1.0")
+    base = {
+        (c["markets"], c["horizon"], c["backend"]): c
+        for c in baseline["cells"]
+    }
+    matched = 0
+    regressions = []
+    for cell in fresh["cells"]:
+        ref = base.get((cell["markets"], cell["horizon"], cell["backend"]))
+        if ref is None or ref["warm_median_ms"] <= 0:
+            continue
+        matched += 1
+        ratio = cell["warm_median_ms"] / ref["warm_median_ms"]
+        if ratio > factor:
+            regressions.append(
+                {
+                    "markets": cell["markets"],
+                    "horizon": cell["horizon"],
+                    "backend": cell["backend"],
+                    "warm_median_ms": cell["warm_median_ms"],
+                    "baseline_warm_median_ms": ref["warm_median_ms"],
+                    "ratio": ratio,
+                }
+            )
+    if matched == 0:
+        raise ValueError("no overlapping cells between fresh and baseline")
+    return regressions
 
 
 def format_bench_mpo(data: dict) -> str:

@@ -7,18 +7,26 @@ Commands
   ``fig5``, ``fig6a``, ``fig6b``, ``fig7a``, ``fig7b``, ``lookahead``).
   ``--parallel``/``--workers`` fan independent cells over a process pool
   with results identical to serial.
+- ``run <name>`` — like ``experiment`` plus observability: ``--trace``
+  (or ``SPOTWEB_TRACE=1``) records a span trace of the whole run to a
+  ``spotweb-trace/1`` JSONL file and prints the metrics snapshot;
+  ``--quick`` shrinks the workload to CI size.
+- ``trace summarize|validate <file>`` — critical-path breakdown, top
+  spans, and per-phase timeline of a recorded trace; or schema check.
 - ``list`` — list available experiments with one-line descriptions.
 - ``catalog`` — print the instance catalog / market universe.
 - ``advisor`` — print the emulated Spot Instance Advisor table for a
   synthetic dataset.
 - ``bench`` — run the solver/simulator micro benchmarks and write the
   machine-readable ``BENCH_mpo.json`` / ``BENCH_sim.json`` baselines
-  (``--check`` turns the structured-vs-dense crossover into a hard gate).
+  (``--check`` turns the structured-vs-dense crossover into a hard gate;
+  ``--compare PATH`` fails on warm-latency regressions vs that baseline).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable
 
@@ -84,7 +92,10 @@ def _run_fig6a(args) -> str:
 
     return fig6a_constant.format_fig6a(
         fig6a_constant.run_fig6a(
-            seed=args.seed, parallel=args.parallel, max_workers=args.workers
+            hours=getattr(args, "hours", 72),
+            seed=args.seed,
+            parallel=args.parallel,
+            max_workers=args.workers,
         )
     )
 
@@ -152,6 +163,74 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "lookahead": ("Sec. 7: look-ahead vs startup time", _run_lookahead),
     "gcloud": ("Sec. 7: Google-preemptible mode", _run_gcloud),
 }
+
+
+def _env_trace_on() -> bool:
+    """Honor the ``SPOTWEB_TRACE`` opt-in (any value but empty/``0``)."""
+    return os.environ.get("SPOTWEB_TRACE", "0") not in ("", "0")
+
+
+def _format_metrics(snapshot: dict) -> str:
+    """Render a metrics snapshot as indented ``name: value`` lines."""
+    lines = ["metrics:"]
+    for name, value in snapshot.items():
+        if isinstance(value, dict):
+            lines.append(
+                f"  {name}: count={value['count']} p50={value['p50']:.3f} "
+                f"p95={value['p95']:.3f} max={value['max']:.3f}"
+            )
+        else:
+            lines.append(f"  {name}: {value}")
+    return "\n".join(lines)
+
+
+def _cmd_run(args) -> str:
+    """Run one experiment with optional span tracing + metrics snapshot.
+
+    Identical to ``experiment`` when tracing is off (the no-op tracer adds
+    one method call per instrumented site).  With ``--trace`` or
+    ``SPOTWEB_TRACE=1`` the whole run executes under an
+    ``experiment.<name>`` root span, the trace is written as
+    ``spotweb-trace/1`` JSONL, and the metrics snapshot is printed.
+    """
+    import importlib
+
+    from repro import obs
+
+    if args.quick:
+        args.weeks = 1
+        args.hours = 24
+    _desc, runner = EXPERIMENTS[args.name]
+    if not (args.trace or _env_trace_on()):
+        return runner(args)
+    obs.enable_tracing()
+    obs.reset_metrics()
+    tracer = obs.get_tracer()
+    tracer.clear()
+    with tracer.span(f"experiment.{args.name}", quick=args.quick):
+        # The experiments package import dominates a --quick run's
+        # wall-clock; give it a span so the root stays >95% covered.
+        with tracer.span("experiment.imports"):
+            importlib.import_module("repro.experiments")
+        text = runner(args)
+    records = tracer.records()
+    out = args.trace_out or f"TRACE_{args.name}.jsonl"
+    obs.write_trace(records, out)
+    text += f"\nwrote {len(records)} spans to {out}"
+    if args.parallel:
+        text += "\nNOTE: spans from process-pool workers are not captured"
+    text += "\n" + _format_metrics(obs.get_metrics().snapshot())
+    return text
+
+
+def _cmd_trace(args) -> str:
+    """Summarize or schema-validate a recorded trace file."""
+    from repro.obs import load_trace, summarize_file
+
+    if args.action == "summarize":
+        return summarize_file(args.file, top=args.top)
+    records = load_trace(args.file)  # load performs full schema validation
+    return f"{args.file}: {len(records)} spans, schema OK"
 
 
 def _cmd_list(_args) -> str:
@@ -223,25 +302,42 @@ def _cmd_simulate(args) -> str:
 
 
 def _cmd_bench(args) -> str:
-    """Run the micro benchmarks and write ``BENCH_*.json`` baselines."""
+    """Run the micro benchmarks and write ``BENCH_*.json`` baselines.
+
+    The quick grid keeps two anchors: H=4 cells overlap the committed
+    full-grid baseline (so ``--compare`` has cells to diff), and the
+    48-market H=6 cell sits exactly at the N*H=288 crossover gate.
+    """
     from pathlib import Path
 
-    from repro import bench
+    from repro import bench, obs
 
+    trace_on = args.trace or _env_trace_on()
+    if trace_on:
+        obs.enable_tracing()
+        obs.reset_metrics()
+        obs.get_tracer().clear()
+    bench_span = obs.get_tracer().span("bench.run", quick=args.quick)
+    bench_span.__enter__()
     if args.quick:
         mpo = bench.bench_mpo(
-            market_counts=(12, 48), horizons=(6,), repeats=3, seed=args.seed
+            market_counts=(12, 48), horizons=(4, 6), repeats=3, seed=args.seed
         )
         sim = bench.bench_sim(num_markets=8, weeks=1, repeats=2, seed=args.seed)
     else:
         mpo = bench.bench_mpo(seed=args.seed)
         sim = bench.bench_sim(seed=args.seed)
+    bench_span.__exit__(None, None, None)
     out = Path(args.out_dir)
     out.mkdir(parents=True, exist_ok=True)
     mpo_path = bench.write_bench(mpo, out / "BENCH_mpo.json")
     sim_path = bench.write_bench(sim, out / "BENCH_sim.json")
     text = bench.format_bench_mpo(mpo) + "\n" + bench.format_bench_sim(sim)
     text += f"\nwrote {mpo_path} and {sim_path}"
+    if trace_on:
+        records = obs.get_tracer().records()
+        trace_path = obs.write_trace(records, out / "TRACE_bench.jsonl")
+        text += f"\nwrote {len(records)} spans to {trace_path}"
     violations = bench.crossover_violations(mpo, min_vars=args.min_vars)
     if violations:
         detail = ", ".join(
@@ -256,6 +352,22 @@ def _cmd_bench(args) -> str:
             print(text)
             raise SystemExit(message)
         text += f"\nWARNING: {message}"
+    if args.compare:
+        regressions = bench.bench_regressions(
+            mpo, bench.load_bench(args.compare), factor=args.regress_factor
+        )
+        if regressions:
+            detail = ", ".join(
+                f"N={r['markets']} H={r['horizon']} {r['backend']} "
+                f"({r['ratio']:.2f}x)"
+                for r in regressions
+            )
+            print(text)
+            raise SystemExit(
+                f"warm latency regressed beyond {args.regress_factor:g}x vs "
+                f"{args.compare}: {detail}"
+            )
+        text += f"\nno warm-latency regressions vs {args.compare}"
     return text
 
 
@@ -301,6 +413,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument(
         "--workers", type=int, default=None, help="pool size (default: cpu count)"
+    )
+
+    p_run = sub.add_parser(
+        "run", help="run an experiment with optional tracing/metrics"
+    )
+    p_run.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--weeks", type=int, default=2)
+    p_run.add_argument("--hours", type=int, default=72, help="fig6a length")
+    p_run.add_argument("--scale", type=float, default=0.5)
+    p_run.add_argument(
+        "--workload", choices=("wikipedia", "vod"), default="wikipedia"
+    )
+    p_run.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized workload (1 week / 24 hours)",
+    )
+    p_run.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace (also enabled by SPOTWEB_TRACE=1)",
+    )
+    p_run.add_argument(
+        "--trace-out",
+        default=None,
+        help="trace output path (default: TRACE_<name>.jsonl)",
+    )
+    p_run.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan independent cells out over a process pool",
+    )
+    p_run.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cpu count)"
+    )
+
+    p_trace = sub.add_parser("trace", help="inspect a recorded span trace")
+    p_trace.add_argument("action", choices=("summarize", "validate"))
+    p_trace.add_argument("file")
+    p_trace.add_argument(
+        "--top", type=int, default=12, help="rows in the top-spans table"
     )
 
     sub.add_parser("list", help="list available experiments")
@@ -357,6 +511,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="crossover threshold on N*H for the --check gate",
     )
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace of the bench run to TRACE_bench.jsonl",
+    )
+    p_bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="fail on warm-latency regressions vs this BENCH_mpo.json",
+    )
+    p_bench.add_argument(
+        "--regress-factor",
+        type=float,
+        default=2.5,
+        help="warm-median slowdown tolerated by --compare",
+    )
     return parser
 
 
@@ -366,6 +537,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "experiment":
         _desc, runner = EXPERIMENTS[args.name]
         print(runner(args))
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "trace":
+        print(_cmd_trace(args))
     elif args.command == "list":
         print(_cmd_list(args))
     elif args.command == "catalog":

@@ -29,6 +29,7 @@ from repro.core.portfolio import Allocation
 from repro.core.reactive import ReactiveFallback
 from repro.markets.catalog import Market
 from repro.markets.revocation import event_covariance
+from repro.obs import get_metrics, get_tracer
 from repro.predictors.base import WorkloadPredictor
 from repro.predictors.failure import FailurePredictor
 from repro.predictors.price import PricePredictor
@@ -161,70 +162,95 @@ class SpotWebController:
         if prices.shape != (n,) or failure_probs.shape != (n,):
             raise ValueError("prices/failure_probs must have one entry per market")
 
-        # Score the previous decision's target against reality, then learn.
-        if self._last_target is not None:
-            self.shortfall.record(observed_rps, self._last_target)
-        self.workload_predictor.observe(observed_rps)
-        self.price_predictor.observe(prices)
-        self.failure_predictor.observe(failure_probs)
-        self._failure_history.append(failure_probs.copy())
+        tracer = get_tracer()
+        with tracer.span("controller.step", step=self._steps) as step_span:
+            # Score the previous decision's target against reality, learn.
+            with tracer.span("controller.observe"):
+                if self._last_target is not None:
+                    self.shortfall.record(observed_rps, self._last_target)
+                self.workload_predictor.observe(observed_rps)
+                self.price_predictor.observe(prices)
+                self.failure_predictor.observe(failure_probs)
+                self._failure_history.append(failure_probs.copy())
 
-        H = self.horizon
-        prediction = self.workload_predictor.predict(H)
-        targets = self.planner.targets(prediction)
-        price_forecast = self.price_predictor.predict(H)
-        failure_forecast = self.failure_predictor.predict(H)
-        covariance = self._refresh_covariance()
+            H = self.horizon
+            with tracer.span("controller.predict"):
+                prediction = self.workload_predictor.predict(H)
+                targets = self.planner.targets(prediction)
+                price_forecast = self.price_predictor.predict(H)
+                failure_forecast = self.failure_predictor.predict(H)
+                covariance = self._refresh_covariance()
 
-        result = self.optimizer.optimize(
-            targets,
-            price_forecast,
-            failure_forecast,
-            covariance,
-            current_fractions=self._current_fractions,
-            expected_shortfall_rps=self.shortfall.expected_shortfall_rps,
-        )
-        self._steps += 1
-
-        allocation = result.plan.first
-        target = float(targets[0])
-        if self.discretization == "refine":
-            # Cost-aware integer repair: covers the target like ceil but
-            # without the one-extra-server-per-market overshoot.
-            counts = refine_counts(
-                allocation.fractions, target, allocation.capacities, prices
+            with tracer.span(
+                "controller.solve", backend=self.optimizer.resolved_backend
+            ) as solve_span:
+                result = self.optimizer.optimize(
+                    targets,
+                    price_forecast,
+                    failure_forecast,
+                    covariance,
+                    current_fractions=self._current_fractions,
+                    expected_shortfall_rps=self.shortfall.expected_shortfall_rps,
+                )
+                solve_span.tag(
+                    iterations=result.solver.iterations,
+                    status=result.solver.status.value,
+                )
+            get_metrics().histogram("controller.solve_ms").observe(
+                1000.0 * result.solver.solve_time
             )
-        else:
-            counts = allocation.counts(target)
+            self._steps += 1
 
-        # Reactive fallback (Sec. 6.2): when the previous interval's deployed
-        # capacity fell short of realized demand beyond padding, add an
-        # emergency non-revocable top-up for the coming interval.
-        if self.fallback is not None:
-            if self._last_provisioned_rps is not None:
-                self.fallback.update(observed_rps, self._last_provisioned_rps)
-            counts = counts + self.fallback.topup_counts(prices)
+            allocation = result.plan.first
+            target = float(targets[0])
+            with tracer.span("controller.discretize", mode=self.discretization):
+                if self.discretization == "refine":
+                    # Cost-aware integer repair: covers the target like ceil
+                    # but without the one-extra-server-per-market overshoot.
+                    counts = refine_counts(
+                        allocation.fractions,
+                        target,
+                        allocation.capacities,
+                        prices,
+                    )
+                else:
+                    counts = allocation.counts(target)
 
-        self._current_fractions = allocation.fractions.copy()
-        self._last_target = target
-        logger.debug(
-            "step %d: observed=%.1f rps target=%.1f rps servers=%d "
-            "active_markets=%d solver=%s/%d-iter",
-            self._steps,
-            observed_rps,
-            target,
-            int(counts.sum()),
-            int((counts > 0).sum()),
-            result.solver.status.value,
-            result.solver.iterations,
-        )
-        self._last_provisioned_rps = float(
-            counts @ np.array([m.capacity_rps for m in self.markets])
-        )
-        return ControllerDecision(
-            allocation=allocation,
-            counts=counts,
-            target_rps=target,
-            weights=allocation.weights(),
-            mpo=result,
-        )
+            with tracer.span("controller.actuate"):
+                # Reactive fallback (Sec. 6.2): when the previous interval's
+                # deployed capacity fell short of realized demand beyond
+                # padding, add an emergency non-revocable top-up for the
+                # coming interval.
+                if self.fallback is not None:
+                    if self._last_provisioned_rps is not None:
+                        self.fallback.update(
+                            observed_rps, self._last_provisioned_rps
+                        )
+                    counts = counts + self.fallback.topup_counts(prices)
+
+                self._current_fractions = allocation.fractions.copy()
+                self._last_target = target
+                logger.debug(
+                    "step %d: observed=%.1f rps target=%.1f rps servers=%d "
+                    "active_markets=%d solver=%s/%d-iter",
+                    self._steps,
+                    observed_rps,
+                    target,
+                    int(counts.sum()),
+                    int((counts > 0).sum()),
+                    result.solver.status.value,
+                    result.solver.iterations,
+                )
+                self._last_provisioned_rps = float(
+                    counts @ np.array([m.capacity_rps for m in self.markets])
+                )
+                decision = ControllerDecision(
+                    allocation=allocation,
+                    counts=counts,
+                    target_rps=target,
+                    weights=allocation.weights(),
+                    mpo=result,
+                )
+            step_span.tag(servers=int(counts.sum()), target_rps=target)
+        get_metrics().counter("controller.steps").inc()
+        return decision

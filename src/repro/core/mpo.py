@@ -49,6 +49,7 @@ from repro.core.costs import CostModel
 from repro.core.portfolio import PortfolioPlan
 from repro.devtools.contracts import shapes
 from repro.markets.catalog import Market
+from repro.obs import get_metrics, get_tracer
 from repro.solvers import (
     ADMMCore,
     ADMMSolver,
@@ -272,7 +273,9 @@ class MPOOptimizer:
         if current_fractions.shape != (N,):
             raise ValueError(f"current_fractions must have {N} entries")
 
-        self._ensure_solver(covariance)
+        tracer = get_tracer()
+        with tracer.span("mpo.setup", backend=self.resolved_backend):
+            self._ensure_solver(covariance)
         per_request_cost = prices / self.capacities[None, :]
 
         q = np.zeros(N * H)
@@ -292,15 +295,28 @@ class MPOOptimizer:
         if self._bounds is None:  # pragma: no cover - set by _ensure_solver
             raise RuntimeError("bounds not built; call _ensure_solver first")
         lower, upper = self._bounds
-        if self.resolved_backend == "active_set":
-            from repro.solvers.active_set import solve_qp_active_set
+        metrics = get_metrics()
+        metrics.counter("mpo.solves").inc()
+        with tracer.span(
+            "mpo.solve", backend=self.resolved_backend, variables=N * H
+        ) as solve_span:
+            if self.resolved_backend == "active_set":
+                from repro.solvers.active_set import solve_qp_active_set
 
-            result = solve_qp_active_set(
-                self._dense_P, q, self._constraint_rows, lower, upper
+                result = solve_qp_active_set(
+                    self._dense_P, q, self._constraint_rows, lower, upper
+                )
+            else:
+                if self._last_plan is not None:
+                    metrics.counter("mpo.warm_start_hits").inc()
+                self._solver.warm_start(
+                    self._warm_start_vector(current_fractions)
+                )
+                result = self._solver.solve(q, lower, upper)
+            solve_span.tag(
+                iterations=result.iterations, status=result.status.value
             )
-        else:
-            self._solver.warm_start(self._warm_start_vector(current_fractions))
-            result = self._solver.solve(q, lower, upper)
+        metrics.histogram("mpo.iterations").observe(result.iterations)
         if not result.status.ok:
             raise ValueError(
                 f"portfolio program is {result.status.value}; check the "

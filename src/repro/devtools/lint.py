@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.devtools.lint src/
     spotlint src/ --select SW001,SW006
+    spotlint tests/ --ignore SW003,SW007,SW008 --exclude tests/fixtures
     spotlint --list-rules
 
 Exit status is 0 when the tree is clean, 1 when findings remain, 2 on
@@ -138,8 +139,22 @@ def lint_file(
     )
 
 
-def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
-    """Expand files/directories into a sorted stream of ``.py`` files."""
+def iter_python_files(
+    paths: Iterable[Path | str],
+    *,
+    exclude: Iterable[Path | str] = (),
+) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files.
+
+    ``exclude`` entries (files or directory prefixes, resolved the same way
+    as ``paths``) are skipped — e.g. lint ``tests/`` minus the deliberately
+    bad ``tests/fixtures/`` corpus.
+    """
+    excluded = [Path(e) for e in exclude]
+
+    def _skip(path: Path) -> bool:
+        return any(ex == path or ex in path.parents for ex in excluded)
+
     for entry in paths:
         entry = Path(entry)
         if entry.is_dir():
@@ -148,8 +163,9 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
                 for p in entry.rglob("*.py")
                 if "__pycache__" not in p.parts
                 and not any(part.startswith(".") for part in p.parts)
+                and not _skip(p)
             )
-        else:
+        elif not _skip(entry):
             yield entry
 
 
@@ -158,10 +174,11 @@ def lint_paths(
     *,
     select: set[str] | None = None,
     ignore: set[str] | None = None,
+    exclude: Iterable[Path | str] = (),
 ) -> list[Finding]:
-    """Lint every Python file under ``paths``."""
+    """Lint every Python file under ``paths`` (minus ``exclude``)."""
     findings: list[Finding] = []
-    for path in iter_python_files(paths):
+    for path in iter_python_files(paths, exclude=exclude):
         findings.extend(lint_file(path, select=select, ignore=ignore))
     return findings
 
@@ -190,6 +207,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ignore", metavar="RULES", help="comma-separated rule IDs to skip"
     )
     parser.add_argument(
+        "--exclude",
+        metavar="PATH",
+        action="append",
+        default=[],
+        help="file or directory to skip (repeatable)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
     parser.add_argument(
@@ -214,7 +238,9 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    findings = lint_paths(args.paths, select=select, ignore=ignore)
+    findings = lint_paths(
+        args.paths, select=select, ignore=ignore, exclude=args.exclude
+    )
     if not args.quiet:
         for finding in findings:
             print(finding.format())

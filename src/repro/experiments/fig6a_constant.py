@@ -15,6 +15,7 @@ from repro.baselines import ConstantPortfolioPolicy, oracle_target
 from repro.core import CostModel, SpotWebController
 from repro.core.policy import SpotWebPolicy
 from repro.experiments.fig5_price_awareness import _fig5_setup
+from repro.obs import get_tracer
 from repro.parallel import pmap
 from repro.predictors import (
     OraclePredictor,
@@ -37,6 +38,15 @@ class Fig6aResult:
 
 def _fig6a_cell(params: dict) -> SimulationReport:
     """One policy run (constant baseline or SpotWeb at one horizon)."""
+    with get_tracer().span(
+        "fig6a.cell",
+        kind=params["kind"],
+        horizon=params.get("horizon", 0),
+    ):
+        return _fig6a_cell_inner(params)
+
+
+def _fig6a_cell_inner(params: dict) -> SimulationReport:
     hours, peak_rps, seed = params["hours"], params["peak_rps"], params["seed"]
     dataset, trace = _fig5_setup(hours, peak_rps, seed)
     markets = dataset.markets

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.loadbalancer.vanilla import VanillaLoadBalancer
+from repro.obs import get_metrics, get_tracer
 
 if TYPE_CHECKING:  # avoid a loadbalancer <-> simulator import cycle
     from repro.simulator.metrics import LatencyRecorder
@@ -92,16 +93,21 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
         self._pending_drain.pop(backend_id, None)
         if backend is None:
             return
-        backend.drain()
-        self.wrr.remove(backend_id)
-        # Migrate its sessions onto survivors (stateless front-ends: a
-        # session is just an affinity record).
-        orphans = self.sessions.evict_backend(backend_id)
-        for sid in orphans:
-            new_bid = self.wrr.pick()
-            if new_bid is not None:
-                self.sessions.assign(sid, new_bid)
-                self.migrations += 1
+        with get_tracer().span("lb.drain", backend=backend_id) as sp:
+            backend.drain()
+            self.wrr.remove(backend_id)
+            # Migrate its sessions onto survivors (stateless front-ends: a
+            # session is just an affinity record).
+            orphans = self.sessions.evict_backend(backend_id)
+            migrated = 0
+            for sid in orphans:
+                new_bid = self.wrr.pick()
+                if new_bid is not None:
+                    self.sessions.assign(sid, new_bid)
+                    migrated += 1
+            self.migrations += migrated
+            sp.tag(sessions=len(orphans), migrated=migrated)
+        get_metrics().counter("lb.migrations").inc(migrated)
 
     def on_warning(self, backend_id: int, now: float) -> None:
         """React to a revocation warning within the warning window.
@@ -114,16 +120,21 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
         backend = self.backends.get(backend_id)
         if backend is None:
             return
-        doomed = set(self._pending_drain) | {backend_id}
-        spare = self._spare_capacity(doomed)
-        displaced = backend.capacity_rps * backend.utilization()
-        if spare >= displaced:
-            self._drain_now(backend_id)
-            return
-        self._pending_drain[backend_id] = now + self.drain_grace_seconds
-        if self.reprovision is not None:
-            self.reprovision_requests += 1
-            self.reprovision(backend.capacity_rps, now)
+        get_metrics().counter("lb.warnings").inc()
+        with get_tracer().span("lb.on_warning", backend=backend_id) as sp:
+            doomed = set(self._pending_drain) | {backend_id}
+            spare = self._spare_capacity(doomed)
+            displaced = backend.capacity_rps * backend.utilization()
+            if spare >= displaced:
+                sp.tag(action="drain_now")
+                self._drain_now(backend_id)
+                return
+            sp.tag(action="defer")
+            self._pending_drain[backend_id] = now + self.drain_grace_seconds
+            if self.reprovision is not None:
+                self.reprovision_requests += 1
+                get_metrics().counter("lb.reprovision_requests").inc()
+                self.reprovision(backend.capacity_rps, now)
 
     def _process_pending_drains(self, now: float) -> None:
         if not self._pending_drain:
@@ -201,5 +212,7 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
                     self.sessions.assign(session_id, backend.server_id)
                 return True
         # Admission control rejects rather than overloading survivors.
+        # Counter only — dispatch is the hot path, so no span here.
+        get_metrics().counter("lb.admission_rejections").inc()
         self.recorder.record_dropped(now)
         return False

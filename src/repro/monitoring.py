@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.devtools.contracts import freeze_arrays, per_request_prices, shapes
 from repro.markets.catalog import Market
+from repro.obs import get_metrics, get_tracer
 
 __all__ = ["MonitoringSnapshot", "MonitoringHub"]
 
@@ -104,6 +105,7 @@ class MonitoringHub:
 
     def relay_warning(self, backend_id: int, now: float) -> None:
         """Forward a cloud revocation warning to all listeners."""
+        get_metrics().counter("monitor.warnings_relayed").inc()
         for listener in self._warning_listeners:
             listener(backend_id, now)
 
@@ -117,14 +119,17 @@ class MonitoringHub:
             raise RuntimeError("no price feed ingested yet")
         if self._failure_probs is None:
             raise RuntimeError("no failure-probability feed ingested yet")
-        snap = MonitoringSnapshot(
-            timestamp=float(timestamp),
-            prices=self._prices.copy(),
-            per_request_prices=per_request_prices(self._prices, self.capacities),
-            failure_probs=self._failure_probs.copy(),
-            observed_rps=self._observed_rps,
-            balancer_stats=dict(self._balancer_stats),
-        )
+        with get_tracer().span("monitor.snapshot", timestamp=float(timestamp)):
+            snap = MonitoringSnapshot(
+                timestamp=float(timestamp),
+                prices=self._prices.copy(),
+                per_request_prices=per_request_prices(
+                    self._prices, self.capacities
+                ),
+                failure_probs=self._failure_probs.copy(),
+                observed_rps=self._observed_rps,
+                balancer_stats=dict(self._balancer_stats),
+            )
         self._snapshots.append(snap)
         return snap
 

@@ -1,0 +1,77 @@
+"""``repro.obs`` — zero-dependency observability for the control loop.
+
+Three layers, all off (or free) by default so tier-1 runtime and bitwise
+experiment outputs are unchanged:
+
+- :mod:`repro.obs.tracer` — nested span tracing across the controller's
+  per-interval loop, the QP solver phases, the DES event loop, and the
+  load balancer's warning path; exports schema-tagged JSONL
+  (``spotweb-trace/1``).  Opt in with ``--trace`` / ``SPOTWEB_TRACE``.
+- :mod:`repro.obs.metrics` — an always-on (but feedback-free) registry of
+  counters/gauges/histograms with a deterministic snapshot API.
+- :mod:`repro.obs.summarize` — the ``python -m repro trace summarize``
+  analyzer: top spans, critical path, child coverage, and an ASCII
+  per-interval timeline.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    reset_metrics,
+    set_metrics,
+)
+from repro.obs.tracer import (
+    TRACE_SCHEMA,
+    NullSpan,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    load_trace,
+    set_tracer,
+    tracing_enabled,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.summarize import (
+    aggregate_by_name,
+    child_coverage,
+    critical_path,
+    format_summary,
+    interval_spans,
+    span_children,
+    summarize_file,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+    "set_metrics",
+    "TRACE_SCHEMA",
+    "NullSpan",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "load_trace",
+    "set_tracer",
+    "tracing_enabled",
+    "validate_trace",
+    "write_trace",
+    "aggregate_by_name",
+    "child_coverage",
+    "critical_path",
+    "format_summary",
+    "interval_spans",
+    "span_children",
+    "summarize_file",
+]

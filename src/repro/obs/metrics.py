@@ -1,0 +1,194 @@
+"""Lightweight metrics registry: counters, gauges, histograms.
+
+The registry is always on — an increment is an attribute add, far below
+the cost of anything it instruments — and it never feeds back into any
+decision, prediction, or RNG stream, so experiment outputs are bitwise
+identical with or without consumers reading it.
+
+Instrumented metrics across the control loop include::
+
+    sim.revocations            revocation events seen by the cost simulator
+    lb.warnings                revocation warnings handled by the balancer
+    lb.migrations              sessions migrated off doomed backends
+    lb.admission_rejections    requests rejected by admission control
+    lb.reprovision_requests    replacement-capacity callbacks issued
+    mpo.solves / mpo.warm_start_hits   solver invocations / warm-started ones
+    mpo.iterations             ADMM iterations per solve (histogram)
+    controller.solve_ms        per-interval optimizer latency (histogram)
+
+:meth:`MetricsRegistry.snapshot` returns a deterministic, JSON-ready dict
+(sorted names, stable summary statistics) that experiment reports and the
+CLI fold into their output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "reset_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """An append-only sample distribution with a deterministic summary.
+
+    Stores every observation (the control loop produces at most one sample
+    per interval per metric, so memory stays bounded by run length); the
+    snapshot reports count/total/min/max and interpolated p50/p95.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
+        self.values.append(value)
+
+    @staticmethod
+    def _quantile(ordered: list[float], q: float) -> float:
+        """Linear-interpolated quantile of an already-sorted sample."""
+        if not ordered:
+            return 0.0
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def snapshot(self) -> dict:
+        ordered = sorted(self.values)
+        if not ordered:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0}
+        return {
+            "count": len(ordered),
+            "total": float(sum(ordered)),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": self._quantile(ordered, 0.50),
+            "p95": self._quantile(ordered, 0.95),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges, and histograms.
+
+    Accessors create on first use, so instrumented code never has to
+    pre-register::
+
+        get_metrics().counter("lb.warnings").inc()
+
+    A name is bound to its first-seen kind; reusing it as another kind
+    raises (two call sites silently sharing a name is always a bug).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._metrics))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Deterministic dict of every metric's current value.
+
+        Counters map to ints, gauges to floats, histograms to their summary
+        dicts; names are sorted so two identical runs produce identical
+        (and JSON-diffable) snapshots.
+        """
+        return {
+            name: self._metrics[name].snapshot() for name in sorted(self._metrics)
+        }
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the global registry (tests); returns the old one."""
+    global _METRICS
+    old, _METRICS = _METRICS, registry
+    return old
+
+
+def reset_metrics() -> None:
+    """Clear every metric in the global registry."""
+    _METRICS.reset()

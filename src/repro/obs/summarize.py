@@ -1,0 +1,221 @@
+"""Trace analysis: ``python -m repro trace summarize <file>``.
+
+Turns a ``spotweb-trace/1`` JSONL file into a terminal report:
+
+- **top spans** — wall-clock aggregated by span name (count, total,
+  mean, max, share of the root);
+- **critical path** — the chain of longest children from the root span
+  down, with each hop's share of its parent;
+- **coverage** — how much of each composite span its children account
+  for (the acceptance gate asks the instrumented critical path to cover
+  >= 95% of the root's wall-clock);
+- **per-interval timeline** — the ``controller.step`` spans in time
+  order, phase totals, and an ASCII sparkline of interval latency
+  (via :mod:`repro.analysis.ascii`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.tracer import load_trace
+
+__all__ = [
+    "span_children",
+    "aggregate_by_name",
+    "critical_path",
+    "child_coverage",
+    "interval_spans",
+    "format_summary",
+    "summarize_file",
+]
+
+_INTERVAL_SPAN = "controller.step"
+
+
+def span_children(records: list[dict]) -> dict[int | None, list[dict]]:
+    """Map parent id (``None`` for roots) to children in start order."""
+    children: dict[int | None, list[dict]] = defaultdict(list)
+    for rec in records:
+        children[rec["parent"]].append(rec)
+    for kids in children.values():
+        kids.sort(key=lambda r: (r["start"], r["id"]))
+    return dict(children)
+
+
+def aggregate_by_name(records: list[dict]) -> list[dict]:
+    """Per-name totals, sorted by total duration descending.
+
+    ``self`` time excludes child spans, so a composite span does not count
+    its phases twice in the share column.
+    """
+    child_time: dict[int, float] = defaultdict(float)
+    for rec in records:
+        if rec["parent"] is not None:
+            child_time[rec["parent"]] += rec["dur"]
+    by_name: dict[str, dict] = {}
+    for rec in records:
+        agg = by_name.setdefault(
+            rec["name"],
+            {"name": rec["name"], "count": 0, "total": 0.0, "self": 0.0,
+             "max": 0.0},
+        )
+        agg["count"] += 1
+        agg["total"] += rec["dur"]
+        agg["self"] += max(0.0, rec["dur"] - child_time.get(rec["id"], 0.0))
+        agg["max"] = max(agg["max"], rec["dur"])
+    out = sorted(by_name.values(), key=lambda a: (-a["total"], a["name"]))
+    for agg in out:
+        agg["mean"] = agg["total"] / agg["count"]
+    return out
+
+
+def critical_path(records: list[dict]) -> list[dict]:
+    """Longest-child chain from the longest root span downward.
+
+    Each entry carries the span record plus ``share``, its duration as a
+    fraction of its parent on the path (1.0 for the root).
+    """
+    children = span_children(records)
+    roots = children.get(None, [])
+    if not roots:
+        return []
+    node = max(roots, key=lambda r: r["dur"])
+    path = [{**node, "share": 1.0}]
+    while True:
+        kids = children.get(node["id"], [])
+        if not kids:
+            break
+        nxt = max(kids, key=lambda r: r["dur"])
+        share = nxt["dur"] / node["dur"] if node["dur"] > 0 else 0.0
+        path.append({**nxt, "share": share})
+        node = nxt
+    return path
+
+
+def child_coverage(records: list[dict]) -> dict[int, float]:
+    """Fraction of each composite span's duration covered by its children."""
+    children = span_children(records)
+    coverage: dict[int, float] = {}
+    for rec in records:
+        kids = children.get(rec["id"])
+        if not kids:
+            continue
+        covered = sum(k["dur"] for k in kids)
+        coverage[rec["id"]] = covered / rec["dur"] if rec["dur"] > 0 else 1.0
+    return coverage
+
+
+def interval_spans(records: list[dict]) -> list[dict]:
+    """The per-interval ``controller.step`` spans in time order."""
+    steps = [r for r in records if r["name"] == _INTERVAL_SPAN]
+    steps.sort(key=lambda r: (r["start"], r["id"]))
+    return steps
+
+
+def _phase_totals(records: list[dict]) -> list[dict]:
+    """Totals of the direct children of the interval spans, by name."""
+    step_ids = {r["id"] for r in interval_spans(records)}
+    phases: dict[str, dict] = {}
+    total = 0.0
+    for rec in records:
+        if rec["parent"] not in step_ids:
+            continue
+        agg = phases.setdefault(
+            rec["name"], {"phase": rec["name"], "count": 0, "total": 0.0}
+        )
+        agg["count"] += 1
+        agg["total"] += rec["dur"]
+        total += rec["dur"]
+    out = sorted(phases.values(), key=lambda a: (-a["total"], a["phase"]))
+    for agg in out:
+        agg["share"] = agg["total"] / total if total > 0 else 0.0
+    return out
+
+
+def format_summary(records: list[dict], *, top: int = 12) -> str:
+    """Render the full text report for one trace."""
+    from repro.analysis.ascii import sparkline
+    from repro.analysis.report import format_table
+
+    if not records:
+        return "trace contains no spans"
+    parts: list[str] = []
+    total_wall = sum(r["dur"] for r in records if r["parent"] is None)
+
+    aggs = aggregate_by_name(records)
+    rows = [
+        [
+            a["name"],
+            a["count"],
+            1000.0 * a["total"],
+            1000.0 * a["mean"],
+            1000.0 * a["max"],
+            100.0 * (a["self"] / total_wall if total_wall > 0 else 0.0),
+        ]
+        for a in aggs[:top]
+    ]
+    parts.append(
+        format_table(
+            ["span", "count", "total_ms", "mean_ms", "max_ms", "self_%"],
+            rows,
+            title=f"top spans ({len(records)} spans, "
+            f"{1000.0 * total_wall:.1f} ms root wall-clock)",
+        )
+    )
+
+    path = critical_path(records)
+    rows = [
+        [
+            "  " * i + p["name"],
+            1000.0 * p["dur"],
+            100.0 * p["share"],
+        ]
+        for i, p in enumerate(path)
+    ]
+    parts.append(
+        format_table(
+            ["critical path", "total_ms", "parent_%"],
+            rows,
+            title="critical path (longest child chain)",
+        )
+    )
+
+    coverage = child_coverage(records)
+    roots = [r for r in records if r["parent"] is None]
+    root = max(roots, key=lambda r: r["dur"])
+    root_cov = coverage.get(root["id"], 0.0)
+    parts.append(
+        f"root span '{root['name']}': {1000.0 * root['dur']:.1f} ms, "
+        f"{100.0 * root_cov:.1f}% covered by child spans"
+    )
+
+    steps = interval_spans(records)
+    if steps:
+        durs = np.array([s["dur"] for s in steps])
+        parts.append(
+            f"interval timeline ({len(steps)} x {_INTERVAL_SPAN}, "
+            f"median {1000.0 * float(np.median(durs)):.2f} ms):\n  "
+            + sparkline(durs, width=72)
+        )
+        rows = [
+            [p["phase"], p["count"], 1000.0 * p["total"], 100.0 * p["share"]]
+            for p in _phase_totals(records)
+        ]
+        if rows:
+            parts.append(
+                format_table(
+                    ["phase", "count", "total_ms", "share_%"],
+                    rows,
+                    title="per-interval phase breakdown",
+                )
+            )
+    return "\n\n".join(parts)
+
+
+def summarize_file(path: str | Path, *, top: int = 12) -> str:
+    """Load, validate, and summarize one trace JSONL file."""
+    return format_summary(load_trace(path), top=top)

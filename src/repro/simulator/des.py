@@ -11,6 +11,8 @@ import heapq
 import itertools
 from typing import Any, Callable
 
+from repro.obs import get_metrics, get_tracer
+
 __all__ = ["Event", "Simulator"]
 
 
@@ -77,21 +79,29 @@ class Simulator:
         """Process events with ``time <= t_end``; clock ends at ``t_end``."""
         if t_end < self._now:
             raise ValueError("t_end is in the past")
-        while self._heap and self._heap[0].time <= t_end:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._processed += 1
-            event.fn(*event.args)
-        self._now = t_end
+        before = self._processed
+        with get_tracer().span("des.run", t_end=t_end) as sp:
+            while self._heap and self._heap[0].time <= t_end:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._processed += 1
+                event.fn(*event.args)
+            self._now = t_end
+            sp.tag(events=self._processed - before)
+        get_metrics().counter("des.events").inc(self._processed - before)
 
     def run(self) -> None:
         """Process every pending event (careful with self-rescheduling)."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._processed += 1
-            event.fn(*event.args)
+        before = self._processed
+        with get_tracer().span("des.run") as sp:
+            while self._heap:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._processed += 1
+                event.fn(*event.args)
+            sp.tag(events=self._processed - before)
+        get_metrics().counter("des.events").inc(self._processed - before)

@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.costs import CostModel
 from repro.markets.dataset import MarketDataset
 from repro.markets.revocation import CorrelatedRevocationSampler
+from repro.obs import get_metrics, get_tracer
 from repro.workloads.trace import WorkloadTrace
 
 __all__ = ["ProvisioningPolicy", "CostSimulator", "SimulationReport"]
@@ -170,8 +171,14 @@ class CostSimulator:
         # interval (servers added this interval serve nothing during it).
         boot_frac = min(self.startup_seconds / interval_s, 1.0)
 
+        tracer = get_tracer()
+        run_span = tracer.span("sim.run", policy=name, intervals=T)
+        run_span.__enter__()
+
         observed = float(self.trace.rates[0])
         for t in range(T):
+            interval_span = tracer.span("sim.interval", t=t)
+            interval_span.__enter__()
             prices = self.dataset.prices[t]
             fprobs = self.dataset.failure_probs[t]
 
@@ -250,7 +257,11 @@ class CostSimulator:
             capacity_out[t] = capacity_full
             demand_out[t] = demand
             observed = demand
+            interval_span.__exit__(None, None, None)
 
+        run_span.tag(revocations=revocations).__exit__(None, None, None)
+        get_metrics().counter("sim.revocations").inc(revocations)
+        get_metrics().counter("sim.intervals").inc(T)
         return SimulationReport(
             name=name,
             provisioning_cost=prov_cost,

@@ -48,6 +48,7 @@ import numpy as np
 from scipy.linalg import cho_factor, cho_solve
 
 from repro.devtools.contracts import shapes
+from repro.obs import get_tracer
 from repro.solvers.result import SolverResult, SolverStatus
 
 __all__ = ["QPProblem", "ADMMCore", "ADMMSolver", "solve_qp"]
@@ -193,7 +194,10 @@ class ADMMCore:
 
     def _init_core(self) -> None:
         """Finish setup once ``_D``/``_E`` exist: factorize, zero the state."""
-        self._factorize()
+        with get_tracer().span(
+            "qp.factorize", n=self.n, m=self.m, phase="init"
+        ):
+            self._factorize()
         # Warm-start state (in scaled coordinates), kept across solve() calls.
         self._x = np.zeros(self.n)
         self._z = np.zeros(self.m)
@@ -263,17 +267,23 @@ class ADMMCore:
             raise ValueError("infeasible box: some l > u")
 
         start = time.perf_counter()
-        # Scale the linear data: q̂ = D q, l̂ = E l, û = E u.
-        qs = self._D * q
-        ls = self._E * l
-        us = self._E * u
+        tracer = get_tracer()
+        solve_span = tracer.span("qp.solve", n=n, m=m)
+        solve_span.__enter__()
+        with tracer.span("qp.setup"):
+            # Scale the linear data: q̂ = D q, l̂ = E l, û = E u.
+            qs = self._D * q
+            ls = self._E * l
+            us = self._E * u
 
-        x, z, y = self._x, np.clip(self._z, ls, us), self._y
+            x, z, y = self._x, np.clip(self._z, ls, us), self._y
         sigma, alpha = self.sigma, self.alpha
         status = SolverStatus.MAX_ITERATIONS
         r_prim = r_dual = float("inf")
         x_prev_check, y_prev_check = x.copy(), y.copy()
         it = 0
+        iterate_span = tracer.span("qp.iterate")
+        iterate_span.__enter__()
         for it in range(1, self.max_iter + 1):
             rho = self._rho
             rhs = sigma * x - qs + self._apply_AT(rho * z - y)
@@ -314,8 +324,12 @@ class ADMMCore:
                 if self.adaptive_rho:
                     self._maybe_retune_rho(r_prim, eps_prim, r_dual, eps_dual)
 
+        iterate_span.tag(iterations=it).__exit__(None, None, None)
         self._x, self._z, self._y = x, z, y
         elapsed = time.perf_counter() - start
+        solve_span.tag(iterations=it, status=status.value).__exit__(
+            None, None, None
+        )
         x_out = self._D * x
         y_out = self._E * y
         objective = self._objective_orig(x_out) + float(q @ x_out)
@@ -395,7 +409,10 @@ class ADMMCore:
             new_rho = float(np.clip(self._rho * ratio, _RHO_MIN, _RHO_MAX))
             if not np.isclose(new_rho, self._rho):
                 self._rho = new_rho
-                self._factorize()
+                with get_tracer().span(
+                    "qp.factorize", n=self.n, m=self.m, phase="rho_retune"
+                ):
+                    self._factorize()
 
 
 class ADMMSolver(ADMMCore):

@@ -9,6 +9,7 @@ from repro.bench import (
     SCHEMA_MPO,
     SCHEMA_SIM,
     bench_mpo,
+    bench_regressions,
     bench_sim,
     crossover_violations,
     format_bench_mpo,
@@ -104,3 +105,61 @@ class TestCrossover:
     def test_requires_mpo_schema(self):
         with pytest.raises(ValueError):
             crossover_violations({"schema": SCHEMA_SIM, "speedups": []})
+
+
+class TestBenchRegressions:
+    def _data(self, cells):
+        return {"schema": SCHEMA_MPO, "cells": cells, "speedups": []}
+
+    def _cell(self, markets, horizon, backend, warm):
+        return {
+            "markets": markets,
+            "horizon": horizon,
+            "backend": backend,
+            "warm_median_ms": warm,
+        }
+
+    def test_clean_when_within_factor(self):
+        base = self._data([self._cell(12, 4, "admm", 2.0)])
+        fresh = self._data([self._cell(12, 4, "admm", 4.0)])
+        assert bench_regressions(fresh, base, factor=2.5) == []
+
+    def test_flags_cells_beyond_factor(self):
+        base = self._data(
+            [self._cell(12, 4, "admm", 2.0), self._cell(48, 4, "structured", 8.0)]
+        )
+        fresh = self._data(
+            [self._cell(12, 4, "admm", 6.0), self._cell(48, 4, "structured", 9.0)]
+        )
+        bad = bench_regressions(fresh, base, factor=2.5)
+        assert len(bad) == 1
+        assert bad[0]["markets"] == 12 and bad[0]["backend"] == "admm"
+        assert bad[0]["ratio"] == pytest.approx(3.0)
+        assert bad[0]["baseline_warm_median_ms"] == 2.0
+
+    def test_ignores_unmatched_cells_but_needs_overlap(self):
+        base = self._data(
+            [self._cell(12, 4, "admm", 2.0), self._cell(144, 10, "admm", 50.0)]
+        )
+        fresh = self._data(
+            [self._cell(12, 4, "admm", 2.1), self._cell(48, 6, "admm", 9.0)]
+        )
+        assert bench_regressions(fresh, base) == []
+        disjoint = self._data([self._cell(96, 8, "admm", 1.0)])
+        with pytest.raises(ValueError, match="no overlapping cells"):
+            bench_regressions(disjoint, base)
+
+    def test_rejects_bad_inputs(self):
+        good = self._data([self._cell(12, 4, "admm", 2.0)])
+        with pytest.raises(ValueError, match="bench-mpo"):
+            bench_regressions({"schema": SCHEMA_SIM, "cells": []}, good)
+        with pytest.raises(ValueError, match="factor"):
+            bench_regressions(good, good, factor=1.0)
+
+    def test_quick_grid_overlaps_committed_baseline(self):
+        """The CI --quick grid must share cells with BENCH_mpo.json."""
+        root = Path(__file__).resolve().parents[1]
+        base = load_bench(root / "BENCH_mpo.json")
+        keys = {(c["markets"], c["horizon"]) for c in base["cells"]}
+        # _cmd_bench --quick runs market_counts=(12, 48), horizons=(4, 6).
+        assert {(12, 4), (48, 4)} <= keys

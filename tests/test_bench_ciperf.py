@@ -1,0 +1,108 @@
+"""Tests for the CI perf gate (repro.bench.ciperf)."""
+
+import pytest
+
+from repro.bench import ciperf
+
+
+class _FakeReport:
+    def __init__(self, total_cost):
+        self.total_cost = total_cost
+
+
+class _FakeSweep:
+    def __init__(self, costs):
+        self.reports = {k: _FakeReport(v) for k, v in costs.items()}
+
+
+class TestCheckParallelSpeedup:
+    def test_real_tiny_sweep_matches_bitwise(self):
+        result = ciperf.check_parallel_speedup(
+            reps=2, num_markets=4, weeks=1, seed=0, max_workers=2
+        )
+        assert result["mismatches"] == []
+        assert result["serial_seconds"] > 0
+        assert result["parallel_seconds"] > 0
+        assert result["speedup"] > 0
+
+    def test_detects_mismatch(self, monkeypatch):
+        outputs = iter(
+            [
+                _FakeSweep({("spotweb", 0): 10.0, ("qu", 0): 20.0}),
+                _FakeSweep({("spotweb", 0): 10.0, ("qu", 0): 20.5}),
+            ]
+        )
+        from repro.experiments import table1
+
+        monkeypatch.setattr(
+            table1, "run_table1_costs", lambda **kwargs: next(outputs)
+        )
+        result = ciperf.check_parallel_speedup(reps=1)
+        assert result["mismatches"] == [("qu", 0)]
+
+
+class TestMain:
+    def test_exit_zero_when_fast_and_equal(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            ciperf,
+            "check_parallel_speedup",
+            lambda **kwargs: {
+                "serial_seconds": 4.0,
+                "parallel_seconds": 1.0,
+                "speedup": 4.0,
+                "mismatches": [],
+            },
+        )
+        assert ciperf.main([]) == 0
+        assert "4.00x" in capsys.readouterr().out
+
+    def test_exit_one_on_slow_pool(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            ciperf,
+            "check_parallel_speedup",
+            lambda **kwargs: {
+                "serial_seconds": 2.0,
+                "parallel_seconds": 2.0,
+                "speedup": 1.0,
+                "mismatches": [],
+            },
+        )
+        assert ciperf.main(["--min-speedup", "2.0"]) == 1
+        assert "only 1.00x" in capsys.readouterr().err
+
+    def test_exit_one_on_mismatch(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            ciperf,
+            "check_parallel_speedup",
+            lambda **kwargs: {
+                "serial_seconds": 4.0,
+                "parallel_seconds": 1.0,
+                "speedup": 4.0,
+                "mismatches": [("spotweb", 1)],
+            },
+        )
+        assert ciperf.main([]) == 1
+        assert "parallel != serial" in capsys.readouterr().err
+
+    def test_flags_reach_the_sweep(self, monkeypatch):
+        seen = {}
+
+        def fake(**kwargs):
+            seen.update(kwargs)
+            return {
+                "serial_seconds": 1.0,
+                "parallel_seconds": 0.1,
+                "speedup": 10.0,
+                "mismatches": [],
+            }
+
+        monkeypatch.setattr(ciperf, "check_parallel_speedup", fake)
+        assert (
+            ciperf.main(
+                ["--reps", "7", "--markets", "3", "--max-workers", "2"]
+            )
+            == 0
+        )
+        assert seen["reps"] == 7
+        assert seen["num_markets"] == 3
+        assert seen["max_workers"] == 2

@@ -78,3 +78,156 @@ class TestCommands:
     def test_simulate_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--policies", "tributary"])
+
+
+class TestRunCommand:
+    @pytest.fixture(autouse=True)
+    def _restore_obs(self):
+        from repro.obs import disable_tracing, get_tracer, reset_metrics
+
+        yield
+        disable_tracing()
+        get_tracer().clear()
+        reset_metrics()
+
+    def test_run_without_trace_matches_experiment(self, capsys, monkeypatch):
+        monkeypatch.delenv("SPOTWEB_TRACE", raising=False)
+        assert main(["run", "fig6a", "--hours", "6"]) == 0
+        run_out = capsys.readouterr().out
+        assert "spotweb_H2" in run_out
+        assert "wrote" not in run_out  # no trace file without opt-in
+        assert "metrics:" not in run_out
+
+    def test_run_with_trace_writes_valid_jsonl(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.obs import load_trace
+
+        monkeypatch.delenv("SPOTWEB_TRACE", raising=False)
+        out = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig6a",
+                    "--hours",
+                    "6",
+                    "--trace",
+                    "--trace-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "metrics:" in text
+        assert "controller.steps" in text
+        records = load_trace(out)  # validates the schema
+        names = {r["name"] for r in records}
+        assert "experiment.fig6a" in names
+        assert "controller.step" in names
+        assert "qp.iterate" in names
+
+    def test_run_honors_spotweb_trace_env(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("SPOTWEB_TRACE", "1")
+        out = tmp_path / "trace.jsonl"
+        assert (
+            main(["run", "fig6a", "--hours", "4", "--trace-out", str(out)]) == 0
+        )
+        assert out.exists()
+
+    def test_quick_shrinks_workload(self, monkeypatch):
+        seen = {}
+        from repro import cli
+
+        def fake_runner(args):
+            seen["weeks"] = args.weeks
+            seen["hours"] = args.hours
+            return "ok"
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig6a", ("desc", fake_runner))
+        monkeypatch.delenv("SPOTWEB_TRACE", raising=False)
+        assert main(["run", "fig6a", "--quick"]) == 0
+        assert seen == {"weeks": 1, "hours": 24}
+
+
+class TestTraceCommand:
+    def _write_trace(self, tmp_path):
+        from repro.obs import Tracer, write_trace
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("controller.step"):
+                with tracer.span("controller.solve"):
+                    pass
+        return write_trace(tracer.records(), tmp_path / "t.jsonl")
+
+    def test_validate(self, capsys, tmp_path):
+        path = self._write_trace(tmp_path)
+        assert main(["trace", "validate", str(path)]) == 0
+        assert "schema OK" in capsys.readouterr().out
+
+    def test_validate_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "nope"}\n')
+        with pytest.raises(ValueError):
+            main(["trace", "validate", str(path)])
+
+    def test_summarize(self, capsys, tmp_path):
+        path = self._write_trace(tmp_path)
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "top spans" in out
+
+
+class TestBenchCompare:
+    def test_compare_gate(self, capsys, tmp_path, monkeypatch):
+        """bench --compare fails only when a warm median regresses."""
+        import json
+
+        from repro import bench, cli
+
+        def fake_mpo(**kwargs):
+            return {
+                "schema": bench.SCHEMA_MPO,
+                "cells": [
+                    {
+                        "markets": 12,
+                        "horizon": 4,
+                        "backend": "admm",
+                        "resolved_backend": "admm",
+                        "variables": 48,
+                        "cold_ms": 1.0,
+                        "warm_median_ms": 10.0,
+                        "warm_max_ms": 12.0,
+                        "final_objective": 1.0,
+                    }
+                ],
+                "speedups": [],
+                "config": {},
+            }
+
+        def fake_sim(**kwargs):
+            return {"schema": bench.SCHEMA_SIM, "cells": [], "config": {}}
+
+        monkeypatch.setattr(bench, "bench_mpo", fake_mpo)
+        monkeypatch.setattr(bench, "bench_sim", fake_sim)
+        baseline = dict(fake_mpo())
+        baseline["cells"] = [dict(baseline["cells"][0], warm_median_ms=8.0)]
+        base_path = tmp_path / "BENCH_mpo.json"
+        base_path.write_text(json.dumps(baseline))
+
+        argv = [
+            "bench",
+            "--quick",
+            "--out-dir",
+            str(tmp_path / "out"),
+            "--compare",
+            str(base_path),
+        ]
+        assert main(argv) == 0  # 10.0 vs 8.0 is within 2.5x
+        assert "no warm-latency regressions" in capsys.readouterr().out
+
+        with pytest.raises(SystemExit, match="regressed"):
+            main(argv + ["--regress-factor", "1.2"])

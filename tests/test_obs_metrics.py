@@ -1,0 +1,162 @@
+"""Tests for the repro.obs metrics registry and snapshot determinism."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    reset_metrics,
+    set_metrics,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(3)
+        assert c.snapshot() == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(1.5)
+        g.set(2.5)
+        assert g.snapshot() == 2.5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("h")
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0]:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["total"] == 15.0
+        assert snap["min"] == 1.0 and snap["max"] == 5.0
+        assert snap["p50"] == 3.0
+        assert snap["p95"] == pytest.approx(4.8)
+
+    def test_empty_summary(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0 and snap["p95"] == 0.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Histogram("h").observe(float("nan"))
+
+    def test_single_observation(self):
+        h = Histogram("h")
+        h.observe(7.0)
+        snap = h.snapshot()
+        assert snap["p50"] == snap["p95"] == 7.0
+
+
+class TestRegistry:
+    def test_create_on_first_use(self, registry):
+        registry.counter("a").inc()
+        assert registry.counter("a").snapshot() == 1
+        assert len(registry) == 1
+
+    def test_kind_clash_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_sorted_and_deterministic(self):
+        def populate(reg):
+            reg.counter("z.last").inc(2)
+            reg.histogram("m.lat").observe(1.0)
+            reg.histogram("m.lat").observe(3.0)
+            reg.gauge("a.first").set(0.5)
+
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        populate(r1)
+        populate(r2)
+        assert r1.snapshot() == r2.snapshot()
+        assert list(r1.snapshot()) == ["a.first", "m.lat", "z.last"]
+        # JSON-diffable: identical serialized form, no unstable floats.
+        assert json.dumps(r1.snapshot()) == json.dumps(r2.snapshot())
+
+    def test_reset(self, registry):
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_iter_is_sorted(self, registry):
+        registry.counter("b")
+        registry.counter("a")
+        assert list(registry) == ["a", "b"]
+
+
+class TestGlobalRegistry:
+    def test_set_and_reset(self):
+        old = set_metrics(MetricsRegistry())
+        try:
+            get_metrics().counter("t").inc(5)
+            assert get_metrics().snapshot() == {"t": 5}
+            reset_metrics()
+            assert get_metrics().snapshot() == {}
+        finally:
+            set_metrics(old)
+
+    def test_instrumented_run_populates_expected_metrics(self):
+        """A tiny end-to-end sim populates the documented metric names."""
+        from repro.experiments.fig6a_constant import run_fig6a
+
+        old = set_metrics(MetricsRegistry())
+        try:
+            run_fig6a(hours=6, horizons=(2,))
+            snap = get_metrics().snapshot()
+        finally:
+            set_metrics(old)
+        for name in (
+            "controller.steps",
+            "controller.solve_ms",
+            "mpo.solves",
+            "sim.intervals",
+        ):
+            assert name in snap, f"missing metric {name}"
+        assert snap["sim.intervals"] == 12  # 6 hours x 2 policies
+        assert snap["controller.solve_ms"]["count"] == snap["controller.steps"]
+
+    def test_identical_runs_snapshot_identically(self):
+        """Event-derived metrics are bitwise reproducible across runs.
+
+        Latency histograms (``*_ms``) measure the wall clock and are the
+        one intentionally nondeterministic family: compare their sample
+        counts, and everything else exactly.
+        """
+        from repro.experiments.fig6a_constant import run_fig6a
+
+        snaps = []
+        for _ in range(2):
+            old = set_metrics(MetricsRegistry())
+            try:
+                run_fig6a(hours=4, horizons=(2,))
+                snaps.append(get_metrics().snapshot())
+            finally:
+                set_metrics(old)
+
+        def normalize(snap):
+            return {
+                name: value["count"] if name.endswith("_ms") else value
+                for name, value in snap.items()
+            }
+
+        assert normalize(snaps[0]) == normalize(snaps[1])
