@@ -1,64 +1,14 @@
 """ASCII time-series rendering for terminal reports.
 
-No plotting dependency ships with this repo; the examples and benches print
-figure-shaped output instead.  :func:`sparkline` gives one-line trends,
-:func:`timeseries_plot` a full multi-row chart (used for the Fig. 3/5
-trace views).
+The implementations live in the foundation module :mod:`repro.textfmt`
+(so that :mod:`repro.obs` can render without depending on the reporting
+layer); this module re-exports them as the reporting-layer API.
+:func:`sparkline` gives one-line trends, :func:`timeseries_plot` a full
+multi-row chart (used for the Fig. 3/5 trace views).
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.textfmt import sparkline, timeseries_plot
 
 __all__ = ["sparkline", "timeseries_plot"]
-
-_TICKS = "▁▂▃▄▅▆▇█"
-
-
-def sparkline(values: np.ndarray, *, width: int | None = None) -> str:
-    """One-line unicode sparkline of a series (resampled to ``width``)."""
-    values = np.asarray(values, dtype=float).ravel()
-    if values.size == 0:
-        return ""
-    if width is not None and values.size > width:
-        # Mean-bin down to the requested width.
-        edges = np.linspace(0, values.size, width + 1).astype(int)
-        values = np.array(
-            [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
-        )
-    lo, hi = float(values.min()), float(values.max())
-    if hi - lo < 1e-12:
-        return _TICKS[0] * values.size
-    idx = ((values - lo) / (hi - lo) * (len(_TICKS) - 1)).round().astype(int)
-    return "".join(_TICKS[i] for i in idx)
-
-
-def timeseries_plot(
-    values: np.ndarray,
-    *,
-    height: int = 10,
-    width: int = 72,
-    label: str = "",
-) -> str:
-    """A character-grid plot of one series (rows = value bins)."""
-    values = np.asarray(values, dtype=float).ravel()
-    if values.size == 0:
-        return label
-    if height < 2 or width < 2:
-        raise ValueError("height and width must be >= 2")
-    if values.size > width:
-        edges = np.linspace(0, values.size, width + 1).astype(int)
-        values = np.array(
-            [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
-        )
-    lo, hi = float(values.min()), float(values.max())
-    span = hi - lo if hi > lo else 1.0
-    rows = []
-    levels = ((values - lo) / span * (height - 1)).round().astype(int)
-    for row in range(height - 1, -1, -1):
-        line = "".join("*" if lv >= row else " " for lv in levels)
-        edge = hi if row == height - 1 else (lo if row == 0 else None)
-        prefix = f"{edge:10.1f} |" if edge is not None else " " * 10 + " |"
-        rows.append(prefix + line)
-    header = [label] if label else []
-    return "\n".join(header + rows)

@@ -1,66 +1,13 @@
 """Plain-text report rendering for benchmark output.
 
 The benches print the same rows/series the paper's tables and figures show;
-these helpers keep that output consistent and diff-able.
+these helpers keep that output consistent and diff-able.  The
+implementations live in the foundation module :mod:`repro.textfmt`; this
+module re-exports them as the reporting-layer API.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
-
-import numpy as np
+from repro.textfmt import format_histogram, format_table
 
 __all__ = ["format_table", "format_histogram"]
-
-
-def _fmt(value: Any) -> str:
-    if isinstance(value, float):
-        if value != value:  # NaN
-            return "nan"
-        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
-            return f"{value:.3g}"
-        return f"{value:.3f}".rstrip("0").rstrip(".")
-    return str(value)
-
-
-def format_table(
-    headers: Sequence[str],
-    rows: Sequence[Sequence[Any]],
-    *,
-    title: str | None = None,
-) -> str:
-    """Render an aligned ASCII table."""
-    cells = [[_fmt(c) for c in row] for row in rows]
-    widths = [
-        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
-        for i, h in enumerate(headers)
-    ]
-    lines = []
-    if title:
-        lines.append(title)
-    header = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
-    lines.append(header)
-    lines.append("-+-".join("-" * w for w in widths))
-    for row in cells:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
-
-
-def format_histogram(
-    edges: np.ndarray,
-    counts: np.ndarray,
-    *,
-    width: int = 40,
-    title: str | None = None,
-) -> str:
-    """Render a horizontal ASCII histogram (Fig. 4(c,d) style)."""
-    edges = np.asarray(edges, dtype=float)
-    counts = np.asarray(counts, dtype=float)
-    if edges.size != counts.size + 1:
-        raise ValueError("edges must have one more entry than counts")
-    peak = counts.max() if counts.size else 0
-    lines = [title] if title else []
-    for i, c in enumerate(counts):
-        bar = "#" * (int(round(width * c / peak)) if peak > 0 else 0)
-        lines.append(f"{edges[i]:+7.2f} .. {edges[i+1]:+7.2f} | {bar} {int(c)}")
-    return "\n".join(lines)

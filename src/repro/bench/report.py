@@ -106,7 +106,7 @@ def bench_regressions(
 
 
 def format_bench_mpo(data: dict) -> str:
-    from repro.analysis.report import format_table
+    from repro.textfmt import format_table
 
     rows = [
         [
@@ -144,7 +144,7 @@ def format_bench_mpo(data: dict) -> str:
 
 
 def format_bench_sim(data: dict) -> str:
-    from repro.analysis.report import format_table
+    from repro.textfmt import format_table
 
     rows = [
         [

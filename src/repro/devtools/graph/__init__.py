@@ -1,0 +1,44 @@
+"""``spotgraph`` — whole-program static analysis for the reproduction.
+
+Where :mod:`repro.devtools.lint` (spotlint) checks one file at a time,
+spotgraph links every module's facts into a project-wide view and runs
+three passes that no per-file rule can express:
+
+- **layering** (:mod:`repro.devtools.graph.layers`, SW101–SW103) — the
+  declared import-layer map for ``repro`` plus cycle detection;
+- **determinism taint** (:mod:`repro.devtools.graph.taint`,
+  SW110–SW112) — call paths from deterministic-declared code into wall
+  clock / entropy / global-RNG sources;
+- **pmap purity** (:mod:`repro.devtools.graph.purity`, SW120–SW123) —
+  shared-state and seed-discipline checks on every callable handed to
+  ``repro.parallel.pmap``.
+
+Run as ``spotgraph`` or ``python -m repro.devtools.graph``; findings
+share spotlint's format, suppression grammar (``# spotgraph: disable=``)
+and JSON serializer, and gate CI against a committed baseline.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.graph.baseline import fingerprint, load_baseline
+from repro.devtools.graph.cli import GRAPH_RULES, analyze_project, main
+from repro.devtools.graph.facts import Project, extract_module_facts, load_project
+from repro.devtools.graph.layers import LAYER_ALLOWED, render_layer_map
+from repro.devtools.graph.purity import purity_findings
+from repro.devtools.graph.taint import DETERMINISTIC_PREFIXES, taint_findings
+
+__all__ = [
+    "GRAPH_RULES",
+    "LAYER_ALLOWED",
+    "DETERMINISTIC_PREFIXES",
+    "Project",
+    "analyze_project",
+    "extract_module_facts",
+    "fingerprint",
+    "load_baseline",
+    "load_project",
+    "main",
+    "purity_findings",
+    "render_layer_map",
+    "taint_findings",
+]

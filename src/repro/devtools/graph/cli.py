@@ -1,0 +1,270 @@
+"""``spotgraph`` — the whole-program analysis engine and CLI.
+
+Usage::
+
+    python -m repro.devtools.graph src/
+    spotgraph src/ --format json
+    spotgraph src/ --update-baseline
+    spotgraph --layers
+    spotgraph --list-rules
+
+Exit status mirrors spotlint: 0 when no new (non-baselined) findings,
+1 when findings remain, 2 on usage errors.
+
+The engine runs three whole-program passes over the extracted facts —
+import layering (:mod:`repro.devtools.graph.layers`), determinism taint
+(:mod:`repro.devtools.graph.taint`), and pmap purity
+(:mod:`repro.devtools.graph.purity`) — then applies ``# spotgraph:``
+suppression comments, ``--select``/``--ignore``, and the committed
+baseline.  Fact extraction is cached (``--cache``, mtime+sha256 keyed)
+so CI re-runs only re-parse changed files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.devtools.graph.baseline import (
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
+from repro.devtools.graph.facts import Project, load_project
+from repro.devtools.graph.layers import layer_findings, render_layer_map
+from repro.devtools.graph.purity import purity_findings
+from repro.devtools.graph.taint import taint_findings
+from repro.devtools.rules import Finding
+
+__all__ = ["GRAPH_RULES", "analyze_project", "run", "main"]
+
+GRAPH_RULES = {
+    "SW101": "import violates the declared layer map",
+    "SW102": "runtime import cycle between project modules",
+    "SW103": "package missing from the declared layer map",
+    "SW110": "deterministic scope reaches a nondeterminism source",
+    "SW111": "unseeded default_rng() in deterministic scope",
+    "SW112": "unordered-collection iteration in deterministic scope",
+    "SW120": "pmap worker reads a mutated module-level global",
+    "SW121": "pmap worker writes module/global state",
+    "SW122": "pmap worker RNG seed not derived via derive_seed",
+    "SW123": "pmap callable is not a resolvable module-level function",
+}
+
+# Engine-level pseudo-rules (same convention as spotlint).
+ENGINE_RULES = {
+    "SW000": "unreadable or syntactically invalid file",
+    "SW009": "suppression comment references an unknown rule id",
+}
+
+
+def _is_suppressed(finding: Finding, mod) -> bool:
+    file_rules = set(mod.file_suppressions)
+    if "ALL" in file_rules or finding.rule in file_rules:
+        return True
+    on_line = set(mod.line_suppressions.get(finding.line, ()))
+    return "ALL" in on_line or finding.rule in on_line
+
+
+def analyze_project(project: Project) -> list[Finding]:
+    """All spotgraph findings for a loaded project, suppressions applied."""
+    findings: list[Finding] = []
+    for mod in project.modules:
+        if mod.error is not None:
+            findings.append(
+                Finding("SW000", mod.path, mod.error_line, 0, mod.error)
+            )
+    findings.extend(layer_findings(project))
+    findings.extend(taint_findings(project))
+    findings.extend(purity_findings(project))
+
+    known = set(GRAPH_RULES) | set(ENGINE_RULES) | {"ALL"}
+    for mod in project.modules:
+        for line, rule_id in mod.suppression_refs:
+            if rule_id not in known:
+                findings.append(
+                    Finding(
+                        "SW009",
+                        mod.path,
+                        line,
+                        0,
+                        f"suppression references unknown rule id "
+                        f"`{rule_id}` (see --list-rules); it suppresses "
+                        f"nothing",
+                    )
+                )
+
+    by_path = project.by_path
+    kept = []
+    for finding in findings:
+        mod = by_path.get(finding.path)
+        if mod is not None and _is_suppressed(finding, mod):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def _rule_set(spec: str | None) -> set[str] | None:
+    if spec is None:
+        return None
+    return {part.strip().upper() for part in spec.split(",") if part.strip()}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spotgraph",
+        description=(
+            "Whole-program import-layering, determinism-taint, and "
+            "parallel-purity analysis for the SpotWeb reproduction."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", help="comma-separated rule IDs to keep"
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES", help="comma-separated rule IDs to drop"
+    )
+    parser.add_argument(
+        "--exclude",
+        metavar="PATH",
+        action="append",
+        default=[],
+        help="file or directory to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json shares the spotlint serializer)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default="spotgraph-baseline.json",
+        help="accepted-findings file (missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept all current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=".spotgraph-cache.json",
+        help="fact-extraction cache file",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the fact cache"
+    )
+    parser.add_argument(
+        "--layers",
+        action="store_true",
+        help="print the declared layer map (plus observed deps) and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-finding output"
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute one parsed spotgraph invocation; returns the exit code."""
+    from repro.devtools.report import render_findings, sort_findings
+
+    select, ignore = _rule_set(args.select), _rule_set(args.ignore)
+    unknown = (
+        ((select or set()) | (ignore or set()))
+        - set(GRAPH_RULES)
+        - set(ENGINE_RULES)
+    )
+    if unknown:
+        print(
+            f"spotgraph: unknown rule id(s): {', '.join(sorted(unknown))}"
+            " (see --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+
+    cache_path = None if args.no_cache else Path(args.cache)
+    stats: dict = {}
+    project = load_project(
+        args.paths, exclude=args.exclude, cache_path=cache_path, stats=stats
+    )
+
+    if args.layers:
+        print(render_layer_map(project))
+        return 0
+
+    findings = analyze_project(project)
+    if select is not None:
+        findings = [f for f in findings if f.rule in select]
+    if ignore is not None:
+        findings = [f for f in findings if f.rule not in ignore]
+    findings = sort_findings(findings)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"spotgraph: baseline updated with {len(findings)} finding(s) "
+            f"-> {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except ValueError as exc:
+        print(f"spotgraph: {exc}", file=sys.stderr)
+        return 2
+    new, accepted = split_findings(findings, baseline)
+
+    extra = {
+        "baselined": len(accepted),
+        "cache": {
+            "cached": stats.get("cached", 0),
+            "extracted": stats.get("extracted", 0),
+        },
+    }
+    if args.format == "json":
+        print(render_findings(new, tool="spotgraph", fmt="json", extra=extra))
+    elif not args.quiet:
+        for finding in new:
+            print(finding.format())
+    if new:
+        print(
+            f"spotgraph: {len(new)} new finding(s)"
+            + (f" ({len(accepted)} baselined)" if accepted else ""),
+            file=sys.stderr,
+        )
+        return 1
+    if not args.quiet and args.format == "text":
+        suffix = f" ({len(accepted)} baselined)" if accepted else ""
+        print(f"spotgraph: clean{suffix}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, summary in sorted(GRAPH_RULES.items()):
+            print(f"{rule_id}  {summary}")
+        for rule_id, summary in sorted(ENGINE_RULES.items()):
+            print(f"{rule_id}  {summary}")
+        return 0
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

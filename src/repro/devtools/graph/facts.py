@@ -1,0 +1,972 @@
+"""Per-file fact extraction for ``spotgraph``, with mtime+hash caching.
+
+The whole-program passes in :mod:`repro.devtools.graph` (layering, taint,
+purity) never touch the AST directly — they run over :class:`ModuleFacts`
+records extracted here, one per file.  Facts are JSON-serializable on
+purpose: a cache file keyed by ``(mtime, sha256)`` lets a CI re-run skip
+re-parsing every unchanged file.
+
+Extracted per module:
+
+- the dotted module name and its **import edges** (with ``TYPE_CHECKING``
+  imports marked typing-only — they are erased at runtime and exempt from
+  layering/cycle checks);
+- a **symbol table** of module-level functions, classes and methods, plus
+  the ``from X import y`` aliases other modules may re-export through;
+- per function: resolved **call sites**, ``default_rng`` call shapes,
+  reads/writes of module-level mutable globals, and unordered-iteration
+  hazards (``set``/``os.listdir``/``Path.iterdir`` without ``sorted``);
+- ``pmap`` dispatch sites and the worker callable each resolves to;
+- ``# spotgraph:`` annotations and suppression comments.
+
+Annotation grammar (trailing comment on the ``def`` line or the line
+directly above it; ``-file`` forms apply to the whole module)::
+
+    # spotgraph: deterministic          declare a determinism sink
+    # spotgraph: deterministic-file
+    # spotgraph: allow-nondeterminism   intentional wall-clock/RNG seam
+    # spotgraph: allow-shared-state     sanctioned shared-state mechanism
+    # spotgraph: disable=SW110          suppress findings (spotlint grammar)
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.devtools.lint import iter_python_files, scan_suppressions
+from repro.devtools.rules import module_name_for
+
+__all__ = [
+    "FACTS_VERSION",
+    "CACHE_SCHEMA",
+    "ANNOT_DETERMINISTIC",
+    "ANNOT_DETERMINISTIC_FILE",
+    "ANNOT_ALLOW_NONDET",
+    "ANNOT_ALLOW_SHARED",
+    "CallSite",
+    "RngCall",
+    "GlobalAccess",
+    "UnorderedIter",
+    "PmapDispatch",
+    "FunctionFacts",
+    "ImportEdge",
+    "ModuleFacts",
+    "Project",
+    "extract_module_facts",
+    "load_project",
+]
+
+# Bump whenever extraction output changes shape or semantics: stale cache
+# entries from older extractors are discarded by version mismatch.
+FACTS_VERSION = 1
+CACHE_SCHEMA = "spotgraph-cache/1"
+
+ANNOT_DETERMINISTIC = "deterministic"
+ANNOT_DETERMINISTIC_FILE = "deterministic-file"
+ANNOT_ALLOW_NONDET = "allow-nondeterminism"
+ANNOT_ALLOW_SHARED = "allow-shared-state"
+
+_KNOWN_ANNOTATIONS = frozenset(
+    {
+        ANNOT_DETERMINISTIC,
+        ANNOT_DETERMINISTIC_FILE,
+        ANNOT_ALLOW_NONDET,
+        ANNOT_ALLOW_SHARED,
+    }
+)
+
+_ANNOT_RE = re.compile(r"#\s*spotgraph:\s*(?P<body>[a-z][a-z\-]*)\b")
+
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+_MUTATOR_METHODS = frozenset(
+    {"append", "extend", "insert", "add", "update", "setdefault", "pop",
+     "popitem", "clear", "remove", "discard", "appendleft", "extendleft"}
+)
+_UNORDERED_DIR_CALLS = frozenset({"os.listdir", "os.scandir"})
+_UNORDERED_METHODS = frozenset({"iterdir", "glob", "rglob"})
+_ITER_CONSUMERS = frozenset({"list", "tuple", "enumerate", "join"})
+
+_PMAP_TARGETS = frozenset({"repro.parallel.pmap"})
+_DEFAULT_RNG = "numpy.random.default_rng"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call resolved to a dotted target (project or external)."""
+
+    target: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class RngCall:
+    """One ``numpy.random.default_rng(...)`` call and its seed shape."""
+
+    line: int
+    col: int
+    seeded: bool
+    literal_seed: bool
+    uses_derive_seed: bool
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """A read or write of a module-level mutable global inside a function."""
+
+    name: str
+    line: int
+    col: int
+    kind: str  # "read" | "rebind" | "mutate"
+
+
+@dataclass(frozen=True)
+class UnorderedIter:
+    """Iteration over an unordered collection without ``sorted(...)``."""
+
+    line: int
+    col: int
+    desc: str
+
+
+@dataclass(frozen=True)
+class PmapDispatch:
+    """One ``repro.parallel.pmap(worker, ...)`` call site."""
+
+    worker: str | None  # dotted ref, or None when unresolvable
+    line: int
+    col: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class FunctionFacts:
+    """Everything the whole-program passes need to know about one function."""
+
+    qualname: str
+    line: int
+    col: int
+    calls: tuple[CallSite, ...]
+    rng_calls: tuple[RngCall, ...]
+    global_accesses: tuple[GlobalAccess, ...]
+    unordered_iters: tuple[UnorderedIter, ...]
+    annotations: tuple[str, ...]
+    allow_lines: tuple[int, ...]  # lines annotated allow-nondeterminism
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement's target module."""
+
+    target: str
+    line: int
+    typing_only: bool
+
+
+@dataclass(frozen=True)
+class ModuleFacts:
+    """The per-file extraction result (JSON-serializable, cacheable)."""
+
+    path: str
+    module: str | None
+    imports: tuple[ImportEdge, ...]
+    functions: tuple[FunctionFacts, ...]
+    mutable_globals: tuple[str, ...]
+    export_aliases: dict[str, str] = field(default_factory=dict)
+    annotations: tuple[str, ...] = ()
+    file_suppressions: tuple[str, ...] = ()
+    line_suppressions: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    suppression_refs: tuple[tuple[int, str], ...] = ()
+    pmap_dispatches: tuple[PmapDispatch, ...] = ()
+    error: str | None = None
+    error_line: int = 1
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "imports": [[e.target, e.line, e.typing_only] for e in self.imports],
+            "functions": [
+                {
+                    "qualname": f.qualname,
+                    "line": f.line,
+                    "col": f.col,
+                    "calls": [[c.target, c.line, c.col] for c in f.calls],
+                    "rng_calls": [
+                        [r.line, r.col, r.seeded, r.literal_seed,
+                         r.uses_derive_seed]
+                        for r in f.rng_calls
+                    ],
+                    "global_accesses": [
+                        [g.name, g.line, g.col, g.kind]
+                        for g in f.global_accesses
+                    ],
+                    "unordered_iters": [
+                        [u.line, u.col, u.desc] for u in f.unordered_iters
+                    ],
+                    "annotations": list(f.annotations),
+                    "allow_lines": list(f.allow_lines),
+                }
+                for f in self.functions
+            ],
+            "mutable_globals": list(self.mutable_globals),
+            "export_aliases": dict(self.export_aliases),
+            "annotations": list(self.annotations),
+            "file_suppressions": list(self.file_suppressions),
+            "line_suppressions": {
+                str(line): list(rules)
+                for line, rules in self.line_suppressions.items()
+            },
+            "suppression_refs": [[line, rule] for line, rule in self.suppression_refs],
+            "pmap_dispatches": [
+                [d.worker, d.line, d.col, d.detail] for d in self.pmap_dispatches
+            ],
+            "error": self.error,
+            "error_line": self.error_line,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleFacts":
+        return cls(
+            path=data["path"],
+            module=data["module"],
+            imports=tuple(ImportEdge(t, ln, ty) for t, ln, ty in data["imports"]),
+            functions=tuple(
+                FunctionFacts(
+                    qualname=f["qualname"],
+                    line=f["line"],
+                    col=f["col"],
+                    calls=tuple(CallSite(t, ln, c) for t, ln, c in f["calls"]),
+                    rng_calls=tuple(
+                        RngCall(ln, c, s, lit, d) for ln, c, s, lit, d in f["rng_calls"]
+                    ),
+                    global_accesses=tuple(
+                        GlobalAccess(n, ln, c, k)
+                        for n, ln, c, k in f["global_accesses"]
+                    ),
+                    unordered_iters=tuple(
+                        UnorderedIter(ln, c, d) for ln, c, d in f["unordered_iters"]
+                    ),
+                    annotations=tuple(f["annotations"]),
+                    allow_lines=tuple(f["allow_lines"]),
+                )
+                for f in data["functions"]
+            ),
+            mutable_globals=tuple(data["mutable_globals"]),
+            export_aliases=dict(data["export_aliases"]),
+            annotations=tuple(data["annotations"]),
+            file_suppressions=tuple(data["file_suppressions"]),
+            line_suppressions={
+                int(line): tuple(rules)
+                for line, rules in data["line_suppressions"].items()
+            },
+            suppression_refs=tuple(
+                (line, rule) for line, rule in data["suppression_refs"]
+            ),
+            pmap_dispatches=tuple(
+                PmapDispatch(w, ln, c, d) for w, ln, c, d in data["pmap_dispatches"]
+            ),
+            error=data["error"],
+            error_line=data["error_line"],
+        )
+
+
+# --------------------------------------------------------------------------
+# Comment annotations
+# --------------------------------------------------------------------------
+
+
+def _annotation_lines(source: str) -> dict[int, set[str]]:
+    """Map source line -> the spotgraph annotation tokens on that line."""
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for line, text in comments:
+        match = _ANNOT_RE.search(text)
+        if match and match.group("body") in _KNOWN_ANNOTATIONS:
+            out.setdefault(line, set()).add(match.group("body"))
+    return out
+
+
+def _def_annotations(node: ast.AST, annot: dict[int, set[str]]) -> set[str]:
+    """Annotations attached to a ``def``: its line or the line above."""
+    lineno = getattr(node, "lineno", 0)
+    return annot.get(lineno, set()) | annot.get(lineno - 1, set())
+
+
+# --------------------------------------------------------------------------
+# Name/alias resolution
+# --------------------------------------------------------------------------
+
+
+def _resolve_relative(module: str | None, node: ast.ImportFrom, is_pkg: bool) -> str | None:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    if module is None:
+        return None
+    parts = module.split(".")
+    # A package's __init__ resolves `from .` against itself; a plain module
+    # resolves against its parent package.
+    if not is_pkg:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop > len(parts):
+        return None
+    base = parts[: len(parts) - drop]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collect import edges, marking those under ``if TYPE_CHECKING:``."""
+
+    def __init__(self, module: str | None, is_pkg: bool) -> None:
+        self.module = module
+        self.is_pkg = is_pkg
+        self.edges: list[ImportEdge] = []
+        self.export_aliases: dict[str, str] = {}
+        self.aliases: dict[str, str] = {}
+        self._typing_depth = 0
+
+    @staticmethod
+    def _is_type_checking(test: ast.expr) -> bool:
+        if isinstance(test, ast.Name):
+            return test.id == "TYPE_CHECKING"
+        if isinstance(test, ast.Attribute):
+            return test.attr == "TYPE_CHECKING"
+        return False
+
+    def visit_If(self, node: ast.If) -> None:
+        if self._is_type_checking(node.test):
+            self._typing_depth += 1
+            for child in node.body:
+                self.visit(child)
+            self._typing_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        typing_only = self._typing_depth > 0
+        for alias in node.names:
+            self.edges.append(ImportEdge(alias.name, node.lineno, typing_only))
+            if alias.asname:
+                self.aliases[alias.asname] = alias.name
+            else:
+                root = alias.name.split(".", 1)[0]
+                self.aliases[root] = root
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        typing_only = self._typing_depth > 0
+        target = _resolve_relative(self.module, node, self.is_pkg)
+        if target is None:
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                self.edges.append(ImportEdge(target, node.lineno, typing_only))
+                continue
+            # `from repro import obs` is really an edge to repro.obs; for
+            # any deeper package the package itself is the layering target.
+            edge_target = f"{target}.{alias.name}" if target == "repro" else target
+            self.edges.append(ImportEdge(edge_target, node.lineno, typing_only))
+            local = alias.asname or alias.name
+            dotted = f"{target}.{alias.name}"
+            self.aliases[local] = dotted
+            if not typing_only:
+                self.export_aliases[local] = dotted
+
+
+# --------------------------------------------------------------------------
+# Function body analysis
+# --------------------------------------------------------------------------
+
+
+def _local_names(fn: ast.AST) -> set[str]:
+    """Names bound locally inside a function (params, assignments, ...)."""
+    names: set[str] = set()
+    declared_global: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn:
+                names.add(node.name)
+            args = node.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                names.add(arg.arg)
+            if args.vararg:
+                names.add(args.vararg.arg)
+            if args.kwarg:
+                names.add(args.kwarg.arg)
+        elif isinstance(node, ast.Lambda):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                names.add(arg.arg)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name.split(".", 1)[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names - declared_global
+
+
+def _dotted_target(
+    func: ast.expr,
+    aliases: dict[str, str],
+    module: str | None,
+    module_symbols: set[str],
+    class_name: str | None,
+    locals_: set[str],
+) -> str | None:
+    """Resolve a call's function expression to a dotted path, if possible."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = node.id
+    if base == "self" and class_name is not None and len(parts) == 1:
+        return f"{module}.{class_name}.{parts[0]}" if module else None
+    if base in locals_ and base not in aliases:
+        return None
+    if base in aliases:
+        parts.append(aliases[base])
+    elif base in module_symbols and module:
+        parts.append(f"{module}.{base}")
+    else:
+        return None
+    return ".".join(reversed(parts))
+
+
+def _is_setish(node: ast.expr, resolver) -> str | None:
+    """Describe ``node`` if its iteration order is nondeterministic."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set literal"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+        resolved = resolver(func)
+        if resolved in _UNORDERED_DIR_CALLS:
+            return f"{resolved}(...)"
+        if isinstance(func, ast.Attribute) and func.attr in _UNORDERED_METHODS:
+            return f".{func.attr}(...)"
+    return None
+
+
+def _analyze_function(
+    fn: ast.AST,
+    *,
+    qualname: str,
+    module: str | None,
+    aliases: dict[str, str],
+    module_symbols: set[str],
+    mutable_globals: set[str],
+    class_name: str | None,
+    annot: dict[int, set[str]],
+) -> tuple[FunctionFacts, list[PmapDispatch]]:
+    locals_ = _local_names(fn)
+    declared_global: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    def resolver(func: ast.expr) -> str | None:
+        return _dotted_target(
+            func, aliases, module, module_symbols, class_name, locals_
+        )
+
+    calls: list[CallSite] = []
+    rng_calls: list[RngCall] = []
+    accesses: list[GlobalAccess] = []
+    unordered: list[UnorderedIter] = []
+    dispatches: list[PmapDispatch] = []
+    write_sites: set[tuple[str, int]] = set()
+
+    def resolve_worker(arg: ast.expr) -> tuple[str | None, str]:
+        if isinstance(arg, ast.Lambda):
+            return None, "lambda is not a module-level function"
+        if isinstance(arg, ast.Call):
+            target = resolver(arg.func)
+            if target == "functools.partial" and arg.args:
+                return resolve_worker(arg.args[0])
+            return None, "callable built by a call expression"
+        if isinstance(arg, (ast.Name, ast.Attribute)):
+            target = resolver(arg)
+            if target is not None:
+                return target, ""
+            if isinstance(arg, ast.Name) and arg.id in locals_:
+                return None, f"local name `{arg.id}` is not statically resolvable"
+            return None, "callable reference is not statically resolvable"
+        return None, "callable expression is not statically resolvable"
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            target = resolver(node.func)
+            if target is not None:
+                calls.append(CallSite(target, node.lineno, node.col_offset))
+                if target == _DEFAULT_RNG:
+                    seeded = bool(node.args) or bool(node.keywords)
+                    literal = (
+                        len(node.args) == 1
+                        and not node.keywords
+                        and isinstance(node.args[0], ast.Constant)
+                    )
+                    uses_derive = any(
+                        isinstance(sub, ast.Call)
+                        and resolver(sub.func) is not None
+                        and resolver(sub.func).endswith("derive_seed")
+                        for arg in list(node.args)
+                        + [kw.value for kw in node.keywords]
+                        for sub in ast.walk(arg)
+                    )
+                    rng_calls.append(
+                        RngCall(
+                            node.lineno, node.col_offset, seeded, literal,
+                            uses_derive,
+                        )
+                    )
+                if target in _PMAP_TARGETS:
+                    if node.args:
+                        worker, detail = resolve_worker(node.args[0])
+                    else:
+                        worker, detail = None, "no positional worker argument"
+                    dispatches.append(
+                        PmapDispatch(worker, node.lineno, node.col_offset, detail)
+                    )
+            # Mutation method on a module-level mutable global.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in mutable_globals
+                and func.value.id not in locals_
+            ):
+                accesses.append(
+                    GlobalAccess(
+                        func.value.id, node.lineno, node.col_offset, "mutate"
+                    )
+                )
+                write_sites.add((func.value.id, node.lineno))
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in declared_global
+                ):
+                    accesses.append(
+                        GlobalAccess(
+                            target.id, node.lineno, node.col_offset, "rebind"
+                        )
+                    )
+                    write_sites.add((target.id, node.lineno))
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in mutable_globals
+                    and target.value.id not in locals_
+                ):
+                    accesses.append(
+                        GlobalAccess(
+                            target.value.id, node.lineno, node.col_offset,
+                            "mutate",
+                        )
+                    )
+                    write_sites.add((target.value.id, node.lineno))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in mutable_globals
+                    and target.value.id not in locals_
+                ):
+                    accesses.append(
+                        GlobalAccess(
+                            target.value.id, node.lineno, node.col_offset,
+                            "mutate",
+                        )
+                    )
+                    write_sites.add((target.value.id, node.lineno))
+
+        iter_exprs: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_exprs.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iter_exprs.extend(gen.iter for gen in node.generators)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else getattr(func, "id", "")
+            )
+            if name in _ITER_CONSUMERS and node.args:
+                iter_exprs.append(node.args[0])
+        for expr in iter_exprs:
+            desc = _is_setish(expr, resolver)
+            if desc is not None:
+                unordered.append(
+                    UnorderedIter(expr.lineno, expr.col_offset, desc)
+                )
+
+    # Reads of module-level mutable globals (skip lines already counted as
+    # writes for that name, so a mutation is not double-reported).
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in mutable_globals
+            and node.id not in locals_
+            and (node.id, node.lineno) not in write_sites
+        ):
+            accesses.append(
+                GlobalAccess(node.id, node.lineno, node.col_offset, "read")
+            )
+
+    fn_annots = _def_annotations(fn, annot)
+    allow_lines = tuple(
+        sorted(
+            line
+            for line, tokens in annot.items()
+            if ANNOT_ALLOW_NONDET in tokens
+        )
+    )
+    return (
+        FunctionFacts(
+            qualname=qualname,
+            line=getattr(fn, "lineno", 1),
+            col=getattr(fn, "col_offset", 0),
+            calls=tuple(calls),
+            rng_calls=tuple(rng_calls),
+            global_accesses=tuple(accesses),
+            unordered_iters=tuple(unordered),
+            annotations=tuple(sorted(fn_annots)),
+            allow_lines=allow_lines,
+        ),
+        dispatches,
+    )
+
+
+# --------------------------------------------------------------------------
+# Module extraction
+# --------------------------------------------------------------------------
+
+
+def extract_module_facts(source: str, path: Path, *, module: str | None = None) -> ModuleFacts:
+    """Extract the whole-program facts for one module's source text."""
+    if module is None:
+        module = module_name_for(path)
+    str_path = str(path)
+    try:
+        tree = ast.parse(source, filename=str_path)
+    except SyntaxError as exc:
+        return ModuleFacts(
+            path=str_path,
+            module=module,
+            imports=(),
+            functions=(),
+            mutable_globals=(),
+            error=f"syntax error: {exc.msg}",
+            error_line=exc.lineno or 1,
+        )
+
+    is_pkg = path.name == "__init__.py"
+    collector = _ImportCollector(module, is_pkg)
+    collector.visit(tree)
+    annot = _annotation_lines(source)
+    file_rules, line_rules, refs = scan_suppressions(source, tool="spotgraph")
+
+    module_symbols: set[str] = set()
+    mutable_globals: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            module_symbols.add(stmt.name)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            value = stmt.value
+            mutable = False
+            if isinstance(
+                value,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                 ast.SetComp),
+            ):
+                mutable = True
+            elif isinstance(value, ast.Call):
+                name = (
+                    value.func.attr
+                    if isinstance(value.func, ast.Attribute)
+                    else getattr(value.func, "id", "")
+                )
+                mutable = name in _MUTABLE_FACTORIES
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module_symbols.add(target.id)
+                    if mutable:
+                        mutable_globals.add(target.id)
+
+    module_annots: set[str] = set()
+    for tokens in annot.values():
+        if ANNOT_DETERMINISTIC_FILE in tokens:
+            module_annots.add(ANNOT_DETERMINISTIC_FILE)
+
+    functions: list[FunctionFacts] = []
+    dispatches: list[PmapDispatch] = []
+
+    def handle(fn: ast.AST, qualname: str, class_name: str | None) -> None:
+        facts, fn_dispatches = _analyze_function(
+            fn,
+            qualname=qualname,
+            module=module,
+            aliases=collector.aliases,
+            module_symbols=module_symbols,
+            mutable_globals=mutable_globals,
+            class_name=class_name,
+            annot=annot,
+        )
+        functions.append(facts)
+        dispatches.extend(fn_dispatches)
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            handle(stmt, stmt.name, None)
+        elif isinstance(stmt, ast.ClassDef):
+            for inner in stmt.body:
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    handle(inner, f"{stmt.name}.{inner.name}", stmt.name)
+
+    return ModuleFacts(
+        path=str_path,
+        module=module,
+        imports=tuple(collector.edges),
+        functions=tuple(functions),
+        mutable_globals=tuple(sorted(mutable_globals)),
+        export_aliases=collector.export_aliases,
+        annotations=tuple(sorted(module_annots)),
+        file_suppressions=tuple(sorted(file_rules)),
+        line_suppressions={
+            line: tuple(sorted(rules)) for line, rules in line_rules.items()
+        },
+        suppression_refs=tuple(refs),
+        pmap_dispatches=tuple(dispatches),
+    )
+
+
+# --------------------------------------------------------------------------
+# Project = linked set of modules
+# --------------------------------------------------------------------------
+
+
+class Project:
+    """A linked collection of :class:`ModuleFacts` with symbol resolution."""
+
+    def __init__(self, modules: Iterable[ModuleFacts]) -> None:
+        self.modules: list[ModuleFacts] = sorted(
+            modules, key=lambda m: m.path
+        )
+        self.by_module: dict[str, ModuleFacts] = {
+            m.module: m for m in self.modules if m.module
+        }
+        self.by_path: dict[str, ModuleFacts] = {m.path: m for m in self.modules}
+        # Global function table: "module.qualname" -> (ModuleFacts, FunctionFacts)
+        self.symbols: dict[str, tuple[ModuleFacts, FunctionFacts]] = {}
+        # Re-export chains: "module.local" -> "target_module.attr"
+        self.reexports: dict[str, str] = {}
+        for mod in self.modules:
+            if not mod.module:
+                continue
+            for fn in mod.functions:
+                self.symbols[f"{mod.module}.{fn.qualname}"] = (mod, fn)
+            for local, dotted in mod.export_aliases.items():
+                self.reexports[f"{mod.module}.{local}"] = dotted
+
+    def resolve(self, dotted: str) -> str:
+        """Follow re-export chains to a stable dotted name."""
+        seen: set[str] = set()
+        while dotted in self.reexports and dotted not in seen:
+            seen.add(dotted)
+            dotted = self.reexports[dotted]
+        return dotted
+
+    def resolve_function(self, dotted: str) -> str | None:
+        """Resolve a dotted ref to a project function id, if it is one."""
+        resolved = self.resolve(dotted)
+        if resolved in self.symbols:
+            return resolved
+        return None
+
+    def call_edges(self) -> dict[str, list[tuple[str, CallSite]]]:
+        """Caller function id -> resolved project callees (with sites)."""
+        edges: dict[str, list[tuple[str, CallSite]]] = {}
+        for mod in self.modules:
+            if not mod.module:
+                continue
+            for fn in mod.functions:
+                fid = f"{mod.module}.{fn.qualname}"
+                targets: list[tuple[str, CallSite]] = []
+                for call in fn.calls:
+                    callee = self.resolve_function(call.target)
+                    if callee is not None and callee != fid:
+                        targets.append((callee, call))
+                edges[fid] = targets
+        return edges
+
+    def reverse_edges(self) -> dict[str, list[str]]:
+        """Callee function id -> sorted unique caller ids."""
+        reverse: dict[str, set[str]] = {}
+        for caller, callees in self.call_edges().items():
+            for callee, _site in callees:
+                reverse.setdefault(callee, set()).add(caller)
+        return {k: sorted(v) for k, v in reverse.items()}
+
+
+# --------------------------------------------------------------------------
+# Cache + project loading
+# --------------------------------------------------------------------------
+
+
+def _load_cache(cache_path: Path | None) -> dict:
+    if cache_path is None or not cache_path.exists():
+        return {}
+    try:
+        data = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    if data.get("schema") != CACHE_SCHEMA or data.get("version") != FACTS_VERSION:
+        return {}
+    files = data.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def _save_cache(cache_path: Path | None, files: dict) -> None:
+    if cache_path is None:
+        return
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": FACTS_VERSION,
+        "files": files,
+    }
+    try:
+        cache_path.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+    except OSError:
+        # A read-only checkout (CI artifact stage) must not fail the run.
+        return
+
+
+def _iter_sources(
+    paths: Iterable[Path | str], exclude: Iterable[Path | str]
+) -> Iterator[Path]:
+    yield from iter_python_files(paths, exclude=exclude)
+
+
+def load_project(
+    paths: Iterable[Path | str],
+    *,
+    exclude: Iterable[Path | str] = (),
+    cache_path: Path | str | None = None,
+    stats: dict | None = None,
+) -> Project:
+    """Extract (or reuse cached) facts for every ``.py`` file under ``paths``.
+
+    ``cache_path=None`` disables caching.  A cache entry is reused when the
+    file's mtime matches; on mtime mismatch the SHA-256 of the content
+    decides (so ``touch`` does not force re-extraction).  ``stats`` (when
+    given) receives ``cached``/``extracted`` counters.
+    """
+    cache_file = Path(cache_path) if cache_path is not None else None
+    cached_files = _load_cache(cache_file)
+    next_files: dict = {}
+    modules: list[ModuleFacts] = []
+    n_cached = n_extracted = 0
+
+    for path in _iter_sources(paths, exclude):
+        key = str(path.resolve())
+        try:
+            stat = path.stat()
+            mtime = stat.st_mtime_ns
+        except OSError:
+            mtime = -1
+        entry = cached_files.get(key)
+        source: str | None = None
+        digest: str | None = None
+        if entry is not None and entry.get("mtime") == mtime:
+            facts = ModuleFacts.from_dict(entry["facts"])
+            modules.append(facts)
+            next_files[key] = entry
+            n_cached += 1
+            continue
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            facts = ModuleFacts(
+                path=str(path),
+                module=module_name_for(path),
+                imports=(),
+                functions=(),
+                mutable_globals=(),
+                error=f"unreadable file: {exc}",
+            )
+            modules.append(facts)
+            continue
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        if entry is not None and entry.get("sha256") == digest:
+            facts = ModuleFacts.from_dict(entry["facts"])
+            modules.append(facts)
+            next_files[key] = {
+                "mtime": mtime, "sha256": digest, "facts": entry["facts"]
+            }
+            n_cached += 1
+            continue
+        facts = extract_module_facts(source, path)
+        modules.append(facts)
+        next_files[key] = {
+            "mtime": mtime, "sha256": digest, "facts": facts.to_dict()
+        }
+        n_extracted += 1
+
+    _save_cache(cache_file, next_files)
+    if stats is not None:
+        stats["cached"] = n_cached
+        stats["extracted"] = n_extracted
+    return Project(modules)

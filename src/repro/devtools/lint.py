@@ -41,21 +41,39 @@ __all__ = [
     "lint_paths",
     "iter_python_files",
     "parse_suppressions",
+    "scan_suppressions",
     "main",
 ]
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*spotlint:\s*disable(?P<scope>-file)?\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
-)
+# Engine-level pseudo-rules: SW000 marks unreadable/unparseable files,
+# SW009 flags suppression comments that reference rule ids that do not
+# exist (a typo'd suppression silently suppresses nothing).
+ENGINE_RULES = {
+    "SW000": "unreadable or syntactically invalid file",
+    "SW009": "suppression comment references an unknown rule id",
+}
 
 
-def parse_suppressions(source: str) -> tuple[set[str], dict[int, set[str]]]:
-    """Extract (file-level, per-line) suppression sets from comments.
+def _suppress_re(tool: str) -> re.Pattern[str]:
+    return re.compile(
+        rf"#\s*{tool}:\s*disable(?P<scope>-file)?\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+    )
 
-    Rule IDs are upper-cased; the sentinel ``ALL`` suppresses every rule.
+
+def scan_suppressions(
+    source: str, *, tool: str = "spotlint"
+) -> tuple[set[str], dict[int, set[str]], list[tuple[int, str]]]:
+    """Extract suppression directives for ``tool`` from comments.
+
+    Returns ``(file_rules, line_rules, references)`` where ``references``
+    records every ``(comment line, rule id)`` mentioned — including
+    file-scoped ones — so the engine can warn about unknown ids.  Rule IDs
+    are upper-cased; the sentinel ``ALL`` suppresses every rule.
     """
     file_rules: set[str] = set()
     line_rules: dict[int, set[str]] = {}
+    references: list[tuple[int, str]] = []
+    pattern = _suppress_re(tool)
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         comments = [
@@ -64,16 +82,26 @@ def parse_suppressions(source: str) -> tuple[set[str], dict[int, set[str]]]:
             if tok.type == tokenize.COMMENT
         ]
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return file_rules, line_rules
+        return file_rules, line_rules, references
     for line, text in comments:
-        match = _SUPPRESS_RE.search(text)
+        match = pattern.search(text)
         if not match:
             continue
         rules = {r.strip().upper() for r in match.group("rules").split(",") if r.strip()}
+        references.extend((line, rule) for rule in sorted(rules))
         if match.group("scope"):
             file_rules |= rules
         else:
             line_rules.setdefault(line, set()).update(rules)
+    return file_rules, line_rules, references
+
+
+def parse_suppressions(source: str) -> tuple[set[str], dict[int, set[str]]]:
+    """Extract (file-level, per-line) spotlint suppression sets from comments.
+
+    Rule IDs are upper-cased; the sentinel ``ALL`` suppresses every rule.
+    """
+    file_rules, line_rules, _ = scan_suppressions(source)
     return file_rules, line_rules
 
 
@@ -108,7 +136,7 @@ def lint_source(
             )
         ]
     ctx = ModuleContext(path=path, module=module, tree=tree)
-    file_rules, line_rules = parse_suppressions(source)
+    file_rules, line_rules, references = scan_suppressions(source)
     findings: list[Finding] = []
     for rule in RULES.values():
         if select is not None and rule.id not in select:
@@ -117,6 +145,21 @@ def lint_source(
             continue
         for finding in rule.check(ctx):
             if not _is_suppressed(finding, file_rules, line_rules):
+                findings.append(finding)
+    if (select is None or "SW009" in select) and not (ignore and "SW009" in ignore):
+        known = set(RULES) | set(ENGINE_RULES) | {"ALL"}
+        for line, rule_id in references:
+            finding = Finding(
+                "SW009",
+                str(path),
+                line,
+                0,
+                f"suppression references unknown rule id `{rule_id}` "
+                "(see --list-rules); it suppresses nothing",
+            )
+            if rule_id not in known and not _is_suppressed(
+                finding, file_rules, line_rules
+            ):
                 findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
@@ -149,24 +192,36 @@ def iter_python_files(
     ``exclude`` entries (files or directory prefixes, resolved the same way
     as ``paths``) are skipped — e.g. lint ``tests/`` minus the deliberately
     bad ``tests/fixtures/`` corpus.
+
+    Each file is yielded **once** even when the arguments overlap
+    (``spotlint src src/repro``) or reach the same file through a symlink:
+    entries are deduplicated by fully resolved path, first spelling wins.
     """
     excluded = [Path(e) for e in exclude]
+    seen: set[Path] = set()
 
     def _skip(path: Path) -> bool:
         return any(ex == path or ex in path.parents for ex in excluded)
 
+    def _emit(path: Path) -> Iterator[Path]:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            yield path
+
     for entry in paths:
         entry = Path(entry)
         if entry.is_dir():
-            yield from sorted(
+            for p in sorted(
                 p
                 for p in entry.rglob("*.py")
                 if "__pycache__" not in p.parts
                 and not any(part.startswith(".") for part in p.parts)
                 and not _skip(p)
-            )
+            ):
+                yield from _emit(p)
         elif not _skip(entry):
-            yield entry
+            yield from _emit(entry)
 
 
 def lint_paths(
@@ -176,11 +231,17 @@ def lint_paths(
     ignore: set[str] | None = None,
     exclude: Iterable[Path | str] = (),
 ) -> list[Finding]:
-    """Lint every Python file under ``paths`` (minus ``exclude``)."""
+    """Lint every Python file under ``paths`` (minus ``exclude``).
+
+    The result is globally sorted ``(path, line, col, rule)`` so output is
+    byte-identical regardless of argument order.
+    """
+    from repro.devtools.report import sort_findings
+
     findings: list[Finding] = []
     for path in iter_python_files(paths, exclude=exclude):
         findings.extend(lint_file(path, select=select, ignore=ignore))
-    return findings
+    return sort_findings(findings)
 
 
 def _rule_set(spec: str | None) -> set[str] | None:
@@ -217,6 +278,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json shares the spotgraph serializer)",
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress per-finding output"
     )
     return parser
@@ -224,13 +291,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.devtools.report import render_findings
+
     args = _build_parser().parse_args(argv)
     if args.list_rules:
         for rule in RULES.values():
             print(f"{rule.id}  {rule.summary}")
+        for rule_id, summary in sorted(ENGINE_RULES.items()):
+            print(f"{rule_id}  {summary}")
         return 0
     select, ignore = _rule_set(args.select), _rule_set(args.ignore)
-    unknown = ((select or set()) | (ignore or set())) - set(RULES) - {"SW000"}
+    unknown = (
+        ((select or set()) | (ignore or set())) - set(RULES) - set(ENGINE_RULES)
+    )
     if unknown:
         print(
             f"spotlint: unknown rule id(s): {', '.join(sorted(unknown))}"
@@ -241,13 +314,15 @@ def main(argv: list[str] | None = None) -> int:
     findings = lint_paths(
         args.paths, select=select, ignore=ignore, exclude=args.exclude
     )
-    if not args.quiet:
+    if args.format == "json":
+        print(render_findings(findings, tool="spotlint", fmt="json"))
+    elif not args.quiet:
         for finding in findings:
             print(finding.format())
     if findings:
         print(f"spotlint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    if not args.quiet:
+    if not args.quiet and args.format == "text":
         print("spotlint: clean")
     return 0
 

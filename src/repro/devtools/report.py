@@ -1,0 +1,77 @@
+"""Shared finding serialization for ``spotlint`` and ``spotgraph``.
+
+Both tools emit :class:`repro.devtools.rules.Finding` records; this module
+owns the two output formats so their reports stay interchangeable:
+
+- **text** — one ``path:line:col: RULE message`` line per finding
+  (clickable in editors, greppable in CI logs);
+- **json** — a schema-tagged payload (``spotweb-findings/1``, the same
+  convention as the ``BENCH_*.json`` baselines and ``spotweb-trace/1``),
+  uploaded as a CI artifact and consumed by the baseline workflow.
+
+Findings are always serialized in the canonical order
+``(path, line, col, rule)`` regardless of the order they were produced,
+so reports are byte-identical across argument orders and worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+from repro.devtools.rules import Finding
+
+__all__ = [
+    "FINDINGS_SCHEMA",
+    "sort_findings",
+    "findings_payload",
+    "render_findings",
+]
+
+FINDINGS_SCHEMA = "spotweb-findings/1"
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Canonical deterministic order: ``(path, line, col, rule)``."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def findings_payload(
+    findings: Iterable[Finding], *, tool: str, extra: dict | None = None
+) -> dict:
+    """The JSON-ready report payload for one tool run."""
+    ordered = sort_findings(findings)
+    payload = {
+        "schema": FINDINGS_SCHEMA,
+        "tool": tool,
+        "count": len(ordered),
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in ordered
+        ],
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def render_findings(
+    findings: Iterable[Finding],
+    *,
+    tool: str,
+    fmt: str = "text",
+    extra: dict | None = None,
+) -> str:
+    """Render findings as ``text`` or ``json`` (see module docstring)."""
+    if fmt == "json":
+        payload = findings_payload(findings, tool=tool, extra=extra)
+        return json.dumps(payload, indent=2, sort_keys=True)
+    if fmt != "text":
+        raise ValueError(f"unknown format {fmt!r} (expected 'text' or 'json')")
+    return "\n".join(f.format() for f in sort_findings(findings))

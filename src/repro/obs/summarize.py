@@ -11,7 +11,8 @@ Turns a ``spotweb-trace/1`` JSONL file into a terminal report:
   >= 95% of the root's wall-clock);
 - **per-interval timeline** — the ``controller.step`` spans in time
   order, phase totals, and an ASCII sparkline of interval latency
-  (via :mod:`repro.analysis.ascii`).
+  (via the foundation renderer :mod:`repro.textfmt` — ``repro.obs``
+  must not depend on the reporting layer).
 """
 
 from __future__ import annotations
@@ -138,8 +139,7 @@ def _phase_totals(records: list[dict]) -> list[dict]:
 
 def format_summary(records: list[dict], *, top: int = 12) -> str:
     """Render the full text report for one trace."""
-    from repro.analysis.ascii import sparkline
-    from repro.analysis.report import format_table
+    from repro.textfmt import format_table, sparkline
 
     if not records:
         return "trace contains no spans"

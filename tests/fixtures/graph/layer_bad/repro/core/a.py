@@ -1,0 +1,9 @@
+"""Fixture: half of an intra-package import cycle."""
+
+from repro.core.b import g
+
+__all__ = ["f"]
+
+
+def f():
+    return g()

@@ -1,0 +1,9 @@
+"""Fixture: the other half of the cycle."""
+
+from repro.core.a import f
+
+__all__ = ["g"]
+
+
+def g():
+    return f()

@@ -1,0 +1,7 @@
+"""Fixture: simulator module imported from below."""
+
+__all__ = ["run"]
+
+
+def run():
+    return 0

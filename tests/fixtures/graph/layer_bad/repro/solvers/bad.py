@@ -1,0 +1,9 @@
+"""Fixture: a leaf (solvers) reaching up into the simulator."""
+
+from repro.simulator.engine import run
+
+__all__ = ["solve"]
+
+
+def solve():
+    return run()

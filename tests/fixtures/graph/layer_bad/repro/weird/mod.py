@@ -1,0 +1,7 @@
+"""Fixture: a package nobody declared in the layer map."""
+
+__all__ = ["nothing"]
+
+
+def nothing():
+    return None

@@ -1,0 +1,14 @@
+"""Fixture: allowed downward import + a typing-only upward one."""
+
+from typing import TYPE_CHECKING
+
+from repro.workloads.gen import make
+
+if TYPE_CHECKING:
+    from repro.simulator.engine import run
+
+__all__ = ["predict"]
+
+
+def predict():
+    return sum(make())

@@ -1,0 +1,7 @@
+"""Fixture: leaf module."""
+
+__all__ = ["make"]
+
+
+def make():
+    return [1.0, 2.0]

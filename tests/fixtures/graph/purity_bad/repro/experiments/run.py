@@ -1,0 +1,31 @@
+"""Fixture: every way a pmap worker can be impure."""
+
+import numpy as np
+
+from repro.parallel import pmap
+
+__all__ = ["main"]
+
+_CACHE = {}
+
+
+def _fill():
+    _CACHE["k"] = 1
+
+
+def _cell(x):
+    rng = np.random.default_rng(42)
+    return _CACHE.get("k", 0) + x + float(rng.random())
+
+
+def _writer(x):
+    _CACHE[x] = x
+    return x
+
+
+def main():
+    _fill()
+    a = pmap(_cell, [1, 2])
+    b = pmap(_writer, [3])
+    c = pmap(lambda x: x, [4])
+    return a, b, c

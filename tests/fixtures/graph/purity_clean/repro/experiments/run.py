@@ -1,0 +1,19 @@
+"""Fixture: a pure, seed-disciplined pmap worker."""
+
+import numpy as np
+
+from repro.parallel import derive_seed, pmap
+
+__all__ = ["main"]
+
+_TABLE = {"k": 1}
+
+
+def _cell(task):
+    seed, x = task
+    rng = np.random.default_rng(derive_seed(seed, x))
+    return _TABLE["k"] + x + float(rng.random())
+
+
+def main(seed):
+    return pmap(_cell, [(seed, 1), (seed, 2)])

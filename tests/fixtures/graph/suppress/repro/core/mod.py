@@ -1,0 +1,15 @@
+"""Fixture: spotgraph suppression comments, valid and typo'd."""
+
+__all__ = ["suppressed", "reported"]
+
+
+def suppressed():
+    return [k for k in {1, 2}]  # spotgraph: disable=SW112
+
+
+def reported():
+    return [k for k in {3, 4}]
+
+
+# spotgraph: disable=SW999
+# spotgraph: disable-file=SW777

@@ -1,0 +1,23 @@
+"""Fixture: deterministic scope reaching nondeterminism sources."""
+
+import numpy as np
+
+from repro.obs.util import stamp
+
+__all__ = ["step", "draw", "keys"]
+
+
+def step():
+    return stamp()
+
+
+def draw():
+    rng = np.random.default_rng()
+    return float(rng.random())
+
+
+def keys():
+    out = []
+    for k in {1, 2, 3}:
+        out.append(k)
+    return out

@@ -1,0 +1,9 @@
+"""Fixture: a foundation helper that reads the wall clock."""
+
+import time
+
+__all__ = ["stamp"]
+
+
+def stamp():
+    return time.time()

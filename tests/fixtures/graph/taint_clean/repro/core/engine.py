@@ -1,0 +1,23 @@
+"""Fixture: deterministic scope done right."""
+
+import numpy as np
+
+from repro.obs.util import stamp
+
+__all__ = ["step", "draw", "keys"]
+
+
+def step():
+    return stamp()
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def keys():
+    out = []
+    for k in sorted({1, 2, 3}):
+        out.append(k)
+    return out

@@ -1,0 +1,10 @@
+"""Fixture: the wall-clock seam, annotated as intentional."""
+
+import time
+
+__all__ = ["stamp"]
+
+
+# spotgraph: allow-nondeterminism
+def stamp():
+    return time.time()

@@ -3,11 +3,19 @@ plus suppression comments, module-name scoping, and the CLI contract."""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
-from repro.devtools.lint import lint_file, lint_paths, lint_source, main
+from repro.devtools.lint import (
+    ENGINE_RULES,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+)
 from repro.devtools.rules import RULES, module_name_for
 
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
@@ -153,3 +161,90 @@ def test_lint_paths_walks_directories():
     assert "sw006_bad.py" in files
     assert "suppress_wrong.py" in files
     assert "suppress_file.py" not in files
+
+
+def test_cli_format_json(capsys):
+    code = main(
+        [str(FIXTURES / "sw006_bad.py"), "--select", "SW006", "--format", "json"]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "spotweb-findings/1"
+    assert payload["tool"] == "spotlint"
+    assert payload["count"] == len(payload["findings"]) > 0
+
+
+def test_cli_list_rules_includes_engine_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ENGINE_RULES:
+        assert rule_id in out
+
+
+# --------------------------------------------------- file-stream discipline
+def test_iter_python_files_dedups_overlapping_args():
+    once = list(iter_python_files([FIXTURES]))
+    twice = list(iter_python_files([FIXTURES, FIXTURES]))
+    assert twice == once
+    single = FIXTURES / "sw006_bad.py"
+    assert list(iter_python_files([single, single])) == [single]
+
+
+def test_lint_paths_order_is_arg_order_independent():
+    a = FIXTURES / "sw006_bad.py"
+    b = FIXTURES / "sw005_bad.py"
+    forward = lint_paths([a, b])
+    backward = lint_paths([b, a])
+    assert [f.format() for f in forward] == [f.format() for f in backward]
+    assert forward == sorted(
+        forward, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+
+
+# --------------------------------------------- suppression edge cases + SW009
+def test_malformed_empty_disable_list_is_ignored(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("assert True  # spotlint: disable=\n")
+    findings = lint_file(mod, select={"SW008", "SW009"})
+    assert [f.rule for f in findings] == ["SW008"]
+
+
+def test_trailing_comma_in_disable_list_still_works(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("assert True  # spotlint: disable=SW008,\n")
+    assert lint_file(mod, select={"SW008", "SW009"}) == []
+
+
+def test_disable_file_on_last_line_applies(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("assert True\n# spotlint: disable-file=SW008")
+    assert lint_file(mod, select={"SW008", "SW009"}) == []
+
+
+def test_unknown_rule_in_suppression_warns_sw009(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("assert True  # spotlint: disable=SW404\n")
+    findings = lint_file(mod, select={"SW008", "SW009"})
+    assert {f.rule for f in findings} == {"SW008", "SW009"}
+    sw009 = next(f for f in findings if f.rule == "SW009")
+    assert "SW404" in sw009.message
+
+
+def test_sw009_is_itself_suppressible(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("assert True  # spotlint: disable=SW404,SW008,SW009\n")
+    assert lint_file(mod, select={"SW008", "SW009"}) == []
+
+
+def test_disable_all_does_not_trigger_sw009(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("assert True  # spotlint: disable=all\n")
+    assert lint_file(mod, select={"SW008", "SW009"}) == []
+
+
+def test_sw009_not_reported_when_unselected(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("assert True  # spotlint: disable=SW404\n")
+    assert [f.rule for f in lint_file(mod, select={"SW008"})] == ["SW008"]
+    findings = lint_file(mod, select={"SW008", "SW009"}, ignore={"SW009"})
+    assert [f.rule for f in findings] == ["SW008"]
