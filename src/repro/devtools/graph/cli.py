@@ -195,6 +195,16 @@ def run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.update_baseline and (select is not None or ignore is not None):
+        # A filtered update would overwrite the baseline with only the
+        # selected subset, un-accepting every other grandfathered finding.
+        print(
+            "spotgraph: --update-baseline cannot be combined with "
+            "--select/--ignore; the baseline must cover the unfiltered "
+            "finding set",
+            file=sys.stderr,
+        )
+        return 2
 
     cache_path = None if args.no_cache else Path(args.cache)
     stats: dict = {}

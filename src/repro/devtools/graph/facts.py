@@ -537,7 +537,16 @@ def _analyze_function(
             if target is not None:
                 calls.append(CallSite(target, node.lineno, node.col_offset))
                 if target == _DEFAULT_RNG:
-                    seeded = bool(node.args) or bool(node.keywords)
+                    # A literal None seed draws OS entropy, exactly like
+                    # no argument at all: default_rng(None) is unseeded.
+                    seeded = any(
+                        not (
+                            isinstance(arg, ast.Constant)
+                            and arg.value is None
+                        )
+                        for arg in list(node.args)
+                        + [kw.value for kw in node.keywords]
+                    )
                     literal = (
                         len(node.args) == 1
                         and not node.keywords

@@ -110,6 +110,11 @@ ENTROPY_FUNCS = frozenset(
 # hidden global Mersenne Twister state.
 _STDLIB_RANDOM_ALLOWED = frozenset({"Random", "seed"})
 
+# Pseudo-source name for an unseeded `default_rng()` call site; it has no
+# dotted call target of its own, and SW111 reports it directly when the
+# call sits inside the deterministic scope.
+_UNSEEDED_RNG = "numpy.random.default_rng (unseeded)"
+
 
 def classify_source(target: str) -> str | None:
     """Describe why ``target`` is a nondeterminism source, or ``None``."""
@@ -163,11 +168,9 @@ def _direct_sources(fn: FunctionFacts) -> list[tuple[str, str]]:
     for rng in fn.rng_calls:
         if rng.line in allowed or rng.seeded:
             continue
-        if "numpy.random.default_rng (unseeded)" not in seen:
-            seen.add("numpy.random.default_rng (unseeded)")
-            sources.append(
-                ("numpy.random.default_rng (unseeded)", "OS entropy seed")
-            )
+        if _UNSEEDED_RNG not in seen:
+            seen.add(_UNSEEDED_RNG)
+            sources.append((_UNSEEDED_RNG, "OS entropy seed"))
     return sources
 
 
@@ -222,7 +225,15 @@ def taint_findings(project: Project) -> list[Finding]:
                 break
         if shadowed:
             continue
-        target, kind = direct[node][0]
+        sources = direct[node]
+        if len(path) == 1:
+            # The function is itself a direct source.  An unseeded
+            # default_rng() here is already SW111; reporting the same call
+            # as a length-1 SW110 chain would duplicate the finding.
+            sources = [s for s in sources if s[0] != _UNSEEDED_RNG]
+            if not sources:
+                continue
+        target, kind = sources[0]
         mod_path, line = location[fid]
         chain = " -> ".join(path + [target])
         findings.append(

@@ -1,10 +1,12 @@
 """Fixture: deterministic scope reaching nondeterminism sources."""
 
+import time
+
 import numpy as np
 
 from repro.obs.util import stamp
 
-__all__ = ["step", "draw", "keys"]
+__all__ = ["step", "draw", "now", "keys"]
 
 
 def step():
@@ -12,8 +14,14 @@ def step():
 
 
 def draw():
+    # SW111 only: the direct unseeded default_rng() must not also be
+    # reported as a length-1 SW110 chain.
     rng = np.random.default_rng()
     return float(rng.random())
+
+
+def now():
+    return time.time()
 
 
 def keys():

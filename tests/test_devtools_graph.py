@@ -126,6 +126,46 @@ def test_allow_nondeterminism_def_annotation_is_a_barrier():
     assert graph_findings("taint_clean", select={"SW110"}) == []
 
 
+def test_sw110_direct_source_reports_length_one_chain():
+    findings = graph_findings("taint_bad", select={"SW110"})
+    assert any(
+        "repro.core.engine.now -> time.time" in f.message for f in findings
+    )
+
+
+def test_unseeded_rng_is_sw111_only_not_sw110():
+    # `draw` builds an unseeded default_rng() directly; SW111 covers that
+    # call, so no duplicate length-1 SW110 chain may be emitted for it.
+    sw110 = graph_findings("taint_bad", select={"SW110"})
+    assert not any("draw" in f.message for f in sw110)
+    (sw111,) = graph_findings("taint_bad", select={"SW111"})
+    assert "repro.core.engine.draw" in sw111.message
+
+
+@pytest.mark.parametrize(
+    "call", ["default_rng()", "default_rng(None)", "default_rng(seed=None)"]
+)
+def test_none_seed_counts_as_unseeded(call):
+    facts = extract_module_facts(
+        "from numpy.random import default_rng\n\n"
+        f"def f():\n    return {call}\n",
+        Path("m.py"),
+    )
+    (fn,) = facts.functions
+    (rng,) = fn.rng_calls
+    assert rng.seeded is False
+
+
+def test_expression_seed_counts_as_seeded():
+    facts = extract_module_facts(
+        "from numpy.random import default_rng\n\n"
+        "def f(seed):\n    return default_rng(seed)\n",
+        Path("m.py"),
+    )
+    (rng,) = facts.functions[0].rng_calls
+    assert rng.seeded is True
+
+
 # ------------------------------------------------------------------- purity
 def test_sw120_names_the_global_and_the_worker():
     (finding,) = graph_findings("purity_bad", select={"SW120"})
@@ -206,7 +246,12 @@ def test_extract_module_facts_records_imports_and_functions():
     path = FIXTURES / "taint_bad" / "repro" / "core" / "engine.py"
     facts = extract_module_facts(path.read_text(), path)
     assert facts.module == "repro.core.engine"
-    assert {fn.qualname for fn in facts.functions} == {"step", "draw", "keys"}
+    assert {fn.qualname for fn in facts.functions} == {
+        "step",
+        "draw",
+        "now",
+        "keys",
+    }
     assert any(e.target == "repro.obs.util" for e in facts.imports)
 
 
@@ -298,6 +343,20 @@ def test_cli_update_baseline_then_clean(tmp_path, capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "baselined" in out
+
+
+def test_cli_update_baseline_rejects_filters(tmp_path, capsys):
+    # A filtered --update-baseline would overwrite the baseline with only
+    # the selected subset, silently un-accepting all other findings.
+    code = _cli(
+        tmp_path,
+        str(FIXTURES / "taint_bad"),
+        "--select",
+        "SW110",
+        "--update-baseline",
+    )
+    assert code == 2
+    assert "--update-baseline" in capsys.readouterr().err
 
 
 def test_cli_layers_diagram(capsys):
