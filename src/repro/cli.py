@@ -10,9 +10,16 @@ Commands
 - ``run <name>`` — like ``experiment`` plus observability: ``--trace``
   (or ``SPOTWEB_TRACE=1``) records a span trace of the whole run to a
   ``spotweb-trace/1`` JSONL file and prints the metrics snapshot;
-  ``--quick`` shrinks the workload to CI size.
+  ``--events`` (or ``SPOTWEB_EVENTS=1``) journals the service-level
+  domain events (revocation warnings, drains, migrations, SLO state) to
+  a ``spotweb-events/1`` JSONL file; ``--prom-out`` exports the metrics
+  snapshot in Prometheus text format; ``--quick`` shrinks the workload
+  to CI size.
 - ``trace summarize|validate <file>`` — critical-path breakdown, top
   spans, and per-phase timeline of a recorded trace; or schema check.
+- ``events validate|summarize|timeline|diff <file> [file_b]`` — schema +
+  causal-integrity check, incident report, ASCII incident timeline, or a
+  by-interval divergence diff of two journals.
 - ``list`` — list available experiments with one-line descriptions.
 - ``catalog`` — print the instance catalog / market universe.
 - ``advisor`` — print the emulated Spot Instance Advisor table for a
@@ -170,6 +177,11 @@ def _env_trace_on() -> bool:
     return os.environ.get("SPOTWEB_TRACE", "0") not in ("", "0")
 
 
+def _env_events_on() -> bool:
+    """Honor the ``SPOTWEB_EVENTS`` opt-in (any value but empty/``0``)."""
+    return os.environ.get("SPOTWEB_EVENTS", "0") not in ("", "0")
+
+
 def _format_metrics(snapshot: dict) -> str:
     """Render a metrics snapshot as indented ``name: value`` lines."""
     lines = ["metrics:"]
@@ -185,13 +197,16 @@ def _format_metrics(snapshot: dict) -> str:
 
 
 def _cmd_run(args) -> str:
-    """Run one experiment with optional span tracing + metrics snapshot.
+    """Run one experiment with optional tracing, events and metrics.
 
-    Identical to ``experiment`` when tracing is off (the no-op tracer adds
-    one method call per instrumented site).  With ``--trace`` or
-    ``SPOTWEB_TRACE=1`` the whole run executes under an
-    ``experiment.<name>`` root span, the trace is written as
-    ``spotweb-trace/1`` JSONL, and the metrics snapshot is printed.
+    Identical to ``experiment`` when all observability is off (the no-op
+    tracer and event sink each add one method call per instrumented site).
+    With ``--trace`` or ``SPOTWEB_TRACE=1`` the whole run executes under an
+    ``experiment.<name>`` root span and the trace is written as
+    ``spotweb-trace/1`` JSONL; with ``--events`` or ``SPOTWEB_EVENTS=1``
+    the domain-event journal is written as ``spotweb-events/1`` JSONL.
+    Either opt-in also prints the metrics snapshot; ``--prom-out``
+    additionally exports it in Prometheus text format.
     """
     import importlib
 
@@ -201,25 +216,41 @@ def _cmd_run(args) -> str:
         args.weeks = 1
         args.hours = 24
     _desc, runner = EXPERIMENTS[args.name]
-    if not (args.trace or _env_trace_on()):
+    trace_on = args.trace or _env_trace_on()
+    events_on = args.events or _env_events_on()
+    if not (trace_on or events_on or args.prom_out):
         return runner(args)
-    obs.enable_tracing()
     obs.reset_metrics()
-    tracer = obs.get_tracer()
-    tracer.clear()
-    with tracer.span(f"experiment.{args.name}", quick=args.quick):
+    if trace_on:
+        obs.enable_tracing()
+        tracer = obs.get_tracer()
+        tracer.clear()
+    if events_on:
+        obs.enable_events()
+    with obs.get_tracer().span(f"experiment.{args.name}", quick=args.quick):
         # The experiments package import dominates a --quick run's
         # wall-clock; give it a span so the root stays >95% covered.
-        with tracer.span("experiment.imports"):
+        with obs.get_tracer().span("experiment.imports"):
             importlib.import_module("repro.experiments")
         text = runner(args)
-    records = tracer.records()
-    out = args.trace_out or f"TRACE_{args.name}.jsonl"
-    obs.write_trace(records, out)
-    text += f"\nwrote {len(records)} spans to {out}"
-    if args.parallel:
+    if trace_on:
+        records = obs.get_tracer().records()
+        out = args.trace_out or f"TRACE_{args.name}.jsonl"
+        obs.write_trace(records, out)
+        text += f"\nwrote {len(records)} spans to {out}"
+    if events_on:
+        events = obs.get_events().records()
+        events_out = args.events_out or f"EVENTS_{args.name}.jsonl"
+        obs.write_events(events, events_out)
+        text += f"\nwrote {len(events)} events to {events_out}"
+    if args.parallel and trace_on:
         text += "\nNOTE: spans from process-pool workers are not captured"
-    text += "\n" + _format_metrics(obs.get_metrics().snapshot())
+    snapshot = obs.get_metrics().snapshot()
+    if args.prom_out:
+        with open(args.prom_out, "w", encoding="utf-8") as fh:
+            fh.write(obs.prometheus_text(snapshot))
+        text += f"\nwrote Prometheus metrics to {args.prom_out}"
+    text += "\n" + _format_metrics(snapshot)
     return text
 
 
@@ -231,6 +262,28 @@ def _cmd_trace(args) -> str:
         return summarize_file(args.file, top=args.top)
     records = load_trace(args.file)  # load performs full schema validation
     return f"{args.file}: {len(records)} spans, schema OK"
+
+
+def _cmd_events(args) -> str:
+    """Validate, summarize, plot, or diff ``spotweb-events/1`` journals."""
+    from repro import obs
+
+    if args.action == "validate":
+        # load performs schema + causal-integrity validation, including
+        # that every warning resolves to a terminal outcome.
+        records = obs.load_events(args.file)
+        return f"{args.file}: {len(records)} events, schema OK"
+    if args.action == "summarize":
+        return obs.summarize_events_file(args.file, top=args.top)
+    if args.action == "timeline":
+        return obs.timeline_file(args.file)
+    if args.file_b is None:
+        raise SystemExit("events diff needs two journal files")
+    result, text = obs.diff_files(args.file, args.file_b)
+    if not result["identical"]:
+        # Non-zero exit so CI can gate on determinism drift.
+        raise SystemExit(text)
+    return text
 
 
 def _cmd_list(_args) -> str:
@@ -442,6 +495,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace output path (default: TRACE_<name>.jsonl)",
     )
     p_run.add_argument(
+        "--events",
+        action="store_true",
+        help="journal domain events (also enabled by SPOTWEB_EVENTS=1)",
+    )
+    p_run.add_argument(
+        "--events-out",
+        default=None,
+        help="event journal path (default: EVENTS_<name>.jsonl)",
+    )
+    p_run.add_argument(
+        "--prom-out",
+        default=None,
+        help="write the metrics snapshot in Prometheus text format",
+    )
+    p_run.add_argument(
         "--parallel",
         action="store_true",
         help="fan independent cells out over a process pool",
@@ -455,6 +523,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("file")
     p_trace.add_argument(
         "--top", type=int, default=12, help="rows in the top-spans table"
+    )
+
+    p_events = sub.add_parser("events", help="inspect a domain-event journal")
+    p_events.add_argument(
+        "action", choices=("validate", "summarize", "timeline", "diff")
+    )
+    p_events.add_argument("file")
+    p_events.add_argument(
+        "file_b", nargs="?", default=None, help="second journal (diff only)"
+    )
+    p_events.add_argument(
+        "--top", type=int, default=12, help="rows in the event-kinds table"
     )
 
     sub.add_parser("list", help="list available experiments")
@@ -541,6 +621,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_run(args))
     elif args.command == "trace":
         print(_cmd_trace(args))
+    elif args.command == "events":
+        print(_cmd_events(args))
     elif args.command == "list":
         print(_cmd_list(args))
     elif args.command == "catalog":

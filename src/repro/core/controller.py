@@ -29,7 +29,7 @@ from repro.core.portfolio import Allocation
 from repro.core.reactive import ReactiveFallback
 from repro.markets.catalog import Market
 from repro.markets.revocation import event_covariance
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_events, get_metrics, get_tracer
 from repro.predictors.base import WorkloadPredictor
 from repro.predictors.failure import FailurePredictor
 from repro.predictors.price import PricePredictor
@@ -252,5 +252,19 @@ class SpotWebController:
                     mpo=result,
                 )
             step_span.tag(servers=int(counts.sum()), target_rps=target)
+        ev = get_events()
+        if ev.enabled:
+            # The controller runs once per interval; its own step counter is
+            # the interval key (it has no sim clock of its own).
+            ev.emit(
+                "controller.plan",
+                interval=self._steps - 1,
+                observed_rps=observed_rps,
+                target_rps=target,
+                servers=int(counts.sum()),
+                active_markets=int((counts > 0).sum()),
+                solver_status=result.solver.status.value,
+                solver_iterations=int(result.solver.iterations),
+            )
         get_metrics().counter("controller.steps").inc()
         return decision

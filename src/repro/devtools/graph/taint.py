@@ -70,7 +70,10 @@ DETERMINISTIC_PREFIXES: tuple[str, ...] = (
     "repro.loadbalancer",
     "repro.markets",
     "repro.monitoring",
+    "repro.obs.eventreport",
+    "repro.obs.events",
     "repro.obs.metrics",
+    "repro.obs.slo",
     "repro.predictors",
     "repro.simulator",
     "repro.solvers",

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.loadbalancer.vanilla import VanillaLoadBalancer
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_events, get_metrics, get_tracer
 
 if TYPE_CHECKING:  # avoid a loadbalancer <-> simulator import cycle
     from repro.simulator.metrics import LatencyRecorder
@@ -78,6 +78,7 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
         # Warned backends whose drain is deferred until replacement capacity
         # is ready (or the grace deadline forces it).
         self._pending_drain: dict[int, float] = {}
+        self._admission_rejecting = False
 
     # ------------------------------------------------------------- transiency
     def _spare_capacity(self, exclude: set[int]) -> float:
@@ -88,7 +89,7 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
             if b.server_id not in exclude and b.accepting
         )
 
-    def _drain_now(self, backend_id: int) -> None:
+    def _drain_now(self, backend_id: int, now: float) -> None:
         backend = self.backends.get(backend_id)
         self._pending_drain.pop(backend_id, None)
         if backend is None:
@@ -107,6 +108,18 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
                     migrated += 1
             self.migrations += migrated
             sp.tag(sessions=len(orphans), migrated=migrated)
+        ev = get_events()
+        if ev.enabled:
+            wid = ev.warning_for(backend_id)
+            ev.emit("server.drain", t=now, cause=wid, backend=backend_id)
+            ev.emit(
+                "session.migrate",
+                t=now,
+                cause=wid,
+                backend=backend_id,
+                sessions=len(orphans),
+                migrated=migrated,
+            )
         get_metrics().counter("lb.migrations").inc(migrated)
 
     def on_warning(self, backend_id: int, now: float) -> None:
@@ -121,20 +134,53 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
         if backend is None:
             return
         get_metrics().counter("lb.warnings").inc()
+        ev = get_events()
+        wid = ev.warning_for(backend_id) if ev.enabled else None
         with get_tracer().span("lb.on_warning", backend=backend_id) as sp:
             doomed = set(self._pending_drain) | {backend_id}
             spare = self._spare_capacity(doomed)
             displaced = backend.capacity_rps * backend.utilization()
             if spare >= displaced:
                 sp.tag(action="drain_now")
-                self._drain_now(backend_id)
+                if ev.enabled:
+                    ev.emit(
+                        "lb.warning_action",
+                        t=now,
+                        cause=wid,
+                        backend=backend_id,
+                        action="drain_now",
+                        spare_rps=spare,
+                        displaced_rps=displaced,
+                    )
+                self._drain_now(backend_id, now)
                 return
             sp.tag(action="defer")
+            if ev.enabled:
+                ev.emit(
+                    "lb.warning_action",
+                    t=now,
+                    cause=wid,
+                    backend=backend_id,
+                    action="defer",
+                    spare_rps=spare,
+                    displaced_rps=displaced,
+                )
             self._pending_drain[backend_id] = now + self.drain_grace_seconds
             if self.reprovision is not None:
                 self.reprovision_requests += 1
                 get_metrics().counter("lb.reprovision_requests").inc()
-                self.reprovision(backend.capacity_rps, now)
+                if ev.enabled:
+                    ev.emit(
+                        "replacement.request",
+                        t=now,
+                        cause=wid,
+                        backend=backend_id,
+                        capacity_rps=backend.capacity_rps,
+                    )
+                # Replacements launched inside the causal scope (and their
+                # later boot events) link back to this warning.
+                with ev.causal(wid):
+                    self.reprovision(backend.capacity_rps, now)
 
     def _process_pending_drains(self, now: float) -> None:
         if not self._pending_drain:
@@ -147,13 +193,25 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
         )
         if self._spare_capacity(doomed) >= displaced:
             for bid in list(self._pending_drain):
-                self._drain_now(bid)
+                self._drain_now(bid, now)
             return
         for bid, deadline in list(self._pending_drain.items()):
             if now >= deadline:
-                self._drain_now(bid)
+                self._drain_now(bid, now)
 
     # ---------------------------------------------------------------- routing
+    def _mark_admission(self, now: float, *, rejecting: bool) -> None:
+        """Record an admission-control state transition (edge, not level)."""
+        self._admission_rejecting = rejecting
+        ev = get_events()
+        if ev.enabled:
+            ev.emit(
+                "admission.flip",
+                t=now,
+                cause=ev.last_open_warning(),
+                state="rejecting" if rejecting else "accepting",
+            )
+
     def dispatch(
         self,
         now: float,
@@ -175,6 +233,8 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
                     and backend.expected_wait() <= self.admission_wait_seconds
                     and backend.submit(session_id, service_scale=service_scale)
                 ):
+                    if self._admission_rejecting:
+                        self._mark_admission(now, rejecting=False)
                     return True
                 tried.add(bid)
                 if not backend.alive:
@@ -192,6 +252,8 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
             ):
                 if session_id is not None:
                     self.sessions.assign(session_id, bid)
+                if self._admission_rejecting:
+                    self._mark_admission(now, rejecting=False)
                 return True
             tried.add(bid)
             if not backend.alive:
@@ -210,9 +272,13 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
             if backend.submit(session_id, service_scale=service_scale):
                 if session_id is not None:
                     self.sessions.assign(session_id, backend.server_id)
+                if self._admission_rejecting:
+                    self._mark_admission(now, rejecting=False)
                 return True
         # Admission control rejects rather than overloading survivors.
         # Counter only — dispatch is the hot path, so no span here.
         get_metrics().counter("lb.admission_rejections").inc()
+        if not self._admission_rejecting:
+            self._mark_admission(now, rejecting=True)
         self.recorder.record_dropped(now)
         return False

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.devtools.contracts import nonneg
+from repro.obs import get_events
 
 __all__ = ["SmoothWeightedRoundRobin"]
 
@@ -49,6 +50,10 @@ class SmoothWeightedRoundRobin:
         self._credit = {
             k: self._credit.get(k, 0.0) for k in self._weights
         }
+        # The WRR is time-blind; the event log's sim clock keys the event.
+        ev = get_events()
+        if ev.enabled:
+            ev.emit("lb.reweight", backends=len(self._weights))
 
     def set_weight(self, key: Hashable, weight: float) -> None:
         """Add/update one backend; ``weight <= 0`` removes it."""

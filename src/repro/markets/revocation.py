@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.markets.catalog import Market, PurchaseOption
+from repro.obs import get_events
 
 __all__ = [
     "RevocationModel",
@@ -214,6 +215,14 @@ class CorrelatedRevocationSampler:
         # Exact-0 / exact-1 marginals bypass the copula noise.
         events = np.where(p <= 0.0, False, events)
         events = np.where(p >= 1.0, True, events)
+        ev = get_events()
+        if ev.enabled and events.any():
+            # The sampler is time-blind; the log's interval/clock key it.
+            ev.emit(
+                "market.revocations",
+                count=int(events.sum()),
+                markets=[int(i) for i in np.flatnonzero(events)],
+            )
         return events
 
     def sample_path(self, probabilities: np.ndarray) -> np.ndarray:

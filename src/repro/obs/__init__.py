@@ -12,17 +12,54 @@ experiment outputs are unchanged:
 - :mod:`repro.obs.summarize` — the ``python -m repro trace summarize``
   analyzer: top spans, critical path, child coverage, and an ASCII
   per-interval timeline.
+- :mod:`repro.obs.events` — the sim-time domain-event journal
+  (``spotweb-events/1``): causally linked revocation-warning lifecycles,
+  load-balancer and controller decisions, SLO state.  Opt in with
+  ``--events`` / ``SPOTWEB_EVENTS``.
+- :mod:`repro.obs.slo` — streaming fixed-bin latency digest plus the
+  per-interval SLO-compliance / multi-window burn-rate engine feeding
+  ``slo.interval`` / ``slo.alert`` events.
+- :mod:`repro.obs.eventreport` — the ``python -m repro events`` analyzer:
+  incident report, ASCII timeline, and journal diff.
 """
 
+from repro.obs.eventreport import (
+    diff_files,
+    diff_journals,
+    format_diff,
+    format_event_summary,
+    format_timeline,
+    incidents,
+    kind_counts,
+    slo_series,
+    summarize_events_file,
+    timeline_file,
+)
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    TERMINAL_OUTCOMES,
+    EventLog,
+    EventValidationError,
+    disable_events,
+    enable_events,
+    events_enabled,
+    get_events,
+    load_events,
+    set_events,
+    validate_events,
+    write_events,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_metrics,
+    prometheus_text,
     reset_metrics,
     set_metrics,
 )
+from repro.obs.slo import LatencyDigest, SLOEngine
 from repro.obs.tracer import (
     TRACE_SCHEMA,
     NullSpan,
@@ -55,6 +92,31 @@ __all__ = [
     "get_metrics",
     "reset_metrics",
     "set_metrics",
+    "prometheus_text",
+    "EVENTS_SCHEMA",
+    "TERMINAL_OUTCOMES",
+    "EventLog",
+    "EventValidationError",
+    "disable_events",
+    "enable_events",
+    "events_enabled",
+    "get_events",
+    "load_events",
+    "set_events",
+    "validate_events",
+    "write_events",
+    "LatencyDigest",
+    "SLOEngine",
+    "diff_files",
+    "diff_journals",
+    "format_diff",
+    "format_event_summary",
+    "format_timeline",
+    "incidents",
+    "kind_counts",
+    "slo_series",
+    "summarize_events_file",
+    "timeline_file",
     "TRACE_SCHEMA",
     "NullSpan",
     "Span",

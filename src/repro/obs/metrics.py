@@ -34,6 +34,7 @@ __all__ = [
     "get_metrics",
     "set_metrics",
     "reset_metrics",
+    "prometheus_text",
 ]
 
 
@@ -172,6 +173,42 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         self._metrics.clear()
+
+
+def _prom_name(name: str, *, prefix: str) -> str:
+    return prefix + name.replace(".", "_").replace("-", "_")
+
+
+def prometheus_text(snapshot: dict, *, prefix: str = "spotweb_") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text format.
+
+    Counters (int values) become ``counter`` series, gauges (floats)
+    become ``gauge`` series, and histogram summaries export as a
+    Prometheus ``summary``: ``{quantile="0.5"|"0.95"}`` series plus the
+    conventional ``_sum`` and ``_count``.  Metric names keep snapshot
+    (sorted) order with dots mangled to underscores, so output is as
+    deterministic as the snapshot itself.
+    """
+    lines: list[str] = []
+    for name, value in snapshot.items():
+        pname = _prom_name(name, prefix=prefix)
+        if isinstance(value, bool):
+            raise TypeError(f"metric {name!r} has non-metric value {value!r}")
+        if isinstance(value, int):
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {value}")
+        elif isinstance(value, float):
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {value}")
+        elif isinstance(value, dict):
+            lines.append(f"# TYPE {pname} summary")
+            lines.append(f'{pname}{{quantile="0.5"}} {value["p50"]}')
+            lines.append(f'{pname}{{quantile="0.95"}} {value["p95"]}')
+            lines.append(f"{pname}_sum {value['total']}")
+            lines.append(f"{pname}_count {value['count']}")
+        else:
+            raise TypeError(f"metric {name!r} has non-metric value {value!r}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 _METRICS = MetricsRegistry()

@@ -139,7 +139,7 @@ def _phase_totals(records: list[dict]) -> list[dict]:
 
 def format_summary(records: list[dict], *, top: int = 12) -> str:
     """Render the full text report for one trace."""
-    from repro.textfmt import format_table, sparkline
+    from repro.textfmt import format_chain, format_table, format_topn, sparkline
 
     if not records:
         return "trace contains no spans"
@@ -156,12 +156,13 @@ def format_summary(records: list[dict], *, top: int = 12) -> str:
             1000.0 * a["max"],
             100.0 * (a["self"] / total_wall if total_wall > 0 else 0.0),
         ]
-        for a in aggs[:top]
+        for a in aggs
     ]
     parts.append(
-        format_table(
+        format_topn(
             ["span", "count", "total_ms", "mean_ms", "max_ms", "self_%"],
             rows,
+            top=top,
             title=f"top spans ({len(records)} spans, "
             f"{1000.0 * total_wall:.1f} ms root wall-clock)",
         )
@@ -169,17 +170,13 @@ def format_summary(records: list[dict], *, top: int = 12) -> str:
 
     path = critical_path(records)
     rows = [
-        [
-            "  " * i + p["name"],
-            1000.0 * p["dur"],
-            100.0 * p["share"],
-        ]
-        for i, p in enumerate(path)
+        [p["name"], 1000.0 * p["dur"], 100.0 * p["share"]] for p in path
     ]
     parts.append(
-        format_table(
+        format_chain(
             ["critical path", "total_ms", "parent_%"],
             rows,
+            list(range(len(path))),
             title="critical path (longest child chain)",
         )
     )

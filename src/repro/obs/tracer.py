@@ -243,60 +243,84 @@ def load_trace(path: str | Path) -> list[dict]:
     raw = Path(path).read_text().splitlines()
     if not raw:
         raise ValueError("empty trace file")
-    try:
-        parsed = [json.loads(line) for line in raw if line.strip()]
-    except json.JSONDecodeError as exc:
-        raise ValueError(f"trace file is not valid JSONL: {exc}") from exc
+    parsed: list[dict] = []
+    line_numbers: list[int] = []
+    for lineno, line in enumerate(raw, start=1):
+        if not line.strip():
+            continue
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"line {lineno}: trace file is not valid JSONL: {exc}"
+            ) from exc
+        line_numbers.append(lineno)
+    if not parsed:
+        raise ValueError("empty trace file")
     header, records = parsed[0], parsed[1:]
-    if header.get("schema") != TRACE_SCHEMA:
-        raise ValueError(f"unknown trace schema: {header.get('schema')!r}")
-    validate_trace(records)
+    if not isinstance(header, dict) or header.get("schema") != TRACE_SCHEMA:
+        schema = header.get("schema") if isinstance(header, dict) else header
+        raise ValueError(
+            f"line {line_numbers[0]}: unknown trace schema: {schema!r}"
+        )
+    validate_trace(records, lines=line_numbers[1:])
     return records
 
 
-def validate_trace(records: list[dict]) -> None:
+def validate_trace(records: list[dict], *, lines: list[int] | None = None) -> None:
     """Check span records against the ``spotweb-trace/1`` schema.
 
-    Raises ``ValueError`` on the first violation: a missing or mistyped field,
-    a duplicate id, a parent reference to an unknown span, a negative
-    duration, or a child starting before its parent.
+    Raises ``ValueError`` on the first violation — a missing or mistyped
+    field, a duplicate id, a parent reference to an unknown span, a negative
+    duration, or a child starting before its parent — naming the offending
+    field and, when ``lines`` maps record indices back to JSONL line
+    numbers (as :func:`load_trace` passes), the source line.
     """
-    seen: dict[int, dict] = {}
+
+    def _loc(i: int) -> str:
+        if lines is not None and i < len(lines):
+            return f"line {lines[i]}: record {i}"
+        return f"record {i}"
+
+    seen: dict[int, tuple[dict, int]] = {}
     for i, rec in enumerate(records):
         if not isinstance(rec, dict):
-            raise ValueError(f"record {i} is not an object")
+            raise ValueError(f"{_loc(i)} is not an object")
         for key, types in _SPAN_FIELDS.items():
             if key not in rec:
-                raise ValueError(f"record {i} missing field {key!r}")
+                raise ValueError(f"{_loc(i)} missing field {key!r}")
             if not isinstance(rec[key], types) or isinstance(rec[key], bool):
                 raise ValueError(
-                    f"record {i} field {key!r} has type "
+                    f"{_loc(i)} field {key!r} has type "
                     f"{type(rec[key]).__name__}, expected "
                     + "/".join(t.__name__ for t in types)
                 )
         if rec["dur"] < 0:
-            raise ValueError(f"record {i} has negative duration")
+            raise ValueError(f"{_loc(i)} field 'dur' has negative duration")
         if rec["start"] < 0:
-            raise ValueError(f"record {i} has negative start")
+            raise ValueError(f"{_loc(i)} field 'start' has negative start")
         if rec["id"] in seen:
-            raise ValueError(f"duplicate span id {rec['id']}")
-        seen[rec["id"]] = rec
-    for rec in records:
+            raise ValueError(f"{_loc(i)} field 'id': duplicate span id {rec['id']}")
+        seen[rec["id"]] = (rec, i)
+    for rec, i in seen.values():
         parent_id = rec["parent"]
         if parent_id is None:
             continue
-        parent = seen.get(parent_id)
-        if parent is None:
+        entry = seen.get(parent_id)
+        if entry is None:
             raise ValueError(
-                f"span {rec['id']} references unknown parent {parent_id}"
+                f"{_loc(i)} field 'parent': span {rec['id']} references "
+                f"unknown parent {parent_id}"
             )
+        parent = entry[0]
         if rec["depth"] != parent["depth"] + 1:
             raise ValueError(
-                f"span {rec['id']} depth {rec['depth']} inconsistent with "
-                f"parent depth {parent['depth']}"
+                f"{_loc(i)} field 'depth': span {rec['id']} depth "
+                f"{rec['depth']} inconsistent with parent depth {parent['depth']}"
             )
         # Children must start within the parent interval (timer jitter slack).
         if rec["start"] + 1e-9 < parent["start"]:
             raise ValueError(
-                f"span {rec['id']} starts before its parent {parent_id}"
+                f"{_loc(i)} field 'start': span {rec['id']} starts before "
+                f"its parent {parent_id}"
             )

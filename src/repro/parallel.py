@@ -31,6 +31,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Hashable, Iterable, Sequence, TypeVar
 
+from repro.obs.events import EventLog, get_events, set_events
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -73,6 +75,29 @@ def clear_shared_setup() -> None:
     _SETUP_CACHE.clear()
 
 
+class _EventCell:
+    """Picklable wrapper running one sweep cell under a fresh event log.
+
+    Each cell journals into its own :class:`EventLog`; the wrapper returns
+    ``(result, records)`` so :func:`pmap` can adopt every cell's events in
+    item order.  The same wrapper runs on the serial fallback path, which
+    is what makes serial and parallel journals byte-identical.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: T) -> tuple[R, list[dict]]:
+        old = set_events(EventLog(enabled=True))
+        try:
+            result = self.fn(item)
+            return result, get_events().records()
+        finally:
+            set_events(old)
+
+
 def pmap(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -89,20 +114,35 @@ def pmap(
     that need expensive common inputs should fetch them via
     :func:`shared_setup` and derive their randomness with
     :func:`derive_seed`, which keeps parallel output identical to serial.
+
+    When the event journal is enabled, every cell runs under its own fresh
+    :class:`~repro.obs.events.EventLog` (serial or parallel alike) and the
+    caller's log adopts the cells' events in item order — so the journal,
+    like the results, is bit-identical between serial and parallel runs.
     """
     items = list(items)
     if not items:
         return []
     if max_workers is None:
         max_workers = min(len(items), os.cpu_count() or 1)
+    parent = get_events()
+    run: Callable = _EventCell(fn) if parent.enabled else fn
     if max_workers <= 1:
-        return [fn(item) for item in items]
-    try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
-    except (OSError, PermissionError, ValueError):
-        # No process support (restricted sandbox): degrade to serial.
-        return [fn(item) for item in items]
+        out = [run(item) for item in items]
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                out = list(pool.map(run, items, chunksize=max(1, chunksize)))
+        except (OSError, PermissionError, ValueError):
+            # No process support (restricted sandbox): degrade to serial.
+            out = [run(item) for item in items]
+    if parent.enabled:
+        results = []
+        for cell, (result, records) in enumerate(out):
+            parent.adopt(records, cell=cell)
+            results.append(result)
+        return results
+    return out
 
 
 def sweep_grid(**axes: Iterable) -> list[dict]:

@@ -16,6 +16,8 @@ from typing import Callable
 import numpy as np
 
 from repro.loadbalancer.vanilla import VanillaLoadBalancer
+from repro.obs import get_events
+from repro.obs.slo import SLOEngine
 from repro.simulator.des import Simulator
 from repro.simulator.metrics import LatencyRecorder
 from repro.simulator.server import SimServer
@@ -47,6 +49,9 @@ class ClusterConfig:
     long_request_fraction: float = 0.0
     long_service_scale: float = 50.0
     seed: int = 0
+    # SLO interval width for the streaming compliance/burn-rate series
+    # (only consulted when the event journal is enabled).
+    slo_interval_seconds: float = 60.0
 
     def __post_init__(self) -> None:
         if self.service_time <= 0:
@@ -59,6 +64,8 @@ class ClusterConfig:
             raise ValueError("long_request_fraction must be in [0, 1]")
         if self.long_service_scale < 1:
             raise ValueError("long_service_scale must be >= 1")
+        if self.slo_interval_seconds <= 0:
+            raise ValueError("slo_interval_seconds must be positive")
 
 
 class ClusterSimulation:
@@ -80,7 +87,20 @@ class ClusterSimulation:
     ) -> None:
         self.config = config or ClusterConfig()
         self.sim = Simulator()
-        self.recorder = LatencyRecorder(slo_threshold=self.config.slo_threshold)
+        # keep_raw: Fig. 4(a) needs the exact per-minute latency windows.
+        self.slo_engine = (
+            SLOEngine(
+                slo_threshold=self.config.slo_threshold,
+                interval_seconds=self.config.slo_interval_seconds,
+            )
+            if get_events().enabled
+            else None
+        )
+        self.recorder = LatencyRecorder(
+            slo_threshold=self.config.slo_threshold,
+            keep_raw=True,
+            engine=self.slo_engine,
+        )
         factory = balancer_factory or (lambda rec: VanillaLoadBalancer(rec))
         self.balancer = factory(self.recorder)
         self.servers: dict[int, SimServer] = {}
@@ -118,6 +138,15 @@ class ClusterSimulation:
         self._next_id += 1
         self.servers[server.server_id] = server
         self.balancer.add_backend(server, weight)
+        ev = get_events()
+        if ev.enabled:
+            ev.emit(
+                "server.launch",
+                t=self.sim.now,
+                backend=server.server_id,
+                capacity_rps=server.capacity_rps,
+                boot_seconds=server.boot_seconds,
+            )
         self._mark_capacity()
         return server
 
@@ -129,6 +158,14 @@ class ClusterSimulation:
             if warning_seconds is None
             else warning_seconds
         )
+        ev = get_events()
+        if ev.enabled:
+            ev.open_warning(
+                server_id,
+                t=self.sim.now,
+                capacity_rps=server.capacity_rps,
+                warning_seconds=warning,
+            )
         self.balancer.on_warning(server_id, self.sim.now)
         self.sim.schedule(warning, self._kill, server_id)
 
@@ -145,7 +182,19 @@ class ClusterSimulation:
         server = self.servers.get(server_id)
         if server is None or not server.alive:
             return
-        server.kill()
+        lost = server.kill()
+        ev = get_events()
+        if ev.enabled:
+            wid = ev.warning_for(server_id)
+            ev.emit(
+                "server.killed",
+                t=self.sim.now,
+                cause=wid,
+                backend=server_id,
+                lost=lost,
+            )
+            if wid is not None:
+                ev.resolve_warning(wid, t=self.sim.now, lost=lost)
         self._mark_capacity()
 
     def _mark_capacity(self) -> None:
@@ -202,4 +251,6 @@ class ClusterSimulation:
         if self.sim.now + first_gap < t_end:
             self.sim.schedule(first_gap, self._arrival, rate_fn, t_end)
         self.sim.run_until(t_end)
+        if self.slo_engine is not None:
+            self.slo_engine.finish(t_end)
         return self.recorder

@@ -11,7 +11,7 @@ import heapq
 import itertools
 from typing import Any, Callable
 
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_events, get_metrics, get_tracer
 
 __all__ = ["Event", "Simulator"]
 
@@ -80,27 +80,37 @@ class Simulator:
         if t_end < self._now:
             raise ValueError("t_end is in the past")
         before = self._processed
+        ev = get_events()
+        evented = ev.enabled  # hoisted: the loop body is the hot path
         with get_tracer().span("des.run", t_end=t_end) as sp:
             while self._heap and self._heap[0].time <= t_end:
                 event = heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
                 self._now = event.time
+                if evented:
+                    ev.clock = event.time
                 self._processed += 1
                 event.fn(*event.args)
             self._now = t_end
+            if evented:
+                ev.clock = t_end
             sp.tag(events=self._processed - before)
         get_metrics().counter("des.events").inc(self._processed - before)
 
     def run(self) -> None:
         """Process every pending event (careful with self-rescheduling)."""
         before = self._processed
+        ev = get_events()
+        evented = ev.enabled
         with get_tracer().span("des.run") as sp:
             while self._heap:
                 event = heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
                 self._now = event.time
+                if evented:
+                    ev.clock = event.time
                 self._processed += 1
                 event.fn(*event.args)
             sp.tag(events=self._processed - before)

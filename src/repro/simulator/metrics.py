@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.obs.slo import LatencyDigest, SLOEngine
 
 __all__ = ["RequestOutcome", "LatencyRecorder"]
 
@@ -18,40 +19,78 @@ class RequestOutcome(enum.Enum):
     FAILED = "failed"  # in flight on a server when it was reclaimed
 
 
-@dataclass
 class LatencyRecorder:
     """Collects per-request latencies and outcomes.
 
+    Served latencies stream into a fixed-bin
+    :class:`~repro.obs.slo.LatencyDigest`, so memory stays ``O(bins)``
+    regardless of request count; ``keep_raw=True`` additionally retains
+    the exact per-request arrays for experiments that need them (e.g.
+    the per-minute boxplot windows of Fig. 4(a)) and makes
+    :meth:`percentile`/:meth:`mean` bit-identical to their historical
+    ``np.percentile``/``np.mean`` values.
+
     ``slo_threshold`` (seconds) marks a served request as an SLO violation
-    when its response time exceeds it.
+    when its response time exceeds it.  An optional
+    :class:`~repro.obs.slo.SLOEngine` receives every outcome for
+    per-interval compliance and burn-rate accounting.
     """
 
-    slo_threshold: float = 1.0
-    latencies: list[float] = field(default_factory=list)
-    timestamps: list[float] = field(default_factory=list)
-    dropped: int = 0
-    failed: int = 0
+    def __init__(
+        self,
+        slo_threshold: float = 1.0,
+        *,
+        keep_raw: bool = False,
+        engine: SLOEngine | None = None,
+        digest_bin_width: float = 0.01,
+        digest_max_latency: float = 30.0,
+    ) -> None:
+        self.slo_threshold = float(slo_threshold)
+        self.keep_raw = bool(keep_raw)
+        self.engine = engine
+        self.digest = LatencyDigest(
+            bin_width=digest_bin_width, max_latency=digest_max_latency
+        )
+        self.latencies: list[float] = []
+        self.timestamps: list[float] = []
+        self.dropped = 0
+        self.failed = 0
+        self._served = 0
+        self._late = 0
 
     def record_served(self, timestamp: float, latency: float) -> None:
         if latency < 0:
             raise ValueError("latency must be non-negative")
-        self.latencies.append(float(latency))
-        self.timestamps.append(float(timestamp))
+        latency = float(latency)
+        timestamp = float(timestamp)
+        self._served += 1
+        if latency > self.slo_threshold:
+            self._late += 1
+        self.digest.add(latency)
+        if self.keep_raw:
+            self.latencies.append(latency)
+            self.timestamps.append(timestamp)
+        if self.engine is not None:
+            self.engine.record(timestamp, latency)
 
-    def record_dropped(self, _timestamp: float) -> None:
+    def record_dropped(self, timestamp: float) -> None:
         self.dropped += 1
+        if self.engine is not None:
+            self.engine.record_bad(float(timestamp))
 
-    def record_failed(self, _timestamp: float) -> None:
+    def record_failed(self, timestamp: float) -> None:
         self.failed += 1
+        if self.engine is not None:
+            self.engine.record_bad(float(timestamp))
 
     # ------------------------------------------------------------- summaries
     @property
     def served(self) -> int:
-        return len(self.latencies)
+        return self._served
 
     @property
     def total(self) -> int:
-        return self.served + self.dropped + self.failed
+        return self._served + self.dropped + self.failed
 
     def drop_rate(self) -> float:
         """Fraction of requests not served (dropped + failed)."""
@@ -60,28 +99,42 @@ class LatencyRecorder:
         return (self.dropped + self.failed) / self.total
 
     def percentile(self, p: float) -> float:
-        """Latency percentile over served requests (p in [0, 100])."""
-        if not self.latencies:
+        """Latency percentile over served requests (p in [0, 100]).
+
+        Exact (``np.percentile``) with ``keep_raw``; otherwise the
+        digest's deterministic estimate, within one bin width.
+        """
+        if self._served == 0:
             return float("nan")
-        return float(np.percentile(self.latencies, p))
+        if self.keep_raw:
+            return float(np.percentile(self.latencies, p))
+        return self.digest.percentile(p)
 
     def mean(self) -> float:
-        if not self.latencies:
+        if self._served == 0:
             return float("nan")
-        return float(np.mean(self.latencies))
+        if self.keep_raw:
+            return float(np.mean(self.latencies))
+        return self.digest.mean()
 
     def slo_violation_rate(self) -> float:
         """Violations / total: unserved requests count as violations."""
         if self.total == 0:
             return 0.0
-        late = int(np.sum(np.asarray(self.latencies) > self.slo_threshold))
-        return (late + self.dropped + self.failed) / self.total
+        return (self._late + self.dropped + self.failed) / self.total
 
     def window(self, t_start: float, t_end: float) -> np.ndarray:
         """Latencies of requests served in ``[t_start, t_end)``.
 
-        Used to build the per-minute boxplot series of Fig. 4(a).
+        Used to build the per-minute boxplot series of Fig. 4(a);
+        requires ``keep_raw=True`` (the streaming digest keeps no
+        per-request timestamps).
         """
+        if not self.keep_raw:
+            raise RuntimeError(
+                "window() needs the raw arrays; construct "
+                "LatencyRecorder(keep_raw=True)"
+            )
         ts = np.asarray(self.timestamps)
         lat = np.asarray(self.latencies)
         mask = (ts >= t_start) & (ts < t_end)

@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.costs import CostModel
 from repro.markets.dataset import MarketDataset
 from repro.markets.revocation import CorrelatedRevocationSampler
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_events, get_metrics, get_tracer
 from repro.workloads.trace import WorkloadTrace
 
 __all__ = ["ProvisioningPolicy", "CostSimulator", "SimulationReport"]
@@ -172,6 +172,8 @@ class CostSimulator:
         boot_frac = min(self.startup_seconds / interval_s, 1.0)
 
         tracer = get_tracer()
+        ev = get_events()
+        evented = ev.enabled
         run_span = tracer.span("sim.run", policy=name, intervals=T)
         run_span.__enter__()
 
@@ -179,6 +181,8 @@ class CostSimulator:
         for t in range(T):
             interval_span = tracer.span("sim.interval", t=t)
             interval_span.__enter__()
+            if evented:
+                ev.set_interval(t, t * interval_s)
             prices = self.dataset.prices[t]
             fprobs = self.dataset.failure_probs[t]
 
@@ -200,6 +204,22 @@ class CostSimulator:
                 forced = (t - np.arange(N) % k) % k == 0
                 events = events | (forced & self._revocable & (counts > 0))
             revocations += int(events.sum())
+            if evented and events.any():
+                # Interval-level revocations have no warning window to act
+                # in: replacements boot after startup_seconds, so each
+                # warning resolves immediately as completed.
+                for i in np.flatnonzero(events):
+                    wid = ev.open_warning(
+                        f"m{int(i)}",
+                        market=int(i),
+                        servers=int(counts[i]),
+                        capacity_rps=float(counts[i] * self.capacities[i]),
+                    )
+                    ev.resolve_warning(
+                        wid,
+                        outcome="completed",
+                        replacement_boot_s=self.startup_seconds,
+                    )
 
             # Transaction cost: servers added this interval bill from launch
             # but serve nothing during the startup delay — both the extra
@@ -257,6 +277,17 @@ class CostSimulator:
             capacity_out[t] = capacity_full
             demand_out[t] = demand
             observed = demand
+            if evented:
+                ev.emit(
+                    "interval.plan",
+                    demand_rps=demand,
+                    capacity_rps=capacity_full,
+                    servers=int(counts.sum()),
+                    markets=int((counts > 0).sum()),
+                    revoked=int(events.sum()),
+                    shortfall_rps=float(shortfall_rps),
+                    cost=float(interval_costs[t]),
+                )
             interval_span.__exit__(None, None, None)
 
         run_span.tag(revocations=revocations).__exit__(None, None, None)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import get_events
 from repro.simulator.des import Simulator
 from repro.simulator.metrics import LatencyRecorder
 
@@ -97,6 +98,9 @@ class SimServer:
         self._worker_free = np.zeros(self.workers)
         self._in_flight = 0
         self._completions = 0
+        # A replacement launched inside a warning's causal scope boots
+        # asynchronously; capture the cause now so the boot event links back.
+        self._launch_cause = get_events().current_cause()
         if boot_seconds > 0:
             sim.schedule(boot_seconds, self._on_boot)
         else:
@@ -109,6 +113,15 @@ class SimServer:
         self.phase = ServerPhase.RUNNING
         self.serving_since = self.sim.now
         self._worker_free[:] = self.sim.now
+        ev = get_events()
+        if ev.enabled:
+            ev.emit(
+                "server.boot",
+                t=self.sim.now,
+                cause=self._launch_cause,
+                backend=self.server_id,
+                capacity_rps=self.capacity_rps,
+            )
 
     def drain(self) -> None:
         """Revocation warning: stop accepting new requests."""

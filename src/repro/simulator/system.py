@@ -31,6 +31,7 @@ from repro.markets.cloud import TransientCloud, VMInstance
 from repro.markets.dataset import MarketDataset
 from repro.markets.revocation import CorrelatedRevocationSampler
 from repro.monitoring import MonitoringHub
+from repro.obs import get_events
 from repro.simulator.des import Simulator
 from repro.simulator.metrics import LatencyRecorder
 from repro.simulator.server import SimServer
@@ -117,7 +118,10 @@ class SpotWebSystem:
         self.markets = list(controller.markets)
 
         self.sim = Simulator()
-        self.recorder = LatencyRecorder(slo_threshold=self.config.slo_threshold)
+        # keep_raw: system-level reports use exact percentile/window arrays.
+        self.recorder = LatencyRecorder(
+            slo_threshold=self.config.slo_threshold, keep_raw=True
+        )
         self.monitor = MonitoringHub(self.markets)
         # halog-style application statistics: the feed the paper's workload
         # predictor polls over REST.
@@ -200,6 +204,16 @@ class SpotWebSystem:
         self.cloud.terminate(vm, self.sim.now)
 
     def _on_cloud_warning(self, vm: VMInstance, now: float) -> None:
+        ev = get_events()
+        if ev.enabled:
+            server = self._servers.get(vm.vm_id)
+            ev.open_warning(
+                vm.vm_id,
+                t=now,
+                capacity_rps=(
+                    0.0 if server is None else server.capacity_rps
+                ),
+            )
         self.monitor.relay_warning(vm.vm_id, now)
         deadline = vm.warning_deadline or (now + self.config.warning_seconds)
         self.sim.schedule_at(deadline, self._kill_server, vm.vm_id)
@@ -210,8 +224,19 @@ class SpotWebSystem:
     def _kill_server(self, vm_id: int) -> None:
         server = self._servers.get(vm_id)
         if server is not None and server.alive:
-            server.kill()
+            lost = server.kill()
             self.balancer.remove_backend(vm_id)
+            ev = get_events()
+            if ev.enabled:
+                wid = ev.warning_for(vm_id)
+                ev.emit(
+                    "server.killed",
+                    t=self.sim.now,
+                    cause=wid,
+                    backend=vm_id,
+                    lost=lost,
+                )
+                ev.resolve_warning(wid, t=self.sim.now, lost=lost)
         self._fleet_timeline.append(
             (self.sim.now, self._live_count(), self._live_capacity())
         )

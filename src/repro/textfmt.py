@@ -16,7 +16,14 @@ from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_histogram", "sparkline", "timeseries_plot"]
+__all__ = [
+    "format_table",
+    "format_topn",
+    "format_chain",
+    "format_histogram",
+    "sparkline",
+    "timeseries_plot",
+]
 
 _TICKS = "▁▂▃▄▅▆▇█"
 
@@ -52,6 +59,50 @@ def format_table(
     for row in cells:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_topn(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    top: int,
+    title: str | None = None,
+) -> str:
+    """Render the first ``top`` rows of a ranked table.
+
+    The shared top-N report helper of ``trace summarize`` and ``events
+    summarize``; appends a one-line footnote when rows were truncated so
+    the reader knows the table is not exhaustive.
+    """
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    text = format_table(headers, rows[:top], title=title)
+    if len(rows) > top:
+        text += f"\n... ({len(rows) - top} more)"
+    return text
+
+
+def format_chain(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    depths: Sequence[int],
+    *,
+    title: str | None = None,
+    indent: str = "  ",
+) -> str:
+    """Render a table whose first column is indented per-row by ``depths``.
+
+    The shared chain/tree renderer behind the trace critical path and the
+    events incident timeline: each row's first cell is prefixed with
+    ``indent * depth`` before normal table alignment.
+    """
+    if len(rows) != len(depths):
+        raise ValueError("rows and depths must have equal length")
+    indented = [
+        [indent * int(d) + _fmt(row[0]), *row[1:]]
+        for row, d in zip(rows, depths)
+    ]
+    return format_table(headers, indented, title=title)
 
 
 def format_histogram(

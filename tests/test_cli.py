@@ -83,15 +83,24 @@ class TestCommands:
 class TestRunCommand:
     @pytest.fixture(autouse=True)
     def _restore_obs(self):
-        from repro.obs import disable_tracing, get_tracer, reset_metrics
+        from repro.obs import (
+            disable_events,
+            disable_tracing,
+            get_events,
+            get_tracer,
+            reset_metrics,
+        )
 
         yield
         disable_tracing()
         get_tracer().clear()
+        disable_events()
+        get_events().clear()
         reset_metrics()
 
     def test_run_without_trace_matches_experiment(self, capsys, monkeypatch):
         monkeypatch.delenv("SPOTWEB_TRACE", raising=False)
+        monkeypatch.delenv("SPOTWEB_EVENTS", raising=False)
         assert main(["run", "fig6a", "--hours", "6"]) == 0
         run_out = capsys.readouterr().out
         assert "spotweb_H2" in run_out
@@ -147,8 +156,59 @@ class TestRunCommand:
 
         monkeypatch.setitem(cli.EXPERIMENTS, "fig6a", ("desc", fake_runner))
         monkeypatch.delenv("SPOTWEB_TRACE", raising=False)
+        monkeypatch.delenv("SPOTWEB_EVENTS", raising=False)
         assert main(["run", "fig6a", "--quick"]) == 0
         assert seen == {"weeks": 1, "hours": 24}
+
+    def test_run_with_events_writes_valid_journal(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.obs import load_events
+
+        monkeypatch.delenv("SPOTWEB_TRACE", raising=False)
+        monkeypatch.delenv("SPOTWEB_EVENTS", raising=False)
+        out = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig6a",
+                    "--hours",
+                    "6",
+                    "--events",
+                    "--events-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "wrote" in text and "events" in text
+        assert "metrics:" in text
+        records = load_events(out)  # full schema + causal validation
+        kinds = {r["kind"] for r in records}
+        assert "controller.plan" in kinds
+        assert "interval.plan" in kinds
+
+    def test_run_honors_spotweb_events_env(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("SPOTWEB_TRACE", raising=False)
+        monkeypatch.setenv("SPOTWEB_EVENTS", "1")
+        out = tmp_path / "events.jsonl"
+        assert (
+            main(["run", "fig6a", "--hours", "4", "--events-out", str(out)])
+            == 0
+        )
+        assert out.exists()
+
+    def test_run_prom_out(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("SPOTWEB_TRACE", raising=False)
+        monkeypatch.delenv("SPOTWEB_EVENTS", raising=False)
+        out = tmp_path / "metrics.prom"
+        assert (
+            main(["run", "fig6a", "--hours", "4", "--prom-out", str(out)]) == 0
+        )
+        text = out.read_text()
+        assert "# TYPE spotweb_controller_steps counter" in text
 
 
 class TestTraceCommand:
@@ -179,6 +239,80 @@ class TestTraceCommand:
         out = capsys.readouterr().out
         assert "critical path" in out
         assert "top spans" in out
+
+    def test_validate_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"schema": "spotweb-trace/1", "kind": "header"}\n{broken\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            main(["trace", "validate", str(path)])
+
+
+class TestEventsCommand:
+    def _write_journal(self, tmp_path, name="events.jsonl", mutate=None):
+        from repro.obs import EventLog, write_events
+
+        log = EventLog(enabled=True)
+        wid = log.open_warning(1, t=10.0, capacity_rps=50.0)
+        with log.causal(wid):
+            log.emit("server.drain", t=11.0, backend=1)
+            log.emit("session.migrate", t=11.0, backend=1, migrated=5)
+        log.resolve_warning(wid, t=20.0)
+        records = log.records()
+        if mutate is not None:
+            records = mutate(records)
+        return write_events(records, tmp_path / name)
+
+    def test_validate(self, capsys, tmp_path):
+        path = self._write_journal(tmp_path)
+        assert main(["events", "validate", str(path)]) == 0
+        assert "schema OK" in capsys.readouterr().out
+
+    def test_validate_rejects_unresolved_warning(self, tmp_path):
+        path = self._write_journal(
+            tmp_path,
+            mutate=lambda recs: [
+                r for r in recs if r["kind"] != "warning.resolved"
+            ],
+        )
+        with pytest.raises(ValueError, match="never resolved"):
+            main(["events", "validate", str(path)])
+
+    def test_summarize(self, capsys, tmp_path):
+        path = self._write_journal(tmp_path)
+        assert main(["events", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "incident report" in out
+        assert "outcomes: migrated=1" in out
+
+    def test_timeline(self, capsys, tmp_path):
+        path = self._write_journal(tmp_path)
+        assert main(["events", "timeline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "incident timeline" in out
+        assert "w0 warning.issued" in out
+
+    def test_diff_identical(self, capsys, tmp_path):
+        a = self._write_journal(tmp_path, "a.jsonl")
+        b = self._write_journal(tmp_path, "b.jsonl")
+        assert main(["events", "diff", str(a), str(b)]) == 0
+        assert "zero divergence" in capsys.readouterr().out
+
+    def test_diff_divergent_exits_nonzero(self, tmp_path):
+        def mutate(recs):
+            recs[1] = dict(recs[1], attrs=dict(recs[1]["attrs"], backend=9))
+            return recs
+
+        a = self._write_journal(tmp_path, "a.jsonl")
+        b = self._write_journal(tmp_path, "b.jsonl", mutate=mutate)
+        with pytest.raises(SystemExit, match="divergent"):
+            main(["events", "diff", str(a), str(b)])
+
+    def test_diff_requires_two_files(self, tmp_path):
+        a = self._write_journal(tmp_path)
+        with pytest.raises(SystemExit, match="two journal files"):
+            main(["events", "diff", str(a)])
 
 
 class TestBenchCompare:

@@ -1,0 +1,171 @@
+"""Tests for journal reports: summarize, timeline (golden), diff."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    EventLog,
+    diff_files,
+    diff_journals,
+    format_diff,
+    format_event_summary,
+    format_timeline,
+    incidents,
+    kind_counts,
+    prometheus_text,
+    slo_series,
+    write_events,
+)
+
+GOLDEN = Path(__file__).parent / "fixtures" / "events" / "timeline_golden.txt"
+
+
+def sample_journal() -> list[dict]:
+    """A small deterministic incident: one migration, one failed kill."""
+    log = EventLog(enabled=True)
+    w0 = log.open_warning(2, t=180.0, capacity_rps=80.0, warning_seconds=120.0)
+    with log.causal(w0):
+        log.emit("lb.warning_action", t=180.0, backend=2, action="defer",
+                 spare_rps=10.0)
+        log.emit("replacement.request", t=180.0, backend=2, capacity_rps=80.0)
+        log.emit("server.launch", t=180.0, backend=6, capacity_rps=80.0)
+        log.emit("server.boot", t=235.0, backend=6, capacity_rps=80.0)
+        log.emit("server.drain", t=240.0, backend=2)
+        log.emit("session.migrate", t=240.0, backend=2, sessions=40,
+                 migrated=40)
+    log.resolve_warning(w0, t=300.0, lost=0)
+    w1 = log.open_warning(3, t=180.0, capacity_rps=80.0, warning_seconds=120.0)
+    log.emit("server.killed", t=300.0, cause=w1, backend=3, lost=7)
+    log.resolve_warning(w1, t=300.0, lost=7)
+    log.set_interval(3, 240.0)
+    log.emit("slo.interval", t=240.0, requests=100, compliance=0.97,
+             burn=3.0, p50=0.2, p95=0.8, p99=1.4)
+    return log.records()
+
+
+class TestReports:
+    def test_kind_counts_sorted(self):
+        counts = dict(kind_counts(sample_journal()))
+        assert counts["warning.issued"] == 2
+        assert kind_counts(sample_journal())[0][1] >= kind_counts(
+            sample_journal()
+        )[-1][1]
+
+    def test_incidents(self):
+        incs = incidents(sample_journal())
+        assert [i["id"] for i in incs] == ["w0", "w1"]
+        assert incs[0]["outcome"] == "migrated"
+        assert incs[0]["migrated"] == 40
+        assert incs[1]["outcome"] == "failed"
+        assert incs[1]["lost"] == 7
+        assert all(e["cause"] == "w0" for e in incs[0]["events"])
+
+    def test_open_warning_reported_open(self):
+        log = EventLog(enabled=True)
+        log.open_warning(1, t=0.0)
+        incs = incidents(log.records())
+        assert incs[0]["outcome"] == "open"
+
+    def test_slo_series_in_interval_order(self):
+        series = slo_series(sample_journal())
+        assert [s["interval"] for s in series] == [3]
+
+    def test_summary_sections(self):
+        text = format_event_summary(sample_journal())
+        assert "event kinds" in text
+        assert "incident report (2 revocation warnings)" in text
+        assert "outcomes: failed=1, migrated=1" in text
+        assert "SLO compliance" in text
+
+    def test_summary_empty_journal(self):
+        assert "no events" in format_event_summary([])
+
+    def test_timeline_matches_golden(self):
+        rendered = format_timeline(sample_journal()) + "\n"
+        assert rendered == GOLDEN.read_text()
+
+    def test_timeline_collapses_long_same_kind_runs(self):
+        log = EventLog(enabled=True)
+        wid = log.open_warning(1, t=0.0)
+        for i in range(40):
+            log.emit("admission.flip", t=float(i), cause=wid,
+                     state="rejecting" if i % 2 == 0 else "accepting")
+        log.resolve_warning(wid, t=50.0)
+        text = format_timeline(log.records())
+        assert "... (38 more admission.flip)" in text
+        assert text.count("admission.flip") == 3  # 2 shown + elision row
+
+
+class TestDiff:
+    def test_identical_journals(self):
+        result = diff_journals(sample_journal(), sample_journal())
+        assert result["identical"]
+        assert result["first"] is None
+        assert "zero divergence" in format_diff(result)
+
+    def test_reseq_only_difference_compares_clean(self):
+        a = sample_journal()
+        b = [dict(rec, seq=rec["seq"] + 5) for rec in a]
+        assert diff_journals(a, b)["identical"]
+
+    def test_divergence_located_to_bucket(self):
+        a = sample_journal()
+        b = sample_journal()
+        b[1] = dict(b[1], attrs=dict(b[1]["attrs"], action="drain_now"))
+        result = diff_journals(a, b)
+        assert not result["identical"]
+        assert result["first"] == "t[180s)"
+        text = format_diff(result, name_a="a", name_b="b")
+        assert "divergent bucket" in text
+        assert "first divergence sample" in text
+
+    def test_extra_event_counts(self):
+        a = sample_journal()
+        b = sample_journal()[:-1]
+        result = diff_journals(a, b)
+        [bucket] = result["buckets"]
+        assert bucket["count_a"] == bucket["count_b"] + 1
+        assert len(bucket["only_a"]) == 1
+        assert bucket["only_b"] == []
+
+    def test_interval_buckets_sort_before_time_buckets(self):
+        a = sample_journal()
+        result = diff_journals(a, [])
+        labels = [b["bucket"] for b in result["buckets"]]
+        assert labels == sorted(
+            labels, key=lambda s: (0 if s.startswith("interval") else 1, s)
+        )
+
+    def test_diff_files(self, tmp_path):
+        pa, pb = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_events(sample_journal(), pa)
+        write_events(sample_journal(), pb)
+        result, text = diff_files(pa, pb)
+        assert result["identical"]
+        assert "a.jsonl" in text and "b.jsonl" in text
+
+
+class TestPrometheusText:
+    def test_counter_gauge_summary(self):
+        snap = {
+            "des.events": 120,
+            "lb.spare-rps": 1.5,
+            "controller.solve_ms": {
+                "count": 4, "p50": 1.0, "p95": 2.0, "max": 3.0, "total": 5.0,
+            },
+        }
+        text = prometheus_text(snap)
+        assert "# TYPE spotweb_des_events counter" in text
+        assert "spotweb_des_events 120" in text
+        assert "# TYPE spotweb_lb_spare_rps gauge" in text
+        assert 'spotweb_controller_solve_ms{quantile="0.5"} 1.0' in text
+        assert "spotweb_controller_solve_ms_count 4" in text
+        assert text.endswith("\n")
+
+    def test_empty_snapshot(self):
+        assert prometheus_text({}) == ""
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            prometheus_text({"flag": True})

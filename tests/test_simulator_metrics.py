@@ -40,12 +40,18 @@ class TestRecorder:
         assert rec.slo_violation_rate() == pytest.approx(2 / 3)
 
     def test_window(self):
-        rec = LatencyRecorder()
+        rec = LatencyRecorder(keep_raw=True)
         rec.record_served(10.0, 0.1)
         rec.record_served(70.0, 0.2)
         rec.record_served(130.0, 0.3)
         window = rec.window(60.0, 120.0)
         np.testing.assert_allclose(window, [0.2])
+
+    def test_window_needs_raw(self):
+        rec = LatencyRecorder()
+        rec.record_served(10.0, 0.1)
+        with pytest.raises(RuntimeError, match="keep_raw"):
+            rec.window(0.0, 60.0)
 
     def test_negative_latency_rejected(self):
         with pytest.raises(ValueError):
@@ -56,3 +62,35 @@ class TestRecorder:
         rec.record_served(0.0, 0.1)
         s = rec.summary()
         assert set(s) >= {"served", "dropped", "mean_s", "p90_s", "slo_violation_rate"}
+
+    def test_streaming_default_bounds_memory(self):
+        """The default recorder must not grow per-request state."""
+        rec = LatencyRecorder()
+        for i in range(50_000):
+            rec.record_served(float(i), (i % 100) / 50.0)
+        assert rec.latencies == []
+        assert rec.timestamps == []
+        assert len(rec.digest.counts) == rec.digest.num_bins + 1
+        assert rec.served == 50_000
+
+    def test_streaming_percentile_matches_raw_within_bin(self):
+        rng = np.random.default_rng(7)
+        samples = rng.gamma(2.0, 0.2, size=5_000)
+        stream = LatencyRecorder()
+        raw = LatencyRecorder(keep_raw=True)
+        for i, s in enumerate(samples):
+            stream.record_served(float(i), float(s))
+            raw.record_served(float(i), float(s))
+        for p in (50, 95, 99):
+            assert stream.percentile(p) == pytest.approx(
+                raw.percentile(p), abs=stream.digest.bin_width
+            )
+        assert stream.slo_violation_rate() == raw.slo_violation_rate()
+
+    def test_keep_raw_percentile_is_exact(self):
+        rec = LatencyRecorder(keep_raw=True)
+        for i in range(100):
+            rec.record_served(float(i), i / 100.0)
+        assert rec.percentile(50) == np.percentile(
+            np.asarray(rec.latencies), 50
+        )
