@@ -59,10 +59,10 @@ def report_from_dict(data: dict) -> SimulationReport:
         total_requests=float(data["total_requests"]),
         revocation_events=int(data["revocation_events"]),
         decision_seconds=float(data["decision_seconds"]),
-        interval_costs=np.asarray(data["interval_costs"], dtype=float),
-        counts=np.asarray(data["counts"], dtype=int),
-        capacity_rps=np.asarray(data["capacity_rps"], dtype=float),
-        demand_rps=np.asarray(data["demand_rps"], dtype=float),
+        interval_costs=np.asarray(data["interval_costs"], dtype=np.float64),
+        counts=np.asarray(data["counts"], dtype=np.int64),
+        capacity_rps=np.asarray(data["capacity_rps"], dtype=np.float64),
+        demand_rps=np.asarray(data["demand_rps"], dtype=np.float64),
     )
 
 

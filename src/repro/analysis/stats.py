@@ -36,7 +36,7 @@ def bootstrap_mean_ci(
     seed: int = 0,
 ) -> BootstrapCI:
     """Percentile-bootstrap CI of the mean of ``samples``."""
-    samples = np.asarray(samples, dtype=float).ravel()
+    samples = np.asarray(samples, dtype=np.float64).ravel()
     if samples.size == 0:
         raise ValueError("need at least one sample")
     if not 0 < confidence < 1:
@@ -69,8 +69,8 @@ def paired_savings(
     (the cost simulator guarantees identical revocation draws per seed), so
     the per-pair savings is the meaningful unit.
     """
-    a = np.asarray(costs_a, dtype=float).ravel()
-    b = np.asarray(costs_b, dtype=float).ravel()
+    a = np.asarray(costs_a, dtype=np.float64).ravel()
+    b = np.asarray(costs_b, dtype=np.float64).ravel()
     if a.shape != b.shape:
         raise ValueError("paired cost arrays must have equal length")
     if np.any(b <= 0):

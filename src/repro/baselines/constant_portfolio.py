@@ -57,7 +57,7 @@ class ConstantPortfolioPolicy:
         self._constraints = constraints or AllocationConstraints()
         self._risk_aversion = float(risk_aversion)
         if weights is not None:
-            weights = np.asarray(weights, dtype=float).ravel()
+            weights = np.asarray(weights, dtype=np.float64).ravel()
             if weights.shape != (len(markets),):
                 raise ValueError("weights must have one entry per market")
             if np.any(weights < 0) or weights.sum() <= 0:
@@ -87,8 +87,8 @@ class ConstantPortfolioPolicy:
         prices: np.ndarray,
         failure_probs: np.ndarray,
     ) -> np.ndarray:
-        prices = np.asarray(prices, dtype=float).ravel()
-        failure_probs = np.asarray(failure_probs, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=np.float64).ravel()
+        failure_probs = np.asarray(failure_probs, dtype=np.float64).ravel()
         if self.weights is None and t >= self.calibrate_at:
             self._calibrate(prices, failure_probs)
         target = max(0.0, float(self.target_fn(t, observed_rps)))

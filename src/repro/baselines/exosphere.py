@@ -77,8 +77,8 @@ class ExoSphereLoopPolicy:
         prices: np.ndarray,
         failure_probs: np.ndarray,
     ) -> np.ndarray:
-        prices = np.asarray(prices, dtype=float).ravel()
-        failure_probs = np.asarray(failure_probs, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=np.float64).ravel()
+        failure_probs = np.asarray(failure_probs, dtype=np.float64).ravel()
         covariance = self._refresh_covariance(failure_probs)
         target = max(0.0, float(self.target_fn(t, observed_rps)))
         result = self.optimizer.optimize(

@@ -56,7 +56,7 @@ class QuThresholdPolicy:
         prices: np.ndarray,
         failure_probs: np.ndarray,
     ) -> np.ndarray:
-        prices = np.asarray(prices, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=np.float64).ravel()
         if self._selected is None or t % self.reselect_every == 0:
             per_request = prices / self.capacities
             self._selected = np.argsort(per_request)[: self.num_markets]

@@ -32,7 +32,7 @@ def reactive_target() -> TargetFn:
 def oracle_target(trace: WorkloadTrace | np.ndarray) -> TargetFn:
     """Provision for the true demand of the interval being planned."""
     rates = trace.rates if isinstance(trace, WorkloadTrace) else np.asarray(trace)
-    rates = np.asarray(rates, dtype=float).ravel()
+    rates = np.asarray(rates, dtype=np.float64).ravel()
     if rates.size == 0:
         raise ValueError("oracle target needs a non-empty trace")
 

@@ -25,7 +25,7 @@ class UniformCountsPolicy:
     """Constant, optimizer-free policy: the same counts every interval."""
 
     def __init__(self, counts: np.ndarray) -> None:
-        self.counts = np.asarray(counts, dtype=int)
+        self.counts = np.asarray(counts, dtype=np.int64)
 
     def decide(
         self,

@@ -76,7 +76,7 @@ class AllocationConstraints:
 
     def feasible(self, fractions: np.ndarray, *, tol: float = 1e-6) -> bool:
         """Check a single-interval allocation vector against the box."""
-        fractions = np.asarray(fractions, dtype=float).ravel()
+        fractions = np.asarray(fractions, dtype=np.float64).ravel()
         if np.any(fractions < -tol) or np.any(fractions > self.a_market_max + tol):
             return False
         total = fractions.sum()

@@ -156,8 +156,8 @@ class SpotWebController:
         observed_rps = float(observed_rps)
         if observed_rps < 0:
             raise ValueError("observed_rps must be non-negative")
-        prices = np.asarray(prices, dtype=float).ravel()
-        failure_probs = np.asarray(failure_probs, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=np.float64).ravel()
+        failure_probs = np.asarray(failure_probs, dtype=np.float64).ravel()
         n = len(self.markets)
         if prices.shape != (n,) or failure_probs.shape != (n,):
             raise ValueError("prices/failure_probs must have one entry per market")

@@ -67,8 +67,8 @@ class CostModel:
         ``A_t^i * lambda_pred * C_t^i`` summed over markets; ``C`` is the
         per-request cost ``price / r`` in $/hour per (request/second).
         """
-        fractions = np.asarray(fractions, dtype=float)
-        per_request_cost = np.asarray(per_request_cost, dtype=float)
+        fractions = np.asarray(fractions, dtype=np.float64)
+        per_request_cost = np.asarray(per_request_cost, dtype=np.float64)
         return float(
             (fractions * per_request_cost).sum() * predicted_rps * interval_hours
         )
@@ -81,7 +81,7 @@ class CostModel:
     ) -> np.ndarray:
         """Linear coefficients of Eq. 3 w.r.t. the allocation vector."""
         return (
-            np.asarray(per_request_cost, dtype=float)
+            np.asarray(per_request_cost, dtype=np.float64)
             * float(predicted_rps)
             * float(interval_hours)
         )
@@ -101,8 +101,8 @@ class CostModel:
         and capacity shortage from workload misprediction
         (``P * A * (lambda - lambda_pred)`` when positive).
         """
-        fractions = np.asarray(fractions, dtype=float)
-        failure_probs = np.asarray(failure_probs, dtype=float)
+        fractions = np.asarray(fractions, dtype=np.float64)
+        failure_probs = np.asarray(failure_probs, dtype=np.float64)
         drop = (
             fractions
             * failure_probs
@@ -124,7 +124,7 @@ class CostModel:
         the mean absolute error of recent predictions and charges it a
         priori (``expected_shortfall_rps``).
         """
-        failure_probs = np.asarray(failure_probs, dtype=float)
+        failure_probs = np.asarray(failure_probs, dtype=np.float64)
         return self.penalty * (
             failure_probs * float(predicted_rps) * self.long_running_fraction
             + float(max(0.0, expected_shortfall_rps))
@@ -133,8 +133,8 @@ class CostModel:
     # ------------------------------------------------------------------ Eq. 5
     def risk(self, fractions: np.ndarray, covariance: np.ndarray) -> float:
         """Quadratic portfolio risk ``alpha * A' M A`` (Eq. 5)."""
-        fractions = np.asarray(fractions, dtype=float)
-        covariance = np.atleast_2d(np.asarray(covariance, dtype=float))
+        fractions = np.asarray(fractions, dtype=np.float64)
+        covariance = np.atleast_2d(np.asarray(covariance, dtype=np.float64))
         return float(self.risk_aversion * fractions @ covariance @ fractions)
 
     # ------------------------------------------------------------------ total

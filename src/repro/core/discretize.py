@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.devtools.contracts import shapes
+
 __all__ = ["refine_counts"]
 
 
+@shapes("(N,)", "()", "(N,)", "(N,)", ret="(N,) i8")
 def refine_counts(
     fractions: np.ndarray,
     target_rps: float,
@@ -47,9 +50,9 @@ def refine_counts(
     is the cheapest way to close the gap — the optimizer's mix is a guide,
     not a straitjacket, exactly like the reactive top-ups in the paper.
     """
-    fractions = np.asarray(fractions, dtype=float).ravel()
-    capacities = np.asarray(capacities, dtype=float).ravel()
-    prices = np.asarray(prices, dtype=float).ravel()
+    fractions = np.asarray(fractions, dtype=np.float64).ravel()
+    capacities = np.asarray(capacities, dtype=np.float64).ravel()
+    prices = np.asarray(prices, dtype=np.float64).ravel()
     if not (fractions.shape == capacities.shape == prices.shape):
         raise ValueError("fractions, capacities and prices must align")
     if target_rps < 0:
@@ -60,10 +63,10 @@ def refine_counts(
         raise ValueError("prices must be non-negative")
     n = fractions.size
     if target_rps == 0:
-        return np.zeros(n, dtype=int)
+        return np.zeros(n, dtype=np.int64)
 
     implied = np.clip(fractions, 0.0, None) * target_rps / capacities
-    counts = np.floor(implied + 1e-9).astype(int)
+    counts = np.floor(implied + 1e-9).astype(np.int64)
 
     # Greedy cover: cheapest incremental $ per unit of needed capacity.
     deployed = float(counts @ capacities)

@@ -250,10 +250,10 @@ class MPOOptimizer:
             the SLA term (the tracked MAE of Sec. 4.2).
         """
         N, H = self.num_markets, self.horizon
-        predicted_rps = np.asarray(predicted_rps, dtype=float).ravel()
-        prices = np.atleast_2d(np.asarray(prices, dtype=float))
-        failure_probs = np.atleast_2d(np.asarray(failure_probs, dtype=float))
-        covariance = np.atleast_2d(np.asarray(covariance, dtype=float))
+        predicted_rps = np.asarray(predicted_rps, dtype=np.float64).ravel()
+        prices = np.atleast_2d(np.asarray(prices, dtype=np.float64))
+        failure_probs = np.atleast_2d(np.asarray(failure_probs, dtype=np.float64))
+        covariance = np.atleast_2d(np.asarray(covariance, dtype=np.float64))
         if predicted_rps.shape != (H,):
             raise ValueError(f"predicted_rps must have {H} entries")
         if prices.shape != (H, N):
@@ -265,11 +265,11 @@ class MPOOptimizer:
         if np.any(predicted_rps < 0):
             raise ValueError("predicted_rps must be non-negative")
         shortfall = np.broadcast_to(
-            np.asarray(expected_shortfall_rps, dtype=float), (H,)
+            np.asarray(expected_shortfall_rps, dtype=np.float64), (H,)
         )
         if current_fractions is None:
             current_fractions = np.zeros(N)
-        current_fractions = np.asarray(current_fractions, dtype=float).ravel()
+        current_fractions = np.asarray(current_fractions, dtype=np.float64).ravel()
         if current_fractions.shape != (N,):
             raise ValueError(f"current_fractions must have {N} entries")
 

@@ -31,7 +31,7 @@ class Allocation:
     fractions: np.ndarray
 
     def __post_init__(self) -> None:
-        self.fractions = np.asarray(self.fractions, dtype=float).ravel()
+        self.fractions = np.asarray(self.fractions, dtype=np.float64).ravel()
         if self.fractions.size != len(self.markets):
             raise ValueError("fractions length must equal number of markets")
         if np.any(self.fractions < -1e-9):
@@ -69,7 +69,7 @@ class Allocation:
         return float(self.counts(workload_rps) @ self.capacities)
 
 
-@shapes("(N,)", "()", "(N,)", ret="(N,)")
+@shapes("(N,)", "()", "(N,)", ret="(N,) i8")
 @nonneg("fractions", "workload_rps")
 def allocation_to_counts(
     fractions: np.ndarray, workload_rps: float, capacities: np.ndarray
@@ -80,8 +80,8 @@ def allocation_to_counts(
     Tiny fractions (below what half a server could carry at the smallest
     scale) are floored to zero to avoid churning single servers over noise.
     """
-    fractions = np.asarray(fractions, dtype=float).ravel()
-    capacities = np.asarray(capacities, dtype=float).ravel()
+    fractions = np.asarray(fractions, dtype=np.float64).ravel()
+    capacities = np.asarray(capacities, dtype=np.float64).ravel()
     if fractions.shape != capacities.shape:
         raise ValueError("fractions and capacities must have equal length")
     if workload_rps < 0:
@@ -91,7 +91,7 @@ def allocation_to_counts(
     demand = fractions * workload_rps / capacities
     counts = np.ceil(demand - 1e-9)
     counts[demand < 1e-6] = 0
-    return counts.astype(int)
+    return counts.astype(np.int64)
 
 
 @dataclass
@@ -109,8 +109,8 @@ class PortfolioPlan:
     target_rps: np.ndarray
 
     def __post_init__(self) -> None:
-        self.fractions = np.atleast_2d(np.asarray(self.fractions, dtype=float))
-        self.target_rps = np.asarray(self.target_rps, dtype=float).ravel()
+        self.fractions = np.atleast_2d(np.asarray(self.fractions, dtype=np.float64))
+        self.target_rps = np.asarray(self.target_rps, dtype=np.float64).ravel()
         if self.fractions.shape[1] != len(self.markets):
             raise ValueError("fraction width must equal number of markets")
         if self.target_rps.shape != (self.fractions.shape[0],):

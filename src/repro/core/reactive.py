@@ -98,10 +98,10 @@ class ReactiveFallback:
         Spread over the (up to) two cheapest candidate markets so a single
         further revocation cannot erase the whole top-up.
         """
-        counts = np.zeros(len(self.markets), dtype=int)
+        counts = np.zeros(len(self.markets), dtype=np.int64)
         if self._boost_rps <= 0:
             return counts
-        prices = np.asarray(prices, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=np.float64).ravel()
         if prices.shape != (len(self.markets),):
             raise ValueError("price vector has wrong length")
         per_request = prices[self._candidates] / self.capacities[self._candidates]

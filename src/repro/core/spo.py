@@ -68,8 +68,8 @@ class SPOOptimizer:
         ``prices`` and ``failure_probs`` are the current ``(N,)`` vectors —
         SPO's implicit forecast is persistence.
         """
-        prices = np.asarray(prices, dtype=float).ravel()
-        failure_probs = np.asarray(failure_probs, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=np.float64).ravel()
+        failure_probs = np.asarray(failure_probs, dtype=np.float64).ravel()
         return self._inner.optimize(
             np.array([float(target_rps)]),
             prices[None, :],

@@ -1,0 +1,116 @@
+"""Finding baselines, shared by every SpotWeb static checker.
+
+A baseline file records the **fingerprints** of accepted findings so CI
+can gate on "no *new* findings" while the backlog is burned down.  A
+fingerprint hashes ``rule|path|message`` — deliberately *not* the line
+number, so unrelated edits to the same file do not churn the baseline
+(messages themselves contain no line numbers for the same reason).
+
+Each tool owns its own baseline file and schema tag
+(``spotgraph-baseline/1``, ``spotshape-baseline/1``); the mechanics —
+fingerprinting, loading, writing, and new-vs-accepted partitioning —
+live here once.  Workflow, for any tool::
+
+    <tool> src/ --update-baseline      # accept current findings
+    git add <tool>-baseline.json       # review the justifications!
+    <tool> src/                        # exits 0 until a NEW finding
+
+Entries keep the human-readable ``rule``/``path``/``message`` next to the
+fingerprint so a reviewer can see exactly what debt is being accepted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.devtools.rules import Finding
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "split_findings",
+]
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable 16-hex-digit id for one finding (line-number independent)."""
+    path = Path(finding.path).as_posix()
+    payload = f"{finding.rule}|{path}|{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path | str | None, *, schema: str) -> set[str]:
+    """The accepted fingerprints in ``path`` (empty for missing files)."""
+    if path is None:
+        return set()
+    path = Path(path)
+    if not path.exists():
+        return set()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+    if data.get("schema") != schema:
+        raise ValueError(
+            f"baseline {path} has schema {data.get('schema')!r}; "
+            f"expected {schema!r}"
+        )
+    return {
+        entry["fingerprint"]
+        for entry in data.get("findings", [])
+        if isinstance(entry, dict) and "fingerprint" in entry
+    }
+
+
+def write_baseline(
+    path: Path | str,
+    findings: Iterable[Finding],
+    *,
+    schema: str,
+    justification: str = "accepted by --update-baseline; burn down, do not grow",
+) -> None:
+    """Write ``findings`` as the new accepted baseline at ``path``."""
+    entries = sorted(
+        (
+            {
+                "fingerprint": fingerprint(f),
+                "rule": f.rule,
+                "path": Path(f.path).as_posix(),
+                "message": f.message,
+            }
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+    )
+    deduped: list[dict] = []
+    seen: set[str] = set()
+    for entry in entries:
+        if entry["fingerprint"] not in seen:
+            seen.add(entry["fingerprint"])
+            deduped.append(entry)
+    payload = {
+        "schema": schema,
+        "justification": justification,
+        "findings": deduped,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def split_findings(
+    findings: Iterable[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, baselined) against accepted fingerprints."""
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in findings:
+        if fingerprint(finding) in baseline:
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    return new, accepted

@@ -36,6 +36,8 @@ from typing import Any, Callable, TypeVar
 
 import numpy as np
 
+from repro.devtools.specs import DTYPE_CODES, ShapeSpec, format_spec, parse_spec
+
 __all__ = [
     "ContractError",
     "contracts_enabled",
@@ -77,38 +79,12 @@ def set_contracts(flag: bool) -> bool:
 
 
 # --------------------------------------------------------------------------
-# Shape specs
+# Shape specs (grammar shared with the static checker in repro.devtools.shape)
 # --------------------------------------------------------------------------
 
 _SKIP = (None, "*", "...")
 
-
-def _parse_single(spec: str) -> tuple[object, ...]:
-    text = spec.strip()
-    if not (text.startswith("(") and text.endswith(")")):
-        raise ValueError(f"shape spec must be parenthesized, got {spec!r}")
-    inner = text[1:-1].strip()
-    if not inner:
-        return ()
-    dims: list[object] = []
-    for token in inner.split(","):
-        token = token.strip()
-        if not token:
-            continue
-        if token == "*":
-            dims.append("*")
-        elif token.lstrip("-").isdigit():
-            dims.append(int(token))
-        elif token.isidentifier():
-            dims.append(token)
-        else:
-            raise ValueError(f"bad dimension {token!r} in shape spec {spec!r}")
-    return tuple(dims)
-
-
-def _parse_spec(spec: str) -> tuple[tuple[object, ...], ...]:
-    """``"()|(H,)"`` → alternatives; each a tuple of int/symbol/``*`` dims."""
-    return tuple(_parse_single(alt) for alt in spec.split("|"))
+_parse_spec = parse_spec
 
 
 def _try_bind(
@@ -139,17 +115,28 @@ def _check_shape(
     qualname: str,
     pname: str,
     value: Any,
-    alternatives: tuple[tuple[object, ...], ...],
+    alternatives: tuple[ShapeSpec, ...],
     bindings: dict[str, int],
 ) -> dict[str, int]:
     shape = np.shape(value)
-    for dims in alternatives:
-        trial = _try_bind(shape, dims, bindings)
-        if trial is not None:
-            return trial
-    expected = " | ".join(
-        "(" + ", ".join(str(d) for d in dims) + ")" for dims in alternatives
-    )
+    dtype_failures: list[tuple[str, str]] = []
+    for alt in alternatives:
+        trial = _try_bind(shape, alt.dims, bindings)
+        if trial is None:
+            continue
+        if alt.dtype is not None:
+            actual_dtype = np.asarray(value).dtype
+            if actual_dtype != np.dtype(DTYPE_CODES[alt.dtype]):
+                dtype_failures.append((alt.dtype, str(actual_dtype)))
+                continue
+        return trial
+    expected = format_spec(alternatives).replace("|", " | ")
+    if dtype_failures:
+        code, actual_dtype = dtype_failures[0]
+        raise ContractError(
+            f"{qualname}: parameter '{pname}' has dtype {actual_dtype}, "
+            f"expected {DTYPE_CODES[code]} ({code}) per spec {expected}"
+        )
     raise ContractError(
         f"{qualname}: parameter '{pname}' has shape {shape}, expected "
         f"{expected} with bindings {bindings or '{}'}"
@@ -246,7 +233,7 @@ def nonneg(*param_names: str, tol: float = 1e-9) -> Callable[[_F], _F]:
                     values = list(value.values())
                 else:
                     values = value
-                arr = np.asarray(values, dtype=float)
+                arr = np.asarray(values, dtype=np.float64)
                 if arr.size and float(arr.min()) < -tol:
                     raise ContractError(
                         f"{func.__qualname__}: parameter '{pname}' must be "
@@ -273,7 +260,7 @@ def freeze_arrays(obj: Any, *field_names: str) -> None:
     snapshots/results from fresh or copied arrays.
     """
     for name in field_names:
-        arr = np.asarray(getattr(obj, name), dtype=float)
+        arr = np.asarray(getattr(obj, name), dtype=np.float64)
         arr.setflags(write=False)
         object.__setattr__(obj, name, arr)
 
@@ -335,7 +322,7 @@ def require_unit(value: float, unit: str) -> float:
     return float(value)
 
 
-@shapes("(N,)", "(N,)", ret="(N,)")
+@shapes("(N,)", "(N,)", ret="(N,) f8")
 def per_request_prices(prices: np.ndarray, capacities: np.ndarray) -> np.ndarray:
     """The paper's data-cleaning step: $/hour → $/hour per req/s.
 
@@ -343,8 +330,8 @@ def per_request_prices(prices: np.ndarray, capacities: np.ndarray) -> np.ndarray
     place this conversion happens, so the load balancer and optimizer can
     never disagree on units.
     """
-    prices = np.asarray(prices, dtype=float)
-    capacities = np.asarray(capacities, dtype=float)
+    prices = np.asarray(prices, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
     if np.any(capacities <= 0):
         raise ContractError("capacities must be positive to convert prices")
     if np.any(prices < 0):

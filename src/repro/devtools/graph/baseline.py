@@ -1,28 +1,18 @@
-"""Finding baselines: adopt spotgraph on a codebase with known debt.
+"""spotgraph's baseline: the shared mechanics bound to its schema tag.
 
-A baseline file records the **fingerprints** of accepted findings so CI
-can gate on "no *new* findings" while the backlog is burned down.  A
-fingerprint hashes ``rule|path|message`` — deliberately *not* the line
-number, so unrelated edits to the same file do not churn the baseline
-(messages themselves contain no line numbers for the same reason).
-
-Workflow::
-
-    spotgraph src/ --update-baseline     # accept current findings
-    git add spotgraph-baseline.json      # review the justifications!
-    spotgraph src/                       # exits 0 until a NEW finding
-
-Entries keep the human-readable ``rule``/``path``/``message`` next to the
-fingerprint so a reviewer can see exactly what debt is being accepted.
+The fingerprinting/load/write/split machinery lives in
+:mod:`repro.devtools.baseline` (it is shared with ``spotshape``); this
+module pins the ``spotgraph-baseline/1`` schema so existing callers and
+committed baseline files keep working unchanged.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 from collections.abc import Iterable
 from pathlib import Path
 
+from repro.devtools import baseline as _shared
+from repro.devtools.baseline import fingerprint, split_findings
 from repro.devtools.rules import Finding
 
 __all__ = [
@@ -36,34 +26,9 @@ __all__ = [
 BASELINE_SCHEMA = "spotgraph-baseline/1"
 
 
-def fingerprint(finding: Finding) -> str:
-    """Stable 16-hex-digit id for one finding (line-number independent)."""
-    path = Path(finding.path).as_posix()
-    payload = f"{finding.rule}|{path}|{finding.message}"
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
-
-
 def load_baseline(path: Path | str | None) -> set[str]:
     """The accepted fingerprints in ``path`` (empty for missing files)."""
-    if path is None:
-        return set()
-    path = Path(path)
-    if not path.exists():
-        return set()
-    try:
-        data = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
-        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
-    if data.get("schema") != BASELINE_SCHEMA:
-        raise ValueError(
-            f"baseline {path} has schema {data.get('schema')!r}; "
-            f"expected {BASELINE_SCHEMA!r}"
-        )
-    return {
-        entry["fingerprint"]
-        for entry in data.get("findings", [])
-        if isinstance(entry, dict) and "fingerprint" in entry
-    }
+    return _shared.load_baseline(path, schema=BASELINE_SCHEMA)
 
 
 def write_baseline(
@@ -73,43 +38,6 @@ def write_baseline(
     justification: str = "accepted by --update-baseline; burn down, do not grow",
 ) -> None:
     """Write ``findings`` as the new accepted baseline at ``path``."""
-    entries = sorted(
-        (
-            {
-                "fingerprint": fingerprint(f),
-                "rule": f.rule,
-                "path": Path(f.path).as_posix(),
-                "message": f.message,
-            }
-            for f in findings
-        ),
-        key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+    _shared.write_baseline(
+        path, findings, schema=BASELINE_SCHEMA, justification=justification
     )
-    deduped: list[dict] = []
-    seen: set[str] = set()
-    for entry in entries:
-        if entry["fingerprint"] not in seen:
-            seen.add(entry["fingerprint"])
-            deduped.append(entry)
-    payload = {
-        "schema": BASELINE_SCHEMA,
-        "justification": justification,
-        "findings": deduped,
-    }
-    Path(path).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-
-
-def split_findings(
-    findings: Iterable[Finding], baseline: set[str]
-) -> tuple[list[Finding], list[Finding]]:
-    """Partition into (new, baselined) against accepted fingerprints."""
-    new: list[Finding] = []
-    accepted: list[Finding] = []
-    for finding in findings:
-        if fingerprint(finding) in baseline:
-            accepted.append(finding)
-        else:
-            new.append(finding)
-    return new, accepted

@@ -67,6 +67,9 @@ DETERMINISTIC_PREFIXES: tuple[str, ...] = (
     "repro.baselines",
     "repro.bench.report",
     "repro.core",
+    "repro.devtools.baseline",
+    "repro.devtools.shape",
+    "repro.devtools.specs",
     "repro.loadbalancer",
     "repro.markets",
     "repro.monitoring",

@@ -22,6 +22,12 @@ Rule inventory
 - ``SW006`` — bare ``except`` or ``except Exception``.
 - ``SW007`` — missing, incomplete, or stale ``__all__``.
 - ``SW008`` — ``assert`` in library code (stripped under ``python -O``).
+- ``SW011`` — builtin-type ``dtype=`` argument (``float``/``int``/``bool``)
+  on a NumPy call; spell the width explicitly (``np.float64``/``np.int64``/
+  ``np.bool_``) — bare ``int`` is platform-dependent (int32 on Windows).
+
+(``SW009`` is an engine rule — unknown suppression ids — and ``SW010`` is
+reserved; the SW2xx range belongs to ``spotshape``.)
 """
 
 from __future__ import annotations
@@ -602,6 +608,37 @@ def _check_asserts(ctx: ModuleContext) -> Iterator[Finding]:
 
 
 # --------------------------------------------------------------------------
+# SW011 — builtin-type dtype arguments on NumPy calls
+# --------------------------------------------------------------------------
+
+_BUILTIN_DTYPE_FIX = {"float": "np.float64", "int": "np.int64", "bool": "np.bool_"}
+
+
+def _check_builtin_dtypes(ctx: ModuleContext) -> Iterator[Finding]:
+    aliases = _import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = _resolve_call(node.func, aliases)
+        if resolved is None or not resolved.startswith("numpy."):
+            continue
+        for kw in node.keywords:
+            if kw.arg != "dtype":
+                continue
+            value = kw.value
+            if isinstance(value, ast.Name) and value.id in _BUILTIN_DTYPE_FIX:
+                yield Finding(
+                    "SW011",
+                    str(ctx.path),
+                    value.lineno,
+                    value.col_offset,
+                    f"builtin dtype `{value.id}` in `{resolved}`; use "
+                    f"`{_BUILTIN_DTYPE_FIX[value.id]}` — bare `int` is "
+                    "platform-dependent and bare float/bool hide the width",
+                )
+
+
+# --------------------------------------------------------------------------
 # Registry
 # --------------------------------------------------------------------------
 
@@ -628,5 +665,10 @@ RULES: dict[str, Rule] = {
         Rule("SW006", "bare except / except Exception", _check_broad_except),
         Rule("SW007", "missing, incomplete, or stale __all__", _check_all_exports),
         Rule("SW008", "assert in library code", _check_asserts),
+        Rule(
+            "SW011",
+            "builtin-type dtype= on a NumPy call (use np.float64/np.int64)",
+            _check_builtin_dtypes,
+        ),
     )
 }

@@ -1,0 +1,38 @@
+"""``spotshape`` — static symbolic array-shape & dtype dataflow analysis.
+
+An intraprocedural abstract interpreter over NumPy expressions: symbolic
+shapes (``(H,N)``, ``(N,)``) and dtypes flow through allocations,
+elementwise broadcasting, matmul, reshapes and slicing, and the declared
+``@shapes`` contracts (:mod:`repro.devtools.contracts`) serve as
+interprocedural call summaries.  See
+:mod:`repro.devtools.shape.analyze` for the SW200-series rule inventory
+and :mod:`repro.devtools.shape.cli` for the command-line interface.
+"""
+
+from repro.devtools.shape.analyze import (
+    ENGINE_RULES,
+    HOT_PREFIXES,
+    SHAPE_RULES,
+    analyze_module,
+    analyze_paths,
+)
+from repro.devtools.shape.cli import main
+from repro.devtools.shape.domain import ArrayVal
+from repro.devtools.shape.summaries import (
+    ContractSummary,
+    SummaryTable,
+    extract_summaries,
+)
+
+__all__ = [
+    "ENGINE_RULES",
+    "HOT_PREFIXES",
+    "SHAPE_RULES",
+    "ArrayVal",
+    "ContractSummary",
+    "SummaryTable",
+    "analyze_module",
+    "analyze_paths",
+    "extract_summaries",
+    "main",
+]

@@ -1,0 +1,1445 @@
+"""The ``spotshape`` abstract interpreter and its SW200-series rules.
+
+Each function body is interpreted once, front to back, over the abstract
+domain in :mod:`repro.devtools.shape.domain`: parameters declared with
+``@shapes`` seed the environment with symbolic arrays, NumPy calls and
+operators have transfer functions, and everything unmodeled evaluates to
+"no information".  The checker therefore only reports **proven**
+inconsistencies — unknowns pass silently.
+
+Rule inventory
+--------------
+- ``SW200`` — a call site (or return) violates the callee's declared
+  ``@shapes`` contract: wrong rank, a dim that cannot unify, or a dtype
+  that contradicts the spec's suffix.
+- ``SW201`` — two operations inside one function force the same symbolic
+  dim (or two literals) to incompatible values — a latent shape bug even
+  when no contract is declared.
+- ``SW202`` — implicit dtype drift: a float64/float32 mix that silently
+  widens, ``astype`` truncating non-integral floats to ints, or
+  ``astype`` silently narrowing float64 to float32.
+- ``SW203`` — an array allocation (``np.zeros``/``concatenate``/...)
+  inside a loop in a **hot** module (:data:`HOT_PREFIXES`): allocation
+  churn on the paths the paper's control loop runs every interval.
+- ``SW204`` — a Python-level scalar loop over an array in a hot module
+  (``for x in arr`` / ``for i in range(len(arr))``): the interpreter
+  overhead NumPy vectorization exists to avoid.
+
+``SW000``/``SW009`` are the engine pseudo-rules shared with spotlint and
+spotgraph (unreadable file; unknown rule id in a ``# spotshape:``
+suppression comment).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.lint import iter_python_files, scan_suppressions
+from repro.devtools.rules import Finding, module_name_for
+from repro.devtools.shape.domain import (
+    UNKNOWN_DIM,
+    UNKNOWN_DTYPE,
+    ArrayVal,
+    broadcast_dims,
+    format_dims,
+    is_float,
+    is_int,
+    promote,
+    resolve_dim,
+    scalar,
+    unify_dim,
+)
+from repro.devtools.shape.summaries import (
+    ContractSummary,
+    ModuleSummaries,
+    SummaryTable,
+    collect_aliases,
+    dotted_target,
+    extract_summaries,
+    summary_digest,
+)
+from repro.devtools.specs import DTYPE_CODES, ShapeSpec
+
+__all__ = [
+    "SHAPE_RULES",
+    "ENGINE_RULES",
+    "HOT_PREFIXES",
+    "CACHE_SCHEMA",
+    "ANALYSIS_VERSION",
+    "analyze_module",
+    "analyze_paths",
+]
+
+SHAPE_RULES = {
+    "SW200": "call site violates the callee's declared @shapes contract",
+    "SW201": "inconsistent symbolic-dim binding within one function",
+    "SW202": "implicit dtype widening/narrowing (f8/f4 mix, float->int)",
+    "SW203": "array allocation inside a loop in a hot module",
+    "SW204": "Python-level scalar loop over an array in a hot module",
+}
+
+ENGINE_RULES = {
+    "SW000": "unreadable or syntactically invalid file",
+    "SW009": "suppression comment references an unknown rule id",
+}
+
+#: Modules whose loops run once per control interval (or per simulated
+#: event) — the paper's hot paths, where SW203/SW204 apply.
+HOT_PREFIXES = ("repro.solvers", "repro.simulator", "repro.core")
+
+# Bump whenever analysis output changes shape or semantics: stale cache
+# entries from older analyzers are discarded by version mismatch.
+ANALYSIS_VERSION = 1
+CACHE_SCHEMA = "spotshape-cache/1"
+
+_NUMPY_DTYPE_ATTRS = {
+    "float64": "float64",
+    "float32": "float32",
+    "float16": "float16",
+    "int64": "int64",
+    "int32": "int32",
+    "int16": "int16",
+    "int8": "int8",
+    "uint64": "uint64",
+    "uint32": "uint32",
+    "uint16": "uint16",
+    "uint8": "uint8",
+    "bool_": "bool",
+    "double": "float64",
+    "single": "float32",
+}
+
+_DTYPE_STRINGS = {
+    "float64": "float64", "f8": "float64", "<f8": "float64", "double": "float64",
+    "float32": "float32", "f4": "float32", "<f4": "float32",
+    "int64": "int64", "i8": "int64", "<i8": "int64",
+    "int32": "int32", "i4": "int32", "<i4": "int32",
+    "uint64": "uint64", "u8": "uint64",
+    "bool": "bool", "b1": "bool", "?": "bool",
+}
+
+_BUILTIN_DTYPE_NAMES = {"float": "float64", "int": "int64", "bool": "bool"}
+
+# NumPy calls that materialize a fresh array — the SW203 set.  Cheap
+# views/wrappers (asarray, ravel on contiguous data, transpose) are
+# deliberately excluded.
+_LOOP_ALLOCATORS = frozenset(
+    {
+        "zeros", "ones", "empty", "full", "zeros_like", "ones_like",
+        "empty_like", "full_like", "array", "arange", "linspace", "eye",
+        "concatenate", "stack", "vstack", "hstack", "tile", "repeat",
+    }
+)
+
+_ALLOC_FLOAT = frozenset({"zeros", "ones", "empty"})
+_LIKE_ALLOC = {
+    "zeros_like": None, "ones_like": None, "empty_like": None,
+    "full_like": None,
+}
+_ELEMENTWISE_KEEP = frozenset(
+    {"abs", "absolute", "clip", "negative", "positive", "copy",
+     "nan_to_num", "sign", "sort", "flip", "ascontiguousarray"}
+)
+_ELEMENTWISE_FLOAT = frozenset(
+    {"exp", "log", "log1p", "log2", "log10", "expm1", "sqrt", "square",
+     "tanh", "sin", "cos", "tan", "reciprocal", "interp"}
+)
+_ROUNDING = frozenset({"floor", "ceil", "rint", "trunc", "round", "around"})
+_PREDICATES = frozenset(
+    {"isfinite", "isnan", "isinf", "signbit", "logical_and", "logical_or",
+     "logical_not", "logical_xor", "isclose"}
+)
+_BINARY_BROADCAST = frozenset(
+    {"maximum", "minimum", "add", "multiply", "subtract", "divide",
+     "true_divide", "power", "fmax", "fmin", "hypot", "mod", "remainder"}
+)
+_REDUCTIONS = frozenset(
+    {"sum", "max", "min", "mean", "prod", "median", "std", "var",
+     "amax", "amin", "nansum", "nanmax", "nanmin", "nanmean", "all", "any",
+     "argmin", "argmax", "ptp"}
+)
+_METHOD_REDUCTIONS = frozenset(
+    {"sum", "max", "min", "mean", "prod", "std", "var", "all", "any",
+     "argmin", "argmax"}
+)
+
+
+def _is_hot(module: str | None) -> bool:
+    if module is None:
+        return False
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in HOT_PREFIXES
+    )
+
+
+def _spec_dims(spec: ShapeSpec) -> tuple:
+    """Contract dims as domain dims (``*`` becomes unknown)."""
+    return tuple(UNKNOWN_DIM if d == "*" else d for d in spec.dims)
+
+
+def _spec_dtype(spec: ShapeSpec) -> str:
+    return DTYPE_CODES[spec.dtype] if spec.dtype is not None else UNKNOWN_DTYPE
+
+
+def _format_val(val: ArrayVal) -> str:
+    text = format_dims(val.dims)
+    if val.dtype != UNKNOWN_DTYPE:
+        text += f" {val.dtype}"
+    return text
+
+
+class _FunctionAnalyzer:
+    """One forward abstract-interpretation pass over a function body."""
+
+    def __init__(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        *,
+        path: str,
+        module: str | None,
+        aliases: dict[str, str],
+        module_symbols: set[str],
+        table: SummaryTable,
+    ) -> None:
+        self.fn = fn
+        self.qualname = qualname
+        self.path = path
+        self.module = module
+        self.aliases = aliases
+        self.module_symbols = module_symbols
+        self.table = table
+        self.hot = _is_hot(module)
+        self.findings: list[Finding] = []
+        self.env: dict[str, ArrayVal] = {}
+        self.bindings: dict = {}
+        self.loop_depth = 0
+        # Inside `with pytest.raises(...)` a proven shape/contract mismatch
+        # is the *expected* behavior, not a finding.
+        self.expect_error = 0
+        self.locals_ = self._local_names(fn)
+        self.own_contract = (
+            table.lookup(f"{module}.{qualname}") if module else None
+        )
+        self._seed_env()
+
+    # ------------------------------------------------------------ plumbing
+    @staticmethod
+    def _local_names(fn: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (
+                    list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)
+                ):
+                    names.add(arg.arg)
+                if args.vararg:
+                    names.add(args.vararg.arg)
+                if args.kwarg:
+                    names.add(args.kwarg.arg)
+                if node is not fn:
+                    names.add(node.name)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name != "*":
+                        names.add(alias.asname or alias.name.split(".", 1)[0])
+        return names
+
+    def _seed_env(self) -> None:
+        if self.own_contract is None:
+            return
+        for name, alternatives in self.own_contract.param_specs().items():
+            if len(alternatives) != 1:
+                continue  # ambiguous until the call site picks one
+            alt = alternatives[0]
+            self.env[name] = ArrayVal(
+                dims=_spec_dims(alt), dtype=_spec_dtype(alt)
+            )
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule in ("SW200", "SW201") and self.expect_error > 0:
+            return
+        self.findings.append(
+            Finding(
+                rule,
+                self.path,
+                getattr(node, "lineno", self.fn.lineno),
+                getattr(node, "col_offset", 0),
+                message,
+            )
+        )
+
+    def resolve(self, func: ast.expr) -> str | None:
+        return dotted_target(
+            func, self.aliases, self.module, self.module_symbols, self.locals_
+        )
+
+    # ----------------------------------------------------------- statements
+    def run(self) -> list[Finding]:
+        self.exec_body(self.fn.body)
+        return self.findings
+
+    def exec_body(self, stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def _assign_target(self, target: ast.expr, val: ArrayVal | None) -> None:
+        if isinstance(target, ast.Name):
+            if val is None:
+                self.env.pop(target.id, None)
+            else:
+                self.env[target.id] = val
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, None)
+        # Attribute/Subscript stores mutate in place: shape is unchanged.
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            val = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, val)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign_target(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                left = self.env.get(stmt.target.id)
+                result = self._binop_vals(
+                    left, self.eval(stmt.value), stmt.op, stmt
+                )
+                self._assign_target(stmt.target, result)
+            else:
+                self.eval(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.loop_depth += 1
+            self.exec_body(stmt.body)
+            self.loop_depth -= 1
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            expects = any(
+                isinstance(item.context_expr, ast.Call)
+                and self.resolve(item.context_expr.func) == "pytest.raises"
+                for item in stmt.items
+            )
+            self.expect_error += 1 if expects else 0
+            self.exec_body(stmt.body)
+            self.expect_error -= 1 if expects else 0
+        elif isinstance(stmt, ast.Try):
+            self.exec_body(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_body(handler.body)
+            self.exec_body(stmt.orelse)
+            self.exec_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Return):
+            self._check_return(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        # Nested defs/classes are analyzed as their own scopes elsewhere.
+
+    def _exec_for(self, stmt: ast.For | ast.AsyncFor) -> None:
+        val = self.eval(stmt.iter)
+        if self.hot:
+            self._check_scalar_loop(stmt, val)
+        element: ArrayVal | None = None
+        if val is not None and val.rank >= 1:
+            element = ArrayVal(
+                dims=val.dims[1:], dtype=val.dtype, integral=val.integral
+            )
+        self._assign_target(stmt.target, element)
+        self.loop_depth += 1
+        self.exec_body(stmt.body)
+        self.loop_depth -= 1
+        self.exec_body(stmt.orelse)
+
+    def _check_scalar_loop(self, stmt: ast.For | ast.AsyncFor, val) -> None:
+        if val is not None and val.rank >= 1:
+            self.report(
+                "SW204",
+                stmt,
+                f"Python-level loop over array elements in `{self.qualname}`; "
+                f"vectorize with NumPy operations",
+            )
+            return
+        # for i in range(len(arr)) / range(arr.shape[k])
+        it = stmt.iter
+        if not (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+            and it.func.id not in self.locals_
+        ):
+            return
+        for arg in it.args:
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "len"
+                and arg.args
+                and self.eval(arg.args[0]) is not None
+            ) or (
+                isinstance(arg, ast.Subscript)
+                and isinstance(arg.value, ast.Attribute)
+                and arg.value.attr == "shape"
+                and self.eval(arg.value.value) is not None
+            ):
+                self.report(
+                    "SW204",
+                    stmt,
+                    f"Python-level scalar loop over array indices in "
+                    f"`{self.qualname}`; vectorize with NumPy operations",
+                )
+                return
+
+    def _check_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            return
+        val = self.eval(stmt.value)
+        if self.own_contract is None:
+            return
+        ret_spec = self.own_contract.ret_spec()
+        if ret_spec is None or val is None:
+            return
+        ok, detail = self._match_alternatives(val, ret_spec, self.bindings)
+        if not ok:
+            self.report(
+                "SW200",
+                stmt,
+                f"`{self.qualname}` returns {_format_val(val)} but declares "
+                f"ret spec {self.own_contract.ret} ({detail})",
+            )
+
+    # ---------------------------------------------------------- expressions
+    def eval(self, node: ast.expr) -> ArrayVal | None:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return scalar("bool")
+            if isinstance(node.value, int):
+                return scalar("int64")
+            if isinstance(node.value, float):
+                return scalar("float64")
+            return None
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.MatMult):
+                return self._matmul_vals(
+                    self.eval(node.left), self.eval(node.right), node
+                )
+            return self._binop_vals(
+                self.eval(node.left), self.eval(node.right), node.op, node
+            )
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                self.eval(node.operand)
+                return scalar("bool")
+            return self.eval(node.operand)
+        if isinstance(node, ast.Compare):
+            vals = [self.eval(node.left)] + [self.eval(c) for c in node.comparators]
+            dims: tuple | None = ()
+            for val in vals:
+                if val is None:
+                    return None
+                if dims is None:
+                    continue
+                merged, conflict = broadcast_dims(dims, val.dims, self.bindings)
+                if conflict is not None:
+                    self.report(
+                        "SW201",
+                        node,
+                        f"comparison in `{self.qualname}`: {conflict.detail}",
+                    )
+                    return None
+                dims = merged
+            return ArrayVal(dims=dims or (), dtype="bool")
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            a = self.eval(node.body)
+            b = self.eval(node.orelse)
+            if a is not None and b is not None and a.dims == b.dims:
+                dtype, _ = promote(a.dtype, b.dtype)
+                return ArrayVal(dims=a.dims, dtype=dtype)
+            return None
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return None  # only meaningful inside asarray/concatenate/...
+        return None
+
+    # ----------------------------------------------------------- operators
+    def _binop_vals(self, a, b, op: ast.operator, node: ast.AST):
+        if a is None or b is None:
+            return None
+        dims, conflict = broadcast_dims(a.dims, b.dims, self.bindings)
+        if conflict is not None:
+            self.report(
+                "SW201",
+                node,
+                f"operands in `{self.qualname}` cannot broadcast: "
+                f"{conflict.detail}",
+            )
+            return None
+        dtype, widened = promote(a.dtype, b.dtype)
+        if widened:
+            self.report(
+                "SW202",
+                node,
+                f"float64/float32 mix in `{self.qualname}` silently widens "
+                f"to {dtype}; convert one operand explicitly",
+            )
+        integral = False
+        if isinstance(op, ast.Div):
+            if is_int(dtype) or dtype == "bool":
+                dtype = "float64"
+        elif isinstance(op, ast.FloorDiv):
+            integral = is_float(dtype)
+        elif isinstance(op, (ast.Add, ast.Sub, ast.Mult)):
+            integral = a.integral and b.integral
+        return ArrayVal(dims=dims, dtype=dtype, integral=integral)
+
+    def _matmul_vals(self, a, b, node: ast.AST):
+        if a is None or b is None:
+            return None
+        if a.rank == 0 or b.rank == 0 or a.rank > 2 or b.rank > 2:
+            return None
+        inner_a = a.dims[-1]
+        inner_b = b.dims[0] if b.rank >= 1 else UNKNOWN_DIM
+        _, conflict = unify_dim(inner_a, inner_b, self.bindings)
+        if conflict is not None:
+            self.report(
+                "SW201",
+                node,
+                f"matmul in `{self.qualname}`: inner dims of "
+                f"{format_dims(a.dims)} @ {format_dims(b.dims)} must match "
+                f"({conflict.detail})",
+            )
+            return None
+        out: list = []
+        if a.rank == 2:
+            out.append(a.dims[0])
+        if b.rank == 2:
+            out.append(b.dims[1])
+        dtype, widened = promote(a.dtype, b.dtype)
+        if widened:
+            self.report(
+                "SW202",
+                node,
+                f"float64/float32 mix in `{self.qualname}` silently widens "
+                f"to {dtype}; convert one operand explicitly",
+            )
+        return ArrayVal(dims=tuple(out), dtype=dtype)
+
+    # ------------------------------------------------------------- indexing
+    def _subscript(self, node: ast.Subscript):
+        # x.shape[i] -> the i-th dim as a scalar int
+        if (
+            isinstance(node.value, ast.Attribute)
+            and node.value.attr == "shape"
+            and self.eval(node.value.value) is not None
+        ):
+            return scalar("int64")
+        base = self.eval(node.value)
+        if base is None:
+            return None
+        items = (
+            list(node.slice.elts)
+            if isinstance(node.slice, ast.Tuple)
+            else [node.slice]
+        )
+        # Boolean-mask indexing compresses to an unknown-length vector.
+        if len(items) == 1:
+            mask = self.eval(items[0])
+            if mask is not None and mask.dtype == "bool" and mask.rank >= 1:
+                return ArrayVal(
+                    dims=(UNKNOWN_DIM,), dtype=base.dtype,
+                    integral=base.integral,
+                )
+        dims: list = []
+        remaining = list(base.dims)
+        for item in items:
+            if isinstance(item, ast.Constant) and item.value is None:
+                dims.append(1)  # np.newaxis
+                continue
+            if isinstance(item, ast.Constant) and item.value is Ellipsis:
+                return None
+            if not remaining:
+                return None
+            if isinstance(item, ast.Slice):
+                if item.lower is None and item.upper is None and item.step is None:
+                    dims.append(remaining.pop(0))
+                else:
+                    remaining.pop(0)
+                    dims.append(UNKNOWN_DIM)
+                continue
+            idx = self.eval(item)
+            if idx is not None and idx.rank >= 1:
+                # Fancy integer indexing: result takes the index's shape.
+                remaining.pop(0)
+                dims.extend(idx.dims)
+                continue
+            remaining.pop(0)  # scalar index drops the dim
+        dims.extend(remaining)
+        return ArrayVal(dims=tuple(dims), dtype=base.dtype, integral=base.integral)
+
+    def _attribute(self, node: ast.Attribute):
+        base = self.eval(node.value)
+        if base is None:
+            return None
+        if node.attr == "T":
+            return ArrayVal(
+                dims=tuple(reversed(base.dims)), dtype=base.dtype,
+                integral=base.integral,
+            )
+        if node.attr in ("size", "ndim", "itemsize", "nbytes"):
+            return scalar("int64")
+        return None
+
+    # ----------------------------------------------------------------- calls
+    def _call(self, node: ast.Call):
+        func = node.func
+        resolved = self.resolve(func)
+        if resolved is not None:
+            if resolved.startswith("numpy."):
+                return self._numpy_call(resolved[len("numpy."):], node)
+            summary = self.table.lookup(resolved)
+            if summary is not None:
+                return self._contract_call(summary, node)
+            # Evaluate arguments for their side findings, result unknown.
+            for arg in node.args:
+                self.eval(arg)
+            return None
+        if isinstance(func, ast.Name) and func.id not in self.locals_:
+            return self._builtin_call(func.id, node)
+        if isinstance(func, ast.Attribute):
+            base = self.eval(func.value)
+            if base is not None:
+                return self._method_call(base, func.attr, node)
+            for arg in node.args:
+                self.eval(arg)
+        return None
+
+    def _builtin_call(self, name: str, node: ast.Call):
+        for arg in node.args:
+            self.eval(arg)
+        if name == "float":
+            return scalar("float64")
+        if name == "int":
+            return scalar("int64")
+        if name == "bool":
+            return scalar("bool")
+        if name == "len":
+            return scalar("int64")
+        if name == "abs" and node.args:
+            return self.eval(node.args[0])
+        return None
+
+    # ----------------------------------------------------- numpy transfer
+    def _kwarg(self, node: ast.Call, name: str) -> ast.expr | None:
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _dtype_from_node(self, node: ast.expr | None) -> str:
+        if node is None:
+            return UNKNOWN_DTYPE
+        if isinstance(node, ast.Attribute):
+            resolved = self.resolve(node)
+            if resolved is not None and resolved.startswith("numpy."):
+                return _NUMPY_DTYPE_ATTRS.get(
+                    resolved[len("numpy."):], UNKNOWN_DTYPE
+                )
+            return UNKNOWN_DTYPE
+        if isinstance(node, ast.Name):
+            return _BUILTIN_DTYPE_NAMES.get(node.id, UNKNOWN_DTYPE)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return _DTYPE_STRINGS.get(node.value, UNKNOWN_DTYPE)
+        return UNKNOWN_DTYPE
+
+    def _dim_from_node(self, node: ast.expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value if node.value >= 0 else UNKNOWN_DIM
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "shape"
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, int)
+        ):
+            base = self.eval(node.value.value)
+            if base is not None and -base.rank <= node.slice.value < base.rank:
+                return base.dims[node.slice.value]
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "len"
+            and node.args
+        ):
+            base = self.eval(node.args[0])
+            if base is not None and base.rank >= 1:
+                return base.dims[0]
+        return UNKNOWN_DIM
+
+    def _shape_from_node(self, node: ast.expr) -> tuple:
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return tuple(self._dim_from_node(e) for e in node.elts)
+        if isinstance(node, ast.Attribute) and node.attr == "shape":
+            base = self.eval(node.value)
+            if base is not None:
+                return base.dims
+            return (UNKNOWN_DIM,)
+        return (self._dim_from_node(node),)
+
+    def _literal_array(self, node: ast.expr) -> ArrayVal | None:
+        """Abstract value of a (possibly nested) list/tuple literal."""
+        if not isinstance(node, (ast.List, ast.Tuple)):
+            val = self.eval(node)
+            return val
+        elems = [self._literal_array(e) for e in node.elts]
+        if not elems or any(e is None for e in elems):
+            return None
+        ranks = {e.rank for e in elems}
+        if len(ranks) != 1:
+            return None
+        dtype = elems[0].dtype
+        for e in elems[1:]:
+            dtype, _ = promote(dtype, e.dtype)
+        inner = elems[0].dims
+        for e in elems[1:]:
+            if e.dims != inner:
+                inner = tuple(UNKNOWN_DIM for _ in inner)
+                break
+        return ArrayVal(dims=(len(elems),) + inner, dtype=dtype)
+
+    def _flag_loop_alloc(self, name: str, node: ast.Call) -> None:
+        if self.hot and self.loop_depth > 0 and name in _LOOP_ALLOCATORS:
+            self.report(
+                "SW203",
+                node,
+                f"`np.{name}(...)` allocates a fresh array inside a loop in "
+                f"`{self.qualname}`; hoist or preallocate outside the loop",
+            )
+
+    def _reduce(self, val: ArrayVal, node: ast.Call, name: str, axis_arg):
+        axis_node = axis_arg if axis_arg is not None else self._kwarg(node, "axis")
+        int_result = name in ("argmin", "argmax")
+        bool_result = name in ("all", "any")
+        dtype = val.dtype
+        if bool_result:
+            dtype = "bool"
+        elif int_result:
+            dtype = "int64"
+        elif name in ("mean", "std", "var", "nanmean", "median"):
+            dtype = "float64" if not is_float(dtype) else dtype
+        elif dtype == "bool":
+            dtype = "int64"  # sum/prod of bools counts
+        if axis_node is None:
+            return scalar(dtype)
+        if isinstance(axis_node, ast.Constant):
+            if axis_node.value is None:
+                return scalar(dtype)
+            if isinstance(axis_node.value, int):
+                axis = axis_node.value
+                if -val.rank <= axis < val.rank:
+                    dims = list(val.dims)
+                    del dims[axis]
+                    return ArrayVal(dims=tuple(dims), dtype=dtype)
+        return None
+
+    def _numpy_call(self, name: str, node: ast.Call):
+        self._flag_loop_alloc(name, node)
+        args = node.args
+        if any(isinstance(a, ast.Starred) for a in args):
+            return None
+        dtype_kw = self._dtype_from_node(self._kwarg(node, "dtype"))
+
+        if name in _ALLOC_FLOAT:
+            dims = self._shape_from_node(args[0]) if args else ()
+            dtype = dtype_kw if dtype_kw != UNKNOWN_DTYPE else "float64"
+            return ArrayVal(dims=dims, dtype=dtype)
+        if name == "full":
+            dims = self._shape_from_node(args[0]) if args else ()
+            dtype = dtype_kw
+            if dtype == UNKNOWN_DTYPE and len(args) >= 2:
+                fill = self.eval(args[1])
+                if fill is not None:
+                    dtype = fill.dtype
+            return ArrayVal(dims=dims, dtype=dtype)
+        if name in _LIKE_ALLOC:
+            base = self.eval(args[0]) if args else None
+            if base is None:
+                return None
+            dtype = dtype_kw if dtype_kw != UNKNOWN_DTYPE else base.dtype
+            return ArrayVal(dims=base.dims, dtype=dtype)
+        if name in ("asarray", "array", "ascontiguousarray", "asanyarray"):
+            val = self._literal_array(args[0]) if args else None
+            if val is None:
+                return None
+            dtype = dtype_kw if dtype_kw != UNKNOWN_DTYPE else val.dtype
+            integral = val.integral and dtype == val.dtype
+            return ArrayVal(dims=val.dims, dtype=dtype, integral=integral)
+        if name == "arange":
+            dtype = dtype_kw
+            if dtype == UNKNOWN_DTYPE:
+                consts = [a.value for a in args if isinstance(a, ast.Constant)]
+                if consts and all(isinstance(c, int) for c in consts):
+                    dtype = "int64"
+                elif any(isinstance(c, float) for c in consts):
+                    dtype = "float64"
+            return ArrayVal(dims=(UNKNOWN_DIM,), dtype=dtype)
+        if name == "linspace":
+            num = self._kwarg(node, "num") or (args[2] if len(args) > 2 else None)
+            dim = self._dim_from_node(num) if num is not None else 50
+            return ArrayVal(dims=(dim,), dtype="float64")
+        if name == "eye":
+            dim = self._dim_from_node(args[0]) if args else UNKNOWN_DIM
+            dtype = dtype_kw if dtype_kw != UNKNOWN_DTYPE else "float64"
+            return ArrayVal(dims=(dim, dim), dtype=dtype)
+        if name == "concatenate":
+            return self._concatenate(node)
+        if name == "stack":
+            return self._stack(node)
+        if name == "where" and len(args) == 3:
+            self.eval(args[0])
+            return self._binop_vals(
+                self.eval(args[1]), self.eval(args[2]), ast.Add(), node
+            )
+        if name in _BINARY_BROADCAST and len(args) >= 2:
+            result = self._binop_vals(
+                self.eval(args[0]), self.eval(args[1]), ast.Add(), node
+            )
+            if result is not None and name in ("divide", "true_divide"):
+                dtype = result.dtype
+                if is_int(dtype) or dtype == "bool":
+                    dtype = "float64"
+                result = ArrayVal(dims=result.dims, dtype=dtype)
+            return result
+        if name in _ELEMENTWISE_KEEP and args:
+            return self.eval(args[0])
+        if name in _ELEMENTWISE_FLOAT and args:
+            val = self.eval(args[0])
+            if val is None:
+                return None
+            dtype = val.dtype if is_float(val.dtype) else (
+                "float64" if val.dtype != UNKNOWN_DTYPE else UNKNOWN_DTYPE
+            )
+            return ArrayVal(dims=val.dims, dtype=dtype)
+        if name in _ROUNDING and args:
+            val = self.eval(args[0])
+            if val is None:
+                return None
+            return ArrayVal(dims=val.dims, dtype=val.dtype, integral=True)
+        if name in _PREDICATES and args:
+            val = self.eval(args[0])
+            if val is None:
+                return None
+            return ArrayVal(dims=val.dims, dtype="bool")
+        if name in _REDUCTIONS and args:
+            val = self.eval(args[0])
+            if val is None:
+                return None
+            axis_arg = args[1] if len(args) > 1 else None
+            return self._reduce(val, node, name, axis_arg)
+        if name in ("argsort", "sort") and args:
+            val = self.eval(args[0])
+            if val is None:
+                return None
+            dtype = "int64" if name == "argsort" else val.dtype
+            return ArrayVal(dims=val.dims, dtype=dtype)
+        if name == "count_nonzero":
+            return scalar("int64")
+        if name in ("cumsum", "cumprod") and args:
+            val = self.eval(args[0])
+            if val is None:
+                return None
+            if self._kwarg(node, "axis") is not None or len(args) > 1:
+                return val
+            if val.rank <= 1:
+                return ArrayVal(dims=val.dims or (UNKNOWN_DIM,), dtype=val.dtype)
+            return ArrayVal(dims=(UNKNOWN_DIM,), dtype=val.dtype)
+        if name == "diff" and args:
+            val = self.eval(args[0])
+            if val is None or val.rank == 0:
+                return None
+            dims = list(val.dims)
+            last = resolve_dim(dims[-1], self.bindings)
+            dims[-1] = last - 1 if isinstance(last, int) and last >= 1 else UNKNOWN_DIM
+            return ArrayVal(dims=tuple(dims), dtype=val.dtype)
+        if name in ("dot", "matmul") and len(args) >= 2:
+            return self._matmul_vals(self.eval(args[0]), self.eval(args[1]), node)
+        if name == "outer" and len(args) >= 2:
+            a, b = self.eval(args[0]), self.eval(args[1])
+            if a is None or b is None:
+                return None
+            da = a.dims[0] if a.rank >= 1 else 1
+            db = b.dims[0] if b.rank >= 1 else 1
+            dtype, _ = promote(a.dtype, b.dtype)
+            return ArrayVal(dims=(da, db), dtype=dtype)
+        if name == "reshape" and len(args) >= 2:
+            val = self.eval(args[0])
+            if val is None:
+                return None
+            return ArrayVal(
+                dims=self._shape_from_node(args[1]), dtype=val.dtype,
+                integral=val.integral,
+            )
+        if name == "ravel" and args:
+            return self._ravel(self.eval(args[0]))
+        if name == "transpose" and args:
+            val = self.eval(args[0])
+            if val is None:
+                return None
+            return ArrayVal(
+                dims=tuple(reversed(val.dims)), dtype=val.dtype,
+                integral=val.integral,
+            )
+        if name == "expand_dims" and len(args) >= 2:
+            val = self.eval(args[0])
+            axis = args[1]
+            if (
+                val is not None
+                and isinstance(axis, ast.Constant)
+                and isinstance(axis.value, int)
+                and -val.rank - 1 <= axis.value <= val.rank
+            ):
+                dims = list(val.dims)
+                pos = axis.value if axis.value >= 0 else val.rank + 1 + axis.value
+                dims.insert(pos, 1)
+                return ArrayVal(dims=tuple(dims), dtype=val.dtype)
+            return None
+        if name == "atleast_1d" and args:
+            val = self.eval(args[0])
+            if val is None:
+                return None
+            return val if val.rank >= 1 else ArrayVal((1,), val.dtype)
+        if name == "atleast_2d" and args:
+            val = self.eval(args[0])
+            if val is None:
+                return None
+            if val.rank >= 2:
+                return val
+            if val.rank == 1:
+                return ArrayVal((1,) + val.dims, val.dtype)
+            return ArrayVal((1, 1), val.dtype)
+        if name == "linalg.norm":
+            if self._kwarg(node, "axis") is None:
+                return scalar("float64")
+            return None
+        if name == "linalg.solve" and len(args) >= 2:
+            self.eval(args[0])
+            b = self.eval(args[1])
+            if b is None:
+                return None
+            return ArrayVal(dims=b.dims, dtype="float64")
+        if name == "allclose":
+            for arg in args:
+                self.eval(arg)
+            return scalar("bool")
+        if name == "shape" and args:
+            self.eval(args[0])
+            return None
+        for arg in args:
+            self.eval(arg)
+        return None
+
+    def _concatenate(self, node: ast.Call):
+        if not node.args:
+            return None
+        seq = node.args[0]
+        if not isinstance(seq, (ast.List, ast.Tuple)):
+            return None
+        vals = [self.eval(e) for e in seq.elts]
+        if not vals or any(v is None for v in vals):
+            return None
+        axis_node = self._kwarg(node, "axis") or (
+            node.args[1] if len(node.args) > 1 else None
+        )
+        axis = 0
+        if isinstance(axis_node, ast.Constant) and isinstance(axis_node.value, int):
+            axis = axis_node.value
+        ranks = {v.rank for v in vals}
+        if len(ranks) != 1:
+            self.report(
+                "SW201",
+                node,
+                f"concatenate in `{self.qualname}` mixes ranks "
+                f"{sorted(ranks)}; operands must have equal rank",
+            )
+            return None
+        rank = ranks.pop()
+        if rank == 0 or not (-rank <= axis < rank):
+            return None
+        axis %= rank
+        out: list = []
+        dtype = vals[0].dtype
+        for v in vals[1:]:
+            dtype, widened = promote(dtype, v.dtype)
+            if widened:
+                self.report(
+                    "SW202",
+                    node,
+                    f"float64/float32 mix in `{self.qualname}` silently "
+                    f"widens to {dtype}; convert one operand explicitly",
+                )
+        for i in range(rank):
+            if i == axis:
+                dims_i = [resolve_dim(v.dims[i], self.bindings) for v in vals]
+                if all(isinstance(d, int) for d in dims_i):
+                    out.append(sum(dims_i))
+                else:
+                    out.append(UNKNOWN_DIM)
+                continue
+            merged = vals[0].dims[i]
+            for v in vals[1:]:
+                merged, conflict = unify_dim(merged, v.dims[i], self.bindings)
+                if conflict is not None:
+                    self.report(
+                        "SW201",
+                        node,
+                        f"concatenate in `{self.qualname}`: non-axis dims "
+                        f"must match ({conflict.detail})",
+                    )
+                    return None
+            out.append(merged)
+        return ArrayVal(dims=tuple(out), dtype=dtype)
+
+    def _stack(self, node: ast.Call):
+        if not node.args:
+            return None
+        seq = node.args[0]
+        if not isinstance(seq, (ast.List, ast.Tuple)):
+            return None
+        vals = [self.eval(e) for e in seq.elts]
+        if not vals or any(v is None for v in vals):
+            return None
+        merged = vals[0].dims
+        dtype = vals[0].dtype
+        for v in vals[1:]:
+            if v.rank != vals[0].rank:
+                self.report(
+                    "SW201",
+                    node,
+                    f"stack in `{self.qualname}` mixes ranks; operands must "
+                    f"have identical shape",
+                )
+                return None
+            pair = []
+            for a, b in zip(merged, v.dims):
+                d, conflict = unify_dim(a, b, self.bindings)
+                if conflict is not None:
+                    self.report(
+                        "SW201",
+                        node,
+                        f"stack in `{self.qualname}`: operand dims must "
+                        f"match ({conflict.detail})",
+                    )
+                    return None
+                pair.append(d)
+            merged = tuple(pair)
+            dtype, _ = promote(dtype, v.dtype)
+        return ArrayVal(dims=(len(vals),) + merged, dtype=dtype)
+
+    def _ravel(self, val: ArrayVal | None):
+        if val is None:
+            return None
+        if val.rank == 0:
+            return ArrayVal((1,), val.dtype, integral=val.integral)
+        if val.rank == 1:
+            return val
+        resolved = [resolve_dim(d, self.bindings) for d in val.dims]
+        if all(isinstance(d, int) for d in resolved):
+            total = 1
+            for d in resolved:
+                total *= d
+            return ArrayVal((total,), val.dtype, integral=val.integral)
+        return ArrayVal((UNKNOWN_DIM,), val.dtype, integral=val.integral)
+
+    # ------------------------------------------------------- method calls
+    def _method_call(self, base: ArrayVal, attr: str, node: ast.Call):
+        args = node.args
+        if attr == "astype":
+            target = self._dtype_from_node(
+                args[0] if args else self._kwarg(node, "dtype")
+            )
+            if target != UNKNOWN_DTYPE and base.dtype != UNKNOWN_DTYPE:
+                if is_float(base.dtype) and is_int(target) and not base.integral:
+                    self.report(
+                        "SW202",
+                        node,
+                        f"`.astype({target})` in `{self.qualname}` truncates "
+                        f"{base.dtype} values; round explicitly "
+                        f"(np.floor/np.rint) before converting",
+                    )
+                elif base.dtype == "float64" and target == "float32":
+                    self.report(
+                        "SW202",
+                        node,
+                        f"`.astype(float32)` in `{self.qualname}` silently "
+                        f"narrows float64; make the precision loss explicit "
+                        f"or keep float64",
+                    )
+            integral = base.integral and is_float(target)
+            return ArrayVal(dims=base.dims, dtype=target, integral=integral)
+        if attr in ("ravel", "flatten"):
+            return self._ravel(base)
+        if attr == "reshape":
+            if len(args) == 1:
+                dims = self._shape_from_node(args[0])
+            else:
+                dims = tuple(self._dim_from_node(a) for a in args)
+            return ArrayVal(dims=dims, dtype=base.dtype, integral=base.integral)
+        if attr == "copy":
+            return base
+        if attr == "item":
+            return scalar(base.dtype)
+        if attr in ("clip", "round"):
+            integral = base.integral or attr == "round"
+            return ArrayVal(dims=base.dims, dtype=base.dtype, integral=integral)
+        if attr in _METHOD_REDUCTIONS:
+            return self._reduce(base, node, attr, args[0] if args else None)
+        if attr == "argsort":
+            return ArrayVal(dims=base.dims, dtype="int64")
+        if attr == "cumsum":
+            if self._kwarg(node, "axis") is not None or args:
+                return base
+            if base.rank <= 1:
+                return base
+            return ArrayVal(dims=(UNKNOWN_DIM,), dtype=base.dtype)
+        if attr == "dot" and args:
+            return self._matmul_vals(base, self.eval(args[0]), node)
+        if attr == "transpose" and not args:
+            return ArrayVal(
+                dims=tuple(reversed(base.dims)), dtype=base.dtype,
+                integral=base.integral,
+            )
+        for arg in args:
+            self.eval(arg)
+        return None
+
+    # -------------------------------------------------- contract call sites
+    def _match_spec(
+        self, val: ArrayVal, spec: ShapeSpec, bindings: dict
+    ) -> str | None:
+        """None when ``val`` can satisfy ``spec``; else the mismatch."""
+        dims = _spec_dims(spec)
+        if val.rank != len(dims):
+            return (
+                f"rank {val.rank} vs declared {format_dims(dims)}"
+            )
+        trial = dict(bindings)
+        for actual, declared in zip(val.dims, dims):
+            _, conflict = unify_dim(actual, declared, trial)
+            if conflict is not None:
+                return conflict.detail
+        want = _spec_dtype(spec)
+        if (
+            want != UNKNOWN_DTYPE
+            and val.dtype != UNKNOWN_DTYPE
+            and val.dtype != want
+        ):
+            return f"dtype {val.dtype} vs declared {spec.dtype} ({want})"
+        bindings.clear()
+        bindings.update(trial)
+        return None
+
+    def _match_alternatives(
+        self, val: ArrayVal, alternatives: tuple[ShapeSpec, ...], bindings: dict
+    ) -> tuple[bool, str]:
+        first_detail = ""
+        for alt in alternatives:
+            detail = self._match_spec(val, alt, bindings)
+            if detail is None:
+                return True, ""
+            if not first_detail:
+                first_detail = detail
+        return False, first_detail
+
+    def _contract_call(self, summary: ContractSummary, node: ast.Call):
+        if any(isinstance(a, ast.Starred) for a in node.args) or any(
+            kw.arg is None for kw in node.keywords
+        ):
+            return None  # *args/**kwargs call: mapping is not static
+        param_specs = summary.param_specs()
+        call_bindings: dict = {}
+        arg_map: list[tuple[str, ast.expr]] = []
+        for i, arg in enumerate(node.args):
+            if i < len(summary.args):
+                arg_map.append((summary.args[i], arg))
+        for kw in node.keywords:
+            arg_map.append((kw.arg, kw.value))
+        for pname, arg in arg_map:
+            val = self.eval(arg)
+            if pname not in param_specs or val is None:
+                continue
+            ok, detail = self._match_alternatives(
+                val, param_specs[pname], call_bindings
+            )
+            if not ok:
+                spec_text = dict(summary.params)[pname]
+                self.report(
+                    "SW200",
+                    arg,
+                    f"call to `{summary.qualname}` passes `{pname}` as "
+                    f"{_format_val(val)}, but its contract declares "
+                    f"{spec_text} ({detail})",
+                )
+                return None
+        ret_spec = summary.ret_spec()
+        if ret_spec is None or len(ret_spec) != 1:
+            return None
+        alt = ret_spec[0]
+        dims = []
+        for d in alt.dims:
+            if d == "*":
+                dims.append(UNKNOWN_DIM)
+            elif isinstance(d, str) and d not in call_bindings:
+                dims.append(UNKNOWN_DIM)  # unbound callee symbol
+            else:
+                dims.append(resolve_dim(d, call_bindings))
+        return ArrayVal(dims=tuple(dims), dtype=_spec_dtype(alt))
+
+
+# --------------------------------------------------------------------------
+# Module + project analysis
+# --------------------------------------------------------------------------
+
+
+def _is_suppressed(
+    finding: Finding, file_rules: set[str], line_rules: dict[int, set[str]]
+) -> bool:
+    if "ALL" in file_rules or finding.rule in file_rules:
+        return True
+    on_line = line_rules.get(finding.line, set())
+    return "ALL" in on_line or finding.rule in on_line
+
+
+def analyze_module(
+    source: str,
+    path: Path,
+    table: SummaryTable,
+    *,
+    module: str | None = None,
+) -> list[Finding]:
+    """All spotshape findings for one module, suppressions applied."""
+    if module is None:
+        module = module_name_for(path)
+    str_path = str(path)
+    try:
+        tree = ast.parse(source, filename=str_path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "SW000", str_path, exc.lineno or 1, 0,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+
+    file_rules, line_rules, refs = scan_suppressions(source, tool="spotshape")
+    is_pkg = path.name == "__init__.py"
+    aliases, _exports = collect_aliases(tree, module, is_pkg)
+    module_symbols = {
+        stmt.name
+        for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    }
+
+    findings: list[Finding] = []
+    known = set(SHAPE_RULES) | set(ENGINE_RULES) | {"ALL"}
+    for line, rule_id in refs:
+        if rule_id not in known:
+            findings.append(
+                Finding(
+                    "SW009", str_path, line, 0,
+                    f"suppression references unknown rule id `{rule_id}` "
+                    f"(see --list-rules); it suppresses nothing",
+                )
+            )
+
+    def analyze_fn(fn, qualname: str) -> None:
+        analyzer = _FunctionAnalyzer(
+            fn,
+            qualname,
+            path=str_path,
+            module=module,
+            aliases=aliases,
+            module_symbols=module_symbols,
+            table=table,
+        )
+        findings.extend(analyzer.run())
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            analyze_fn(stmt, stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            for inner in stmt.body:
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    analyze_fn(inner, f"{stmt.name}.{inner.name}")
+
+    return [
+        f for f in findings if not _is_suppressed(f, file_rules, line_rules)
+    ]
+
+
+# --------------------------------------------------------------------------
+# Two-pass cached pipeline
+# --------------------------------------------------------------------------
+
+
+def _load_cache(cache_path: Path | None) -> dict:
+    if cache_path is None or not cache_path.exists():
+        return {}
+    try:
+        data = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    if data.get("schema") != CACHE_SCHEMA or data.get("version") != ANALYSIS_VERSION:
+        return {}
+    files = data.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def _save_cache(cache_path: Path | None, files: dict) -> None:
+    if cache_path is None:
+        return
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": ANALYSIS_VERSION,
+        "files": files,
+    }
+    try:
+        cache_path.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+    except OSError:
+        # A read-only checkout (CI artifact stage) must not fail the run.
+        return
+
+
+def analyze_paths(
+    paths: Iterable[Path | str],
+    *,
+    exclude: Iterable[Path | str] = (),
+    cache_path: Path | str | None = None,
+    stats: dict | None = None,
+) -> list[Finding]:
+    """Run both passes over every ``.py`` file under ``paths``, cached.
+
+    Pass A (contract summaries) is cached per file by ``(mtime, sha256)``;
+    pass B (the interpreter) is cached by the same file key **plus** the
+    digest of the whole project's summaries, so editing a contract in one
+    file correctly re-analyzes every file that might call it.  ``stats``
+    (when given) receives ``cached``/``analyzed`` counters for pass B.
+    """
+    cache_file = Path(cache_path) if cache_path is not None else None
+    cached_files = _load_cache(cache_file)
+    next_files: dict = {}
+
+    entries: list[tuple[Path, str | None, str | None]] = []
+    modules: list[ModuleSummaries] = []
+    findings: list[Finding] = []
+
+    for path in iter_python_files(paths, exclude=exclude):
+        key = str(path.resolve())
+        try:
+            mtime = path.stat().st_mtime_ns
+        except OSError:
+            mtime = -1
+        cached = cached_files.get(key)
+        source: str | None = None
+        digest: str | None = None
+        if cached is not None and cached.get("mtime") != mtime:
+            # mtime changed: fall back to content hash before re-extracting.
+            try:
+                source = path.read_text(encoding="utf-8")
+                digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            except (OSError, UnicodeDecodeError):
+                source = None
+            if digest is not None and cached.get("sha256") == digest:
+                cached = dict(cached, mtime=mtime)
+            else:
+                cached = None
+        if cached is not None:
+            summaries = ModuleSummaries.from_dict(cached["summaries"])
+            next_files[key] = dict(cached)
+            modules.append(summaries)
+            entries.append((path, key, source))
+            continue
+        if source is None:
+            try:
+                source = path.read_text(encoding="utf-8")
+                digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            except (OSError, UnicodeDecodeError) as exc:
+                findings.append(
+                    Finding("SW000", str(path), 1, 0, f"unreadable file: {exc}")
+                )
+                entries.append((path, None, None))
+                continue
+        summaries = extract_summaries(source, path)
+        modules.append(summaries)
+        next_files[key] = {
+            "mtime": mtime,
+            "sha256": digest,
+            "summaries": summaries.to_dict(),
+        }
+        entries.append((path, key, source))
+
+    table = SummaryTable(modules)
+    digest_all = summary_digest(table)
+    n_cached = n_analyzed = 0
+
+    for path, key, source in entries:
+        if key is None:
+            continue  # unreadable: SW000 already recorded
+        entry = next_files[key]
+        analysis = entry.get("analysis")
+        if analysis is not None and analysis.get("digest") == digest_all:
+            findings.extend(
+                Finding(rule, p, line, col, msg)
+                for rule, p, line, col, msg in analysis["findings"]
+            )
+            n_cached += 1
+            continue
+        if source is None:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                findings.append(
+                    Finding("SW000", str(path), 1, 0, f"unreadable file: {exc}")
+                )
+                continue
+        file_findings = analyze_module(source, path, table)
+        findings.extend(file_findings)
+        entry["analysis"] = {
+            "digest": digest_all,
+            "findings": [
+                [f.rule, f.path, f.line, f.col, f.message]
+                for f in file_findings
+            ],
+        }
+        n_analyzed += 1
+
+    _save_cache(cache_file, next_files)
+    if stats is not None:
+        stats["cached"] = n_cached
+        stats["analyzed"] = n_analyzed
+    return findings

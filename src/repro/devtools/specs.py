@@ -1,0 +1,132 @@
+"""The shared shape/dtype spec grammar for SpotWeb's array contracts.
+
+One grammar, two consumers: :mod:`repro.devtools.contracts` enforces the
+specs at **runtime** on the decorated hot seams, and
+:mod:`repro.devtools.shape` (``spotshape``) checks the same specs
+**statically** as interprocedural call summaries.  Parsing lives here so
+the two checkers cannot drift apart — a spec either means the same thing
+to both, or it is a parse error for both.
+
+Grammar::
+
+    spec        := alternative ("|" alternative)*
+    alternative := "(" dims ")" [ws dtype]
+    dims        := [dim ("," dim)*]
+    dim         := INT | SYMBOL | "*"
+    dtype       := "f8" | "f4" | "i8" | "i4" | "b1" | "u8"
+
+Examples: ``"(H,N)"`` (a matrix with symbolic dims), ``"(N,) f8"`` (a
+float64 vector), ``"()|(H,)"`` (scalar or vector), ``"(T,N) i8"`` (an
+int64 count matrix).  Dimension symbols bind consistently across all
+parameters of one call; ``*`` matches any single dimension without
+binding.  A dtype suffix constrains the array's dtype exactly — ``f8``
+means ``float64``, never "anything float-ish" — because implicit
+widening/narrowing is precisely the bug class the suffixes exist to
+catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DTYPE_CODES",
+    "ShapeSpec",
+    "parse_alternative",
+    "parse_spec",
+    "format_spec",
+]
+
+#: dtype suffix code -> canonical NumPy dtype name.  Codes follow NumPy's
+#: ``dtype.str`` kind+itemsize convention; the set is deliberately small —
+#: the reproduction's arrays are float64/float32/int64/int32/bool and a
+#: contract naming anything else is almost certainly a typo.
+DTYPE_CODES: dict[str, str] = {
+    "f8": "float64",
+    "f4": "float32",
+    "i8": "int64",
+    "i4": "int32",
+    "b1": "bool",
+    "u8": "uint64",
+}
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """One parsed alternative: a dim tuple plus an optional dtype code.
+
+    ``dims`` entries are ``int`` literals, ``str`` symbols (``"H"``), or
+    the wildcard ``"*"``.  ``dtype`` is a key of :data:`DTYPE_CODES` or
+    ``None`` when the alternative does not constrain dtype.
+    """
+
+    dims: tuple[object, ...]
+    dtype: str | None = None
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+
+def parse_alternative(text: str) -> ShapeSpec:
+    """Parse one ``"(dims) [dtype]"`` alternative; raises ``ValueError``."""
+    stripped = text.strip()
+    if not stripped.startswith("("):
+        raise ValueError(f"shape spec must be parenthesized, got {text!r}")
+    close = stripped.rfind(")")
+    if close < 0:
+        raise ValueError(f"shape spec must be parenthesized, got {text!r}")
+    inner = stripped[1:close].strip()
+    suffix = stripped[close + 1 :].strip()
+    dtype: str | None = None
+    if suffix:
+        if suffix not in DTYPE_CODES:
+            raise ValueError(
+                f"unknown dtype suffix {suffix!r} in shape spec {text!r} "
+                f"(expected one of {', '.join(sorted(DTYPE_CODES))})"
+            )
+        dtype = suffix
+    dims: list[object] = []
+    if inner:
+        for token in inner.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if token == "*":
+                dims.append("*")
+            elif token.lstrip("-").isdigit():
+                dims.append(int(token))
+            elif token.isidentifier():
+                dims.append(token)
+            else:
+                raise ValueError(
+                    f"bad dimension {token!r} in shape spec {text!r}"
+                )
+    return ShapeSpec(dims=tuple(dims), dtype=dtype)
+
+
+def parse_spec(spec: str) -> tuple[ShapeSpec, ...]:
+    """Parse a full spec string into its ``|``-separated alternatives."""
+    alternatives = tuple(parse_alternative(alt) for alt in spec.split("|"))
+    if not alternatives:
+        raise ValueError(f"empty shape spec {spec!r}")
+    return alternatives
+
+
+def format_spec(alternatives: tuple[ShapeSpec, ...] | ShapeSpec) -> str:
+    """Render parsed alternatives back to canonical spec text.
+
+    ``parse_spec(format_spec(parse_spec(s)))`` is always the identity on
+    the parsed form, which the round-trip tests rely on.
+    """
+    if isinstance(alternatives, ShapeSpec):
+        alternatives = (alternatives,)
+    parts = []
+    for alt in alternatives:
+        body = "(" + ",".join(str(d) for d in alt.dims) + ")"
+        if alt.rank == 1 and body.endswith(")"):
+            body = body[:-1] + ",)"
+        if alt.dtype is not None:
+            body += f" {alt.dtype}"
+        parts.append(body)
+    return "|".join(parts)

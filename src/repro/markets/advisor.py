@@ -59,7 +59,7 @@ def advisor_table(
     ``failure_probs`` is ``(T, N)`` history; ``prices`` optionally adds the
     "savings over on-demand" column the real advisor shows.
     """
-    failure_probs = np.atleast_2d(np.asarray(failure_probs, dtype=float))
+    failure_probs = np.atleast_2d(np.asarray(failure_probs, dtype=np.float64))
     if failure_probs.shape[1] != len(markets):
         raise ValueError("failure_probs width must match market count")
     mean_f = failure_probs.mean(axis=0)

@@ -39,7 +39,7 @@ class BidStrategy(abc.ABC):
 
     def bids(self, markets: list[Market], prices: np.ndarray) -> np.ndarray:
         """Vectorized convenience: one bid per market column."""
-        prices = np.atleast_2d(np.asarray(prices, dtype=float))
+        prices = np.atleast_2d(np.asarray(prices, dtype=np.float64))
         if prices.shape[1] != len(markets):
             raise ValueError("price matrix width must match market count")
         return np.array(
@@ -77,7 +77,7 @@ class QuantileBid(BidStrategy):
         self.quantile = float(quantile)
 
     def bid(self, market: Market, price_history: np.ndarray) -> float:
-        history = np.asarray(price_history, dtype=float).ravel()
+        history = np.asarray(price_history, dtype=np.float64).ravel()
         if history.size == 0:
             return market.instance.ondemand_price
         return float(np.quantile(history, self.quantile))
@@ -91,8 +91,8 @@ def revocations_from_bids(
     An event fires in every interval whose market price strictly exceeds the
     bid — the deterministic revocation rule of the bid era.
     """
-    prices = np.atleast_2d(np.asarray(prices, dtype=float))
-    bids = np.asarray(bids, dtype=float).ravel()
+    prices = np.atleast_2d(np.asarray(prices, dtype=np.float64))
+    bids = np.asarray(bids, dtype=np.float64).ravel()
     if bids.shape != (prices.shape[1],):
         raise ValueError("need one bid per market column")
     return prices > bids[None, :]

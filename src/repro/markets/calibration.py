@@ -51,7 +51,7 @@ def fit_price_process(
     pressure_quantile:
         Prices above this quantile are attributed to the pressure regime.
     """
-    prices = np.asarray(prices, dtype=float).ravel()
+    prices = np.asarray(prices, dtype=np.float64).ravel()
     if prices.size < 24:
         raise ValueError("need at least 24 observations to calibrate")
     if np.any(prices <= 0):

@@ -53,9 +53,9 @@ class MarketDataset:
     )
 
     def __post_init__(self) -> None:
-        self.prices = np.atleast_2d(np.asarray(self.prices, dtype=float))
+        self.prices = np.atleast_2d(np.asarray(self.prices, dtype=np.float64))
         self.failure_probs = np.atleast_2d(
-            np.asarray(self.failure_probs, dtype=float)
+            np.asarray(self.failure_probs, dtype=np.float64)
         )
         if self.prices.shape != self.failure_probs.shape:
             raise ValueError("prices and failure_probs must have equal shape")

@@ -34,7 +34,7 @@ class ConstantPriceProcess:
         """A flat series of length ``steps``."""
         if steps < 0:
             raise ValueError("steps must be non-negative")
-        return np.full(steps, self.price, dtype=float)
+        return np.full(steps, self.price, dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -104,7 +104,7 @@ class SpotPriceProcess:
             return np.empty(0)
         own = rng.normal(size=steps)
         if common_shocks is not None:
-            common_shocks = np.asarray(common_shocks, dtype=float)
+            common_shocks = np.asarray(common_shocks, dtype=np.float64)
             if common_shocks.shape != (steps,):
                 raise ValueError("common_shocks must match steps")
             w = float(np.clip(common_weight, 0.0, 1.0))
@@ -112,7 +112,7 @@ class SpotPriceProcess:
         else:
             shocks = own
         if pressure_path is not None:
-            pressure_path = np.asarray(pressure_path, dtype=bool)
+            pressure_path = np.asarray(pressure_path, dtype=np.bool_)
             if pressure_path.shape != (steps,):
                 raise ValueError("pressure_path must match steps")
 

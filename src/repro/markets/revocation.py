@@ -80,7 +80,7 @@ class RevocationModel:
         ``prices`` is the ``(T, N)`` spot-price matrix; the price ratio to
         on-demand modulates the base rate (bounded to [0, 0.95]).
         """
-        prices = np.atleast_2d(np.asarray(prices, dtype=float))
+        prices = np.atleast_2d(np.asarray(prices, dtype=np.float64))
         T, N = prices.shape
         if N != len(self.markets):
             raise ValueError("price matrix width must match market count")
@@ -106,7 +106,7 @@ def failure_covariance(
     diagonal ridge so ``M`` is strictly positive definite even when some
     markets (on-demand) have constant ``f = 0``.
     """
-    failure_probs = np.atleast_2d(np.asarray(failure_probs, dtype=float))
+    failure_probs = np.atleast_2d(np.asarray(failure_probs, dtype=np.float64))
     if failure_probs.shape[0] < 2:
         # Not enough history to estimate dynamics: fall back to a diagonal
         # proxy scaled by the (constant) probabilities themselves.
@@ -136,7 +136,7 @@ def event_covariance(
     term meaningfully pushes the optimizer toward diversification and away
     from high-failure markets.
     """
-    failure_probs = np.atleast_2d(np.asarray(failure_probs, dtype=float))
+    failure_probs = np.atleast_2d(np.asarray(failure_probs, dtype=np.float64))
     if np.any((failure_probs < 0) | (failure_probs > 1)):
         raise ValueError("failure probabilities must lie in [0, 1]")
     mean_f = failure_probs.mean(axis=0)
@@ -177,7 +177,7 @@ class CorrelatedRevocationSampler:
         *,
         seed: int = 0,
     ) -> None:
-        corr = np.atleast_2d(np.asarray(correlation, dtype=float))
+        corr = np.atleast_2d(np.asarray(correlation, dtype=np.float64))
         if corr.shape[0] != corr.shape[1]:
             raise ValueError("correlation matrix must be square")
         if not np.allclose(corr, corr.T, atol=1e-8):
@@ -203,7 +203,7 @@ class CorrelatedRevocationSampler:
         """One joint draw: boolean vector of per-market revocation events."""
         from scipy.stats import norm
 
-        p = np.asarray(probabilities, dtype=float).ravel()
+        p = np.asarray(probabilities, dtype=np.float64).ravel()
         if p.shape != (self.num_markets,):
             raise ValueError("probabilities length must match market count")
         if np.any((p < 0) | (p > 1)):
@@ -227,5 +227,5 @@ class CorrelatedRevocationSampler:
 
     def sample_path(self, probabilities: np.ndarray) -> np.ndarray:
         """Joint draws for a ``(T, N)`` probability matrix → ``(T, N)`` bool."""
-        probabilities = np.atleast_2d(np.asarray(probabilities, dtype=float))
+        probabilities = np.atleast_2d(np.asarray(probabilities, dtype=np.float64))
         return np.stack([self.sample(row) for row in probabilities])

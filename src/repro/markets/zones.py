@@ -101,7 +101,7 @@ def generate_zone_dataset(
     type_shocks = {t: rng.normal(size=intervals) for t in type_names}
 
     def markov_path(p_enter: float, p_exit: float) -> np.ndarray:
-        path = np.zeros(intervals, dtype=bool)
+        path = np.zeros(intervals, dtype=np.bool_)
         state = False
         for t in range(intervals):
             if state:

@@ -74,7 +74,7 @@ class MonitoringHub:
     # ------------------------------------------------------------------ feeds
     @shapes("(N,)")
     def ingest_prices(self, prices: np.ndarray) -> None:
-        prices = np.asarray(prices, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=np.float64).ravel()
         if prices.shape != (len(self.markets),):
             raise ValueError("price vector has wrong length")
         if np.any(prices < 0):
@@ -83,7 +83,7 @@ class MonitoringHub:
 
     @shapes("(N,)")
     def ingest_failure_probs(self, probs: np.ndarray) -> None:
-        probs = np.asarray(probs, dtype=float).ravel()
+        probs = np.asarray(probs, dtype=np.float64).ravel()
         if probs.shape != (len(self.markets),):
             raise ValueError("probability vector has wrong length")
         if np.any((probs < 0) | (probs > 1)):

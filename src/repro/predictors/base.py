@@ -25,9 +25,9 @@ class PredictionResult:
     confidence: float = 0.99
 
     def __post_init__(self) -> None:
-        self.mean = np.asarray(self.mean, dtype=float).ravel()
-        self.lower = np.asarray(self.lower, dtype=float).ravel()
-        self.upper = np.asarray(self.upper, dtype=float).ravel()
+        self.mean = np.asarray(self.mean, dtype=np.float64).ravel()
+        self.lower = np.asarray(self.lower, dtype=np.float64).ravel()
+        self.upper = np.asarray(self.upper, dtype=np.float64).ravel()
         if not (self.mean.shape == self.lower.shape == self.upper.shape):
             raise ValueError("mean/lower/upper must share a shape")
         if np.any(self.lower > self.mean + 1e-9) or np.any(
@@ -59,5 +59,5 @@ class WorkloadPredictor(abc.ABC):
 
     def observe_many(self, values: np.ndarray) -> None:
         """Feed a batch of observations in order (warm-up convenience)."""
-        for v in np.asarray(values, dtype=float).ravel():
+        for v in np.asarray(values, dtype=np.float64).ravel():
             self.observe(float(v))

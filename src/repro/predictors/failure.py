@@ -34,12 +34,12 @@ class FailurePredictor(abc.ABC):
         """Forecast an ``(horizon, N)`` probability matrix."""
 
     def observe_many(self, prob_matrix: np.ndarray) -> None:
-        for row in np.atleast_2d(np.asarray(prob_matrix, dtype=float)):
+        for row in np.atleast_2d(np.asarray(prob_matrix, dtype=np.float64)):
             self.observe(row)
 
 
 def _validate_probs(probs: np.ndarray, n: int) -> np.ndarray:
-    probs = np.asarray(probs, dtype=float).ravel()
+    probs = np.asarray(probs, dtype=np.float64).ravel()
     if probs.size != n:
         raise ValueError("probability vector has wrong length")
     if np.any((probs < 0) | (probs > 1)):
@@ -90,7 +90,7 @@ class OracleFailurePredictor(FailurePredictor):
     """Wraps the true failure-probability matrix for upper-bound studies."""
 
     def __init__(self, prob_matrix: np.ndarray) -> None:
-        self._probs = np.atleast_2d(np.asarray(prob_matrix, dtype=float))
+        self._probs = np.atleast_2d(np.asarray(prob_matrix, dtype=np.float64))
         self._cursor = 0
 
     def observe(self, probs: np.ndarray) -> None:

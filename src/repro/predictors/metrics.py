@@ -24,8 +24,8 @@ __all__ = [
 
 
 def _pair(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    actual = np.asarray(actual, dtype=float).ravel()
-    predicted = np.asarray(predicted, dtype=float).ravel()
+    actual = np.asarray(actual, dtype=np.float64).ravel()
+    predicted = np.asarray(predicted, dtype=np.float64).ravel()
     if actual.shape != predicted.shape:
         raise ValueError("actual and predicted must have equal length")
     if actual.size == 0:
@@ -107,6 +107,6 @@ def error_histogram(
     Returns ``(bin_edges, counts)``; errors outside ``[-limit, limit]`` are
     clipped into the edge bins so the mass is preserved.
     """
-    errors = np.clip(np.asarray(errors, dtype=float).ravel(), -limit, limit)
+    errors = np.clip(np.asarray(errors, dtype=np.float64).ravel(), -limit, limit)
     counts, edges = np.histogram(errors, bins=bins, range=(-limit, limit))
     return edges, counts

@@ -25,7 +25,7 @@ class OraclePredictor(WorkloadPredictor):
 
     def __init__(self, trace: WorkloadTrace | np.ndarray) -> None:
         rates = trace.rates if isinstance(trace, WorkloadTrace) else np.asarray(trace)
-        self._rates = np.asarray(rates, dtype=float).ravel()
+        self._rates = np.asarray(rates, dtype=np.float64).ravel()
         if self._rates.size == 0:
             raise ValueError("oracle needs a non-empty trace")
         self._cursor = 0
@@ -71,7 +71,7 @@ class NoisyOraclePredictor(WorkloadPredictor):
         if min_band_fraction < 0:
             raise ValueError("min_band_fraction must be non-negative")
         rates = trace.rates if isinstance(trace, WorkloadTrace) else np.asarray(trace)
-        self._rates = np.asarray(rates, dtype=float).ravel()
+        self._rates = np.asarray(rates, dtype=np.float64).ravel()
         if self._rates.size == 0:
             raise ValueError("oracle needs a non-empty trace")
         self.relative_error = float(relative_error)

@@ -33,7 +33,7 @@ class PricePredictor(abc.ABC):
         """Forecast an ``(horizon, N)`` price matrix."""
 
     def observe_many(self, price_matrix: np.ndarray) -> None:
-        for row in np.atleast_2d(np.asarray(price_matrix, dtype=float)):
+        for row in np.atleast_2d(np.asarray(price_matrix, dtype=np.float64)):
             self.observe(row)
 
 
@@ -46,7 +46,7 @@ class ReactivePricePredictor(PricePredictor):
         self._last = np.zeros(num_markets)
 
     def observe(self, prices: np.ndarray) -> None:
-        prices = np.asarray(prices, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=np.float64).ravel()
         if prices.shape != self._last.shape:
             raise ValueError("price vector has wrong length")
         self._last = prices.copy()
@@ -68,7 +68,7 @@ class EWMAPricePredictor(PricePredictor):
         self._n = int(num_markets)
 
     def observe(self, prices: np.ndarray) -> None:
-        prices = np.asarray(prices, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=np.float64).ravel()
         if prices.size != self._n:
             raise ValueError("price vector has wrong length")
         if self._level is None:
@@ -100,7 +100,7 @@ class AR1PricePredictor(PricePredictor):
         self._history: list[np.ndarray] = []
 
     def observe(self, prices: np.ndarray) -> None:
-        prices = np.asarray(prices, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=np.float64).ravel()
         if prices.size != self._n:
             raise ValueError("price vector has wrong length")
         self._history.append(prices.copy())
@@ -134,7 +134,7 @@ class OraclePricePredictor(PricePredictor):
     """Wraps the true future price matrix (Fig. 5 / Fig. 6(a) experiments)."""
 
     def __init__(self, price_matrix: np.ndarray) -> None:
-        self._prices = np.atleast_2d(np.asarray(price_matrix, dtype=float))
+        self._prices = np.atleast_2d(np.asarray(price_matrix, dtype=np.float64))
         self._cursor = 0
 
     def observe(self, prices: np.ndarray) -> None:

@@ -99,7 +99,7 @@ class RidgePredictor(WorkloadPredictor):
         n = len(self._history)
         if n < self.lags + 2 * self.max_horizon:
             return
-        series = np.asarray(self._history, dtype=float)
+        series = np.asarray(self._history, dtype=np.float64)
         start_t = self._t - n
         for h in range(1, self.max_horizon + 1):
             rows, ys = [], []
@@ -138,7 +138,7 @@ class RidgePredictor(WorkloadPredictor):
             mean = np.full(horizon, float(last))
             pad = 0.2 * np.abs(mean) + 1.0
             return PredictionResult(mean, np.clip(mean - pad, 0, None), mean + pad)
-        series = np.asarray(self._history, dtype=float)
+        series = np.asarray(self._history, dtype=np.float64)
         z = norm.ppf(0.5 + self.confidence / 2.0)
         mean = np.empty(horizon)
         band = np.empty(horizon)

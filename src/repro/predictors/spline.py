@@ -114,7 +114,7 @@ class SplinePredictor(WorkloadPredictor):
         if n < max(8, self.intervals_per_day):
             self._spline = None
             return
-        y = np.asarray(self._history, dtype=float)
+        y = np.asarray(self._history, dtype=np.float64)
         # Phase of each window sample within the seasonal period.
         start_t = self._t - n
         phase = (np.arange(start_t, self._t) % self.period).astype(float)
@@ -160,7 +160,7 @@ class SplinePredictor(WorkloadPredictor):
 
     def _seasonal(self, ts: np.ndarray) -> np.ndarray:
         phase = (np.asarray(ts) % self.period).astype(float)
-        return np.asarray(splev(phase, self._spline), dtype=float)
+        return np.asarray(splev(phase, self._spline), dtype=np.float64)
 
     # ---------------------------------------------------------------- predict
     def predict(self, horizon: int) -> PredictionResult:

@@ -163,13 +163,14 @@ class CostSimulator:
         revocations = 0
         decision_time = 0.0
         interval_costs = np.zeros(T)
-        counts_out = np.zeros((T, N), dtype=int)
+        counts_out = np.zeros((T, N), dtype=np.int64)
         capacity_out = np.zeros(T)
         demand_out = np.zeros(T)
 
         # Loop-invariant: the boot window covers a fixed fraction of every
         # interval (servers added this interval serve nothing during it).
         boot_frac = min(self.startup_seconds / interval_s, 1.0)
+        market_idx = np.arange(N)
 
         tracer = get_tracer()
         ev = get_events()
@@ -188,20 +189,20 @@ class CostSimulator:
 
             t0 = time.perf_counter()  # spotgraph: allow-nondeterminism
             counts = np.asarray(
-                policy.decide(t, observed, prices, fprobs), dtype=float
+                policy.decide(t, observed, prices, fprobs), dtype=np.float64
             )
             decision_time += time.perf_counter() - t0  # spotgraph: allow-nondeterminism
             if counts.shape != (N,):
                 raise ValueError("policy must return one count per market")
             if np.any(counts < 0):
                 raise ValueError("policy returned negative counts")
-            counts = np.floor(counts + 0.5).astype(int)
+            counts = np.floor(counts + 0.5).astype(np.int64)
 
             demand = float(self.trace.rates[t])
             events = sampler.sample(fprobs) & self._revocable & (counts > 0)
             if self.max_lifetime_intervals is not None and t > 0:
                 k = self.max_lifetime_intervals
-                forced = (t - np.arange(N) % k) % k == 0
+                forced = (t - market_idx % k) % k == 0
                 events = events | (forced & self._revocable & (counts > 0))
             revocations += int(events.sum())
             if evented and events.any():

@@ -69,11 +69,11 @@ def solve_qp_active_set(
     ``x0`` may supply a feasible start; otherwise phase 1 finds one (and
     detects primal infeasibility).
     """
-    P = np.atleast_2d(np.asarray(P, dtype=float))
-    q = np.asarray(q, dtype=float).ravel()
-    A = np.atleast_2d(np.asarray(A, dtype=float))
-    l = np.asarray(l, dtype=float).ravel()
-    u = np.asarray(u, dtype=float).ravel()
+    P = np.atleast_2d(np.asarray(P, dtype=np.float64))
+    q = np.asarray(q, dtype=np.float64).ravel()
+    A = np.atleast_2d(np.asarray(A, dtype=np.float64))
+    l = np.asarray(l, dtype=np.float64).ravel()
+    u = np.asarray(u, dtype=np.float64).ravel()
     n = q.size
     m = A.shape[0]
     if P.shape != (n, n) or A.shape[1] != n or l.size != m or u.size != m:
@@ -89,7 +89,7 @@ def solve_qp_active_set(
 
     # Phase 1: feasible start.
     if x0 is not None:
-        x = np.asarray(x0, dtype=float).ravel().copy()
+        x = np.asarray(x0, dtype=np.float64).ravel().copy()
         if x.shape != (n,):
             raise ValueError("x0 has wrong dimension")
         Ax = A @ x

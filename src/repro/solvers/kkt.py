@@ -10,6 +10,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.devtools.contracts import shapes
 from repro.solvers.qp import QPProblem
 
 __all__ = ["KKTResiduals", "kkt_residuals", "check_kkt"]
@@ -33,10 +34,11 @@ class KKTResiduals:
         return max(self.primal, self.dual, self.complementarity)
 
 
+@shapes(None, "(N,)", "(M,)")
 def kkt_residuals(problem: QPProblem, x: np.ndarray, y: np.ndarray) -> KKTResiduals:
     """Compute KKT residual norms for a candidate primal/dual pair."""
-    x = np.asarray(x, dtype=float).ravel()
-    y = np.asarray(y, dtype=float).ravel()
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
     Ax = problem.A @ x
     primal = float(
         np.max(np.maximum(0.0, np.maximum(problem.l - Ax, Ax - problem.u)), initial=0.0)

@@ -33,10 +33,10 @@ def solve_lp(
         ``"highs"`` (default) uses scipy's HiGHS solver; ``"admm"`` routes
         through :func:`repro.solvers.qp.solve_qp` with ``P = 0``.
     """
-    c = np.asarray(c, dtype=float).ravel()
-    A = np.atleast_2d(np.asarray(A, dtype=float))
-    l = np.asarray(l, dtype=float).ravel()
-    u = np.asarray(u, dtype=float).ravel()
+    c = np.asarray(c, dtype=np.float64).ravel()
+    A = np.atleast_2d(np.asarray(A, dtype=np.float64))
+    l = np.asarray(l, dtype=np.float64).ravel()
+    u = np.asarray(u, dtype=np.float64).ravel()
     n = c.size
     if method == "admm":
         problem = QPProblem(P=np.zeros((n, n)), q=c, A=A, l=l, u=u)

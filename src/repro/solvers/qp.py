@@ -81,11 +81,11 @@ class QPProblem:
     u: np.ndarray
 
     def __post_init__(self) -> None:
-        self.P = np.atleast_2d(np.asarray(self.P, dtype=float))
-        self.q = np.asarray(self.q, dtype=float).ravel()
-        self.A = np.atleast_2d(np.asarray(self.A, dtype=float))
-        self.l = np.asarray(self.l, dtype=float).ravel()
-        self.u = np.asarray(self.u, dtype=float).ravel()
+        self.P = np.atleast_2d(np.asarray(self.P, dtype=np.float64))
+        self.q = np.asarray(self.q, dtype=np.float64).ravel()
+        self.A = np.atleast_2d(np.asarray(self.A, dtype=np.float64))
+        self.l = np.asarray(self.l, dtype=np.float64).ravel()
+        self.u = np.asarray(self.u, dtype=np.float64).ravel()
         n = self.q.size
         m = self.A.shape[0]
         if self.P.shape != (n, n):
@@ -108,7 +108,7 @@ class QPProblem:
         return self.A.shape[0]
 
     def objective(self, x: np.ndarray) -> float:
-        x = np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=np.float64)
         return float(0.5 * x @ self.P @ x + self.q @ x)
 
 
@@ -237,13 +237,13 @@ class ADMMCore:
 
     def warm_start(self, x: np.ndarray, y: np.ndarray | None = None) -> None:
         """Seed the next solve with an (unscaled) primal and optional dual."""
-        x = np.asarray(x, dtype=float).ravel()
+        x = np.asarray(x, dtype=np.float64).ravel()
         if x.shape != self._x.shape:
             raise ValueError("warm-start x has wrong dimension")
         self._x = x / self._D
         self._z = self._apply_A(self._x)
         if y is not None:
-            y = np.asarray(y, dtype=float).ravel()
+            y = np.asarray(y, dtype=np.float64).ravel()
             if y.shape != self._y.shape:
                 raise ValueError("warm-start y has wrong dimension")
             self._y = y / self._E
@@ -255,9 +255,9 @@ class ADMMCore:
         Inputs are in the original (unscaled) coordinates.  Raises
         ``ValueError`` on dimension mismatch or an empty box.
         """
-        q = np.asarray(q, dtype=float).ravel()
-        l = np.asarray(l, dtype=float).ravel()
-        u = np.asarray(u, dtype=float).ravel()
+        q = np.asarray(q, dtype=np.float64).ravel()
+        l = np.asarray(l, dtype=np.float64).ravel()
+        u = np.asarray(u, dtype=np.float64).ravel()
         m, n = self.m, self.n
         if q.shape != (n,):
             raise ValueError(f"q must have {n} entries")
@@ -433,8 +433,8 @@ class ADMMSolver(ADMMCore):
         scale: bool = True,
         **core_kwargs,
     ) -> None:
-        P = np.atleast_2d(np.asarray(P, dtype=float))
-        A = np.atleast_2d(np.asarray(A, dtype=float))
+        P = np.atleast_2d(np.asarray(P, dtype=np.float64))
+        A = np.atleast_2d(np.asarray(A, dtype=np.float64))
         if P.shape[0] != P.shape[1]:
             raise ValueError("P must be square")
         if A.shape[1] != P.shape[0]:

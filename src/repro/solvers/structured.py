@@ -80,7 +80,7 @@ class MPOStructure:
         if self.churn < 0:
             raise ValueError("churn must be non-negative")
         N = self.num_markets
-        risk = np.atleast_2d(np.asarray(self.risk, dtype=float))
+        risk = np.atleast_2d(np.asarray(self.risk, dtype=np.float64))
         if risk.shape != (N, N):
             raise ValueError(f"risk must be ({N}, {N}), got {risk.shape}")
         if not np.allclose(risk, risk.T, atol=1e-8):
@@ -146,11 +146,11 @@ class BlockTridiagFactor:
     """
 
     def __init__(self, diag_blocks: np.ndarray, offdiag: np.ndarray) -> None:
-        diag_blocks = np.asarray(diag_blocks, dtype=float)
+        diag_blocks = np.asarray(diag_blocks, dtype=np.float64)
         if diag_blocks.ndim != 3 or diag_blocks.shape[1] != diag_blocks.shape[2]:
             raise ValueError("diag_blocks must be (H, N, N)")
         H, N = diag_blocks.shape[0], diag_blocks.shape[1]
-        offdiag = np.asarray(offdiag, dtype=float)
+        offdiag = np.asarray(offdiag, dtype=np.float64)
         if H > 1:
             offdiag = offdiag.reshape(H - 1, -1)
             if offdiag.shape != (H - 1, N):
@@ -170,7 +170,7 @@ class BlockTridiagFactor:
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``K x = rhs`` for a flat ``(H * N,)`` right-hand side."""
         return cho_solve_banded(
-            (self._cb, True), np.asarray(rhs, dtype=float), check_finite=False
+            (self._cb, True), np.asarray(rhs, dtype=np.float64), check_finite=False
         )
 
 

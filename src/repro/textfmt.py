@@ -113,8 +113,8 @@ def format_histogram(
     title: str | None = None,
 ) -> str:
     """Render a horizontal ASCII histogram (Fig. 4(c,d) style)."""
-    edges = np.asarray(edges, dtype=float)
-    counts = np.asarray(counts, dtype=float)
+    edges = np.asarray(edges, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.float64)
     if edges.size != counts.size + 1:
         raise ValueError("edges must have one more entry than counts")
     peak = counts.max() if counts.size else 0
@@ -127,19 +127,19 @@ def format_histogram(
 
 def sparkline(values: np.ndarray, *, width: int | None = None) -> str:
     """One-line unicode sparkline of a series (resampled to ``width``)."""
-    values = np.asarray(values, dtype=float).ravel()
+    values = np.asarray(values, dtype=np.float64).ravel()
     if values.size == 0:
         return ""
     if width is not None and values.size > width:
         # Mean-bin down to the requested width.
-        edges = np.linspace(0, values.size, width + 1).astype(int)
+        edges = np.floor(np.linspace(0, values.size, width + 1)).astype(np.int64)
         values = np.array(
             [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
         )
     lo, hi = float(values.min()), float(values.max())
     if hi - lo < 1e-12:
         return _TICKS[0] * values.size
-    idx = ((values - lo) / (hi - lo) * (len(_TICKS) - 1)).round().astype(int)
+    idx = ((values - lo) / (hi - lo) * (len(_TICKS) - 1)).round().astype(np.int64)
     return "".join(_TICKS[i] for i in idx)
 
 
@@ -151,20 +151,20 @@ def timeseries_plot(
     label: str = "",
 ) -> str:
     """A character-grid plot of one series (rows = value bins)."""
-    values = np.asarray(values, dtype=float).ravel()
+    values = np.asarray(values, dtype=np.float64).ravel()
     if values.size == 0:
         return label
     if height < 2 or width < 2:
         raise ValueError("height and width must be >= 2")
     if values.size > width:
-        edges = np.linspace(0, values.size, width + 1).astype(int)
+        edges = np.floor(np.linspace(0, values.size, width + 1)).astype(np.int64)
         values = np.array(
             [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
         )
     lo, hi = float(values.min()), float(values.max())
     span = hi - lo if hi > lo else 1.0
     rows = []
-    levels = ((values - lo) / span * (height - 1)).round().astype(int)
+    levels = ((values - lo) / span * (height - 1)).round().astype(np.int64)
     for row in range(height - 1, -1, -1):
         line = "".join("*" if lv >= row else " " for lv in levels)
         edge = hi if row == height - 1 else (lo if row == 0 else None)

@@ -29,7 +29,7 @@ class WorkloadTrace:
     name: str = "workload"
 
     def __post_init__(self) -> None:
-        self.rates = np.asarray(self.rates, dtype=float).ravel()
+        self.rates = np.asarray(self.rates, dtype=np.float64).ravel()
         if self.rates.size == 0:
             raise ValueError("trace must contain at least one interval")
         if np.any(self.rates < 0):

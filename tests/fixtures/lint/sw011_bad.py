@@ -1,0 +1,12 @@
+"""Bad: builtin-type dtype= arguments on NumPy calls."""
+
+import numpy as np
+
+__all__ = ["build"]
+
+
+def build(xs):
+    a = np.asarray(xs, dtype=float)
+    b = np.zeros(3, dtype=int)
+    c = np.ones(3, dtype=bool)
+    return a, b, c

@@ -1,0 +1,14 @@
+"""Good: explicit-width NumPy dtypes; builtin calls are not dtype kwargs."""
+
+import numpy as np
+
+__all__ = ["build"]
+
+
+def build(xs):
+    a = np.asarray(xs, dtype=np.float64)
+    b = np.zeros(3, dtype=np.int64)
+    c = np.ones(3, dtype=np.bool_)
+    d = np.array(xs, dtype="float32")
+    e = float(b[0])  # builtin *call*, not a dtype kwarg
+    return a, b, c, d, e

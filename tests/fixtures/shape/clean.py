@@ -1,0 +1,17 @@
+"""Clean cross-module pipeline: contracts + broadcasting + explicit dtypes."""
+
+import numpy as np
+
+from contracts_seam import scale_rows, total_cost, weight_vector
+
+__all__ = ["simulate"]
+
+
+def simulate():
+    demand = np.zeros((6, 4))
+    prices = weight_vector(np.ones(4), np.full(4, 2.0))
+    scaled = scale_rows(demand, prices)
+    row_cost = scaled @ prices  # (6, 4) @ (4,) -> (6,)
+    counts = np.floor(row_cost).astype(np.int64)
+    budget = total_cost(prices, np.ones(4))
+    return counts, budget

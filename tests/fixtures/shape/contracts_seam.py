@@ -1,0 +1,22 @@
+"""Declared ``@shapes`` contracts other fixtures call across the seam."""
+
+import numpy as np
+
+from repro.devtools.contracts import shapes
+
+__all__ = ["scale_rows", "weight_vector", "total_cost"]
+
+
+@shapes("(H,N)", "(N,)", ret="(H,N)")
+def scale_rows(matrix, weights):
+    return matrix * weights
+
+
+@shapes("(N,)", "(N,)", ret="(N,) f8")
+def weight_vector(prices, capacities):
+    return np.asarray(prices, dtype=np.float64) / capacities
+
+
+@shapes("(N,) f8", "(N,)", ret="()")
+def total_cost(prices, counts):
+    return float(prices @ counts)

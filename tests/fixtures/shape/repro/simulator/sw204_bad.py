@@ -1,0 +1,21 @@
+"""Bad: Python-level scalar loops over arrays in a hot module."""
+
+import numpy as np
+
+__all__ = ["scalar_sum", "index_walk"]
+
+
+def scalar_sum():
+    values = np.arange(16.0)
+    total = 0.0
+    for v in values:  # element-by-element in the interpreter
+        total += float(v)
+    return total
+
+
+def index_walk():
+    values = np.linspace(0.0, 1.0, 9)
+    out = 0.0
+    for i in range(len(values)):  # index-by-index in the interpreter
+        out += float(values[i])
+    return out

@@ -1,0 +1,15 @@
+"""Good: the loops replaced by vectorized reductions."""
+
+import numpy as np
+
+__all__ = ["scalar_sum", "index_walk"]
+
+
+def scalar_sum():
+    values = np.arange(16.0)
+    return float(values.sum())
+
+
+def index_walk():
+    values = np.linspace(0.0, 1.0, 9)
+    return float(np.sum(values))

@@ -1,0 +1,13 @@
+"""Bad: fresh array allocation inside a hot-module loop."""
+
+import numpy as np
+
+__all__ = ["hot_loop"]
+
+
+def hot_loop(n):
+    total = np.zeros(4)
+    for _ in range(n):
+        step = np.ones(4)  # reallocated every iteration
+        total = total + step
+    return total

@@ -1,0 +1,13 @@
+"""Good: the allocation hoisted out of the hot loop."""
+
+import numpy as np
+
+__all__ = ["hot_loop"]
+
+
+def hot_loop(n):
+    total = np.zeros(4)
+    step = np.ones(4)
+    for _ in range(n):
+        total = total + step
+    return total

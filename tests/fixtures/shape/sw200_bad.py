@@ -1,0 +1,25 @@
+"""Bad: call sites violating the seam's declared ``@shapes`` contracts."""
+
+import numpy as np
+
+from contracts_seam import scale_rows, total_cost
+
+__all__ = ["bad_rank", "bad_bind", "bad_dtype"]
+
+
+def bad_rank():
+    matrix = np.zeros((4, 3))
+    weights = np.zeros((4, 3))
+    return scale_rows(matrix, weights)  # weights must be rank 1
+
+
+def bad_bind():
+    matrix = np.zeros((4, 3))
+    weights = np.zeros(5)
+    return scale_rows(matrix, weights)  # N binds 3 via matrix, 5 via weights
+
+
+def bad_dtype():
+    prices = np.zeros(3, dtype=np.float32)
+    counts = np.ones(3)
+    return total_cost(prices, counts)  # contract demands f8 prices

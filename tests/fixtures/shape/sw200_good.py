@@ -1,0 +1,17 @@
+"""Good: the same seam functions called exactly per their contracts."""
+
+import numpy as np
+
+from contracts_seam import scale_rows, total_cost, weight_vector
+
+__all__ = ["pipeline"]
+
+
+def pipeline():
+    matrix = np.zeros((4, 3))
+    weights = np.ones(3)
+    scaled = scale_rows(matrix, weights)
+    per_req = weight_vector(np.ones(3), np.ones(3))
+    projected = scaled @ per_req  # (4,3) @ (3,) -> (4,)
+    cost = total_cost(np.zeros(3), np.ones(3))
+    return projected, cost

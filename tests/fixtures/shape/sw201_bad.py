@@ -1,0 +1,22 @@
+"""Bad: operations forcing one symbolic dim to two different sizes."""
+
+import numpy as np
+
+from repro.devtools.contracts import shapes
+
+__all__ = ["conflicting_bind", "bad_concat"]
+
+
+@shapes("(N,)")
+def conflicting_bind(x):
+    three = np.zeros(3)
+    four = np.zeros(4)
+    a = x + three  # binds N = 3
+    b = x + four  # N is already 3
+    return a, b
+
+
+def bad_concat():
+    a = np.zeros((2, 3))
+    b = np.zeros((2, 4))
+    return np.concatenate([a, b], axis=0)  # non-axis dims 3 vs 4

@@ -1,0 +1,21 @@
+"""Good: symbolic dims bind once and stay consistent."""
+
+import numpy as np
+
+from repro.devtools.contracts import shapes
+
+__all__ = ["consistent_bind", "good_concat"]
+
+
+@shapes("(N,)")
+def consistent_bind(x):
+    three = np.zeros(3)
+    a = x + three  # binds N = 3
+    b = x * three  # N = 3 again: consistent
+    return a, b
+
+
+def good_concat():
+    a = np.zeros((2, 3))
+    b = np.zeros((5, 3))
+    return np.concatenate([a, b], axis=0)  # (7, 3)

@@ -1,0 +1,21 @@
+"""Bad: implicit dtype drift (widening mix, truncation, narrowing)."""
+
+import numpy as np
+
+__all__ = ["mixes", "truncates", "narrows"]
+
+
+def mixes():
+    a = np.zeros(8)  # float64
+    b = np.zeros(8, dtype=np.float32)
+    return a + b  # silently widens to float64
+
+
+def truncates():
+    y = np.linspace(0.0, 1.0, 5)
+    return y.astype(np.int64)  # fractional values truncated
+
+
+def narrows():
+    a = np.ones(4)
+    return a.astype(np.float32)  # float64 silently loses precision

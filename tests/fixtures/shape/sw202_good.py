@@ -1,0 +1,16 @@
+"""Good: dtype transitions made explicit or avoided."""
+
+import numpy as np
+
+__all__ = ["consistent", "rounds"]
+
+
+def consistent():
+    a = np.zeros(8, dtype=np.float32)
+    b = np.ones(8, dtype=np.float32)
+    return a + b  # same width throughout
+
+
+def rounds():
+    y = np.linspace(0.0, 1.0, 5)
+    return np.floor(y * 10.0).astype(np.int64)  # integral before converting

@@ -17,7 +17,7 @@ def make_report(name, prov, sla=0.0):
         revocation_events=0,
         decision_seconds=0.1,
         interval_costs=np.zeros(3),
-        counts=np.zeros((3, 2), dtype=int),
+        counts=np.zeros((3, 2), dtype=np.int64),
         capacity_rps=np.zeros(3),
         demand_rps=np.zeros(3),
     )

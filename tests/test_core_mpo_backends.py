@@ -47,7 +47,7 @@ class TestRunnerLifetime:
 
         class FixedPolicy:
             def decide(self, t, observed, prices, probs):
-                counts = np.zeros(6, dtype=int)
+                counts = np.zeros(6, dtype=np.int64)
                 counts[0] = 3
                 return counts
 

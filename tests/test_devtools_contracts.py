@@ -131,6 +131,86 @@ def test_shapes_methods_skip_self():
         Hub().ingest(np.ones((3, 1)))
 
 
+def test_shapes_scalar_spec_accepts_0d_inputs():
+    @shapes("()")
+    def f(target):
+        return target
+
+    f(3.5)  # plain Python number
+    f(np.float64(2.0))  # NumPy scalar
+    f(np.array(1.25))  # genuine 0-d array
+    with pytest.raises(ContractError):
+        f(np.ones(1))  # (1,) is not ()
+
+
+def test_shapes_dtype_suffix_enforced_exactly():
+    @shapes("(N,) f8")
+    def f(prices):
+        return prices
+
+    f(np.ones(3))
+    with pytest.raises(ContractError, match="float64"):
+        f(np.ones(3, dtype=np.float32))
+    with pytest.raises(ContractError, match="f8"):
+        f(np.arange(3))  # int64 is not "anything numeric"
+
+
+def test_shapes_alternatives_may_differ_in_dtype():
+    @shapes("(N,) f8|(N,) i8")
+    def f(v):
+        return v
+
+    f(np.ones(3))
+    f(np.arange(3))
+    with pytest.raises(ContractError):
+        f(np.ones(3, dtype=np.float32))
+
+
+def test_shapes_binding_conflict_across_parameters():
+    # N binds on the *first* parameter; every later use must agree even
+    # when each shape is individually plausible.
+    @shapes("(N,)", "(N,)", "(N,N)")
+    def f(a, b, c):
+        return a
+
+    f(np.ones(3), np.ones(3), np.ones((3, 3)))
+    with pytest.raises(ContractError, match="'b'"):
+        f(np.ones(3), np.ones(4), np.ones((3, 3)))
+    with pytest.raises(ContractError, match="'c'"):
+        f(np.ones(3), np.ones(3), np.ones((3, 4)))
+
+
+def test_shapes_rejects_bad_dtype_suffix_at_decoration():
+    with pytest.raises(ValueError, match="f16"):
+
+        @shapes("(N,) f16")
+        def f(v):
+            return v
+
+
+def test_declared_contracts_roundtrip_to_static_summaries(tmp_path):
+    # The same decorator text the runtime checker enforces must parse
+    # into spotshape's interprocedural summary table unchanged.
+    from repro.devtools.shape.summaries import extract_summaries
+    from repro.devtools.specs import format_spec, parse_spec
+
+    source = (
+        "from repro.devtools.contracts import shapes\n\n\n"
+        '@shapes("(H,N)", "(N,) f8", ret="(H,)")\n'
+        "def project(plan, prices):\n"
+        "    return plan @ prices\n"
+    )
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    (summary,) = extract_summaries(source, path).summaries
+    assert summary.args == ("plan", "prices")
+    assert dict(summary.params) == {"plan": "(H,N)", "prices": "(N,) f8"}
+    assert summary.ret == "(H,)"
+    # Both consumers parse each spec to the identical canonical form.
+    for spec in [*dict(summary.params).values(), summary.ret]:
+        assert format_spec(parse_spec(spec)) == spec
+
+
 # ------------------------------------------------------------------- nonneg
 def test_nonneg_arrays_scalars_and_mappings():
     @nonneg("fractions", "rate", "weights")

@@ -31,6 +31,7 @@ RULE_CASES = [
     ("SW006", "sw006_bad.py", 2, "sw006_good.py"),
     ("SW007", "sw007_bad.py", 2, "sw007_good.py"),
     ("SW008", "sw008_bad.py", 1, "sw008_good.py"),
+    ("SW011", "sw011_bad.py", 3, "sw011_good.py"),
 ]
 
 
@@ -100,6 +101,39 @@ def test_syntax_error_becomes_sw000(tmp_path):
     bad.write_text("def oops(:\n")
     findings = lint_file(bad)
     assert [f.rule for f in findings] == ["SW000"]
+
+
+def test_sw011_points_at_the_dtype_value(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import numpy as np\n"
+        "__all__ = []\n"
+        "x = np.zeros(3, dtype=int)\n"
+    )
+    findings = lint_file(mod, select={"SW011"})
+    assert len(findings) == 1
+    assert findings[0].line == 3
+    assert "np.int64" in findings[0].message
+
+
+def test_sw011_ignores_non_numpy_calls(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "__all__ = []\n\n\n"
+        "def make(factory):\n"
+        "    return factory(3, dtype=int)\n"
+    )
+    assert lint_file(mod, select={"SW011"}) == []
+
+
+def test_sw011_is_suppressible(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import numpy as np\n"
+        "__all__ = []\n"
+        "x = np.zeros(3, dtype=int)  # spotlint: disable=SW011\n"
+    )
+    assert lint_file(mod, select={"SW011"}) == []
 
 
 # ------------------------------------------------------------- suppressions

@@ -1,0 +1,78 @@
+"""Tests for the shared shape/dtype spec grammar (``repro.devtools.specs``).
+
+The grammar has two consumers — the runtime contracts and the static
+spotshape checker — so parse/format behavior is pinned down here once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.specs import (
+    DTYPE_CODES,
+    ShapeSpec,
+    format_spec,
+    parse_alternative,
+    parse_spec,
+)
+
+
+# ------------------------------------------------------------------ parsing
+def test_parse_symbols_literals_and_wildcards():
+    spec = parse_alternative("(H, N, 3, *)")
+    assert spec.dims == ("H", "N", 3, "*")
+    assert spec.dtype is None
+    assert spec.rank == 4
+
+
+def test_parse_scalar_and_vector():
+    assert parse_alternative("()").dims == ()
+    assert parse_alternative("(N,)").dims == ("N",)
+
+
+def test_parse_dtype_suffixes():
+    for code, canonical in DTYPE_CODES.items():
+        spec = parse_alternative(f"(N,) {code}")
+        assert spec.dtype == code
+        assert canonical  # every code maps to a canonical NumPy name
+    assert DTYPE_CODES["f8"] == "float64"
+    assert DTYPE_CODES["i8"] == "int64"
+
+
+def test_parse_alternatives_split_on_pipe():
+    alts = parse_spec("()|(H,)|(H,N) f4")
+    assert [a.dims for a in alts] == [(), ("H",), ("H", "N")]
+    assert [a.dtype for a in alts] == [None, None, "f4"]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "N,",  # not parenthesized
+        "(N,) f16",  # unknown dtype suffix
+        "(N,) float64",  # canonical names are not suffixes
+        "(N-1,)",  # expressions are not dims
+    ],
+)
+def test_parse_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError):
+        parse_alternative(bad)
+
+
+# --------------------------------------------------------------- formatting
+@pytest.mark.parametrize(
+    "text",
+    ["()", "(N,)", "(H,N)", "(2,*)", "(N,) f8", "()|(H,)", "(T,N) i8|(N,) f4"],
+)
+def test_format_roundtrips_canonical_text(text):
+    assert format_spec(parse_spec(text)) == text
+
+
+def test_format_accepts_a_single_alternative():
+    assert format_spec(ShapeSpec(dims=("N",), dtype="f8")) == "(N,) f8"
+
+
+def test_roundtrip_is_identity_on_parsed_form():
+    for text in ["(H, N ) f8", "( ) | (N,)"]:
+        parsed = parse_spec(text)
+        assert parse_spec(format_spec(parsed)) == parsed

@@ -72,7 +72,7 @@ class TestAR1Price:
 
 class TestOraclePrice:
     def test_exact(self):
-        prices = np.arange(12, dtype=float).reshape(4, 3)
+        prices = np.arange(12, dtype=np.float64).reshape(4, 3)
         p = OraclePricePredictor(prices)
         np.testing.assert_array_equal(p.predict(2), prices[:2])
         p.observe(prices[0])

@@ -80,7 +80,7 @@ class TestEWMAPredictor:
 class TestOraclePredictor:
     def test_exact_future(self):
         trace = constant_workload(10, 0.0)
-        trace.rates[:] = np.arange(10, dtype=float)
+        trace.rates[:] = np.arange(10, dtype=np.float64)
         p = OraclePredictor(trace)
         r = p.predict(3)
         np.testing.assert_array_equal(r.mean, [0.0, 1.0, 2.0])

@@ -65,7 +65,7 @@ class TestAccounting:
         trace = constant_workload(48, 400.0)
         sim = CostSimulator(hot, trace, seed=1, startup_seconds=1800.0)
         # Exactly enough capacity: every revocation causes shortfall.
-        counts = np.zeros(6, dtype=int)
+        counts = np.zeros(6, dtype=np.int64)
         counts[0] = int(np.ceil(400.0 / ds.markets[0].capacity_rps))
         report = sim.run(FixedCountsPolicy(counts))
         assert report.revocation_events > 5
@@ -84,7 +84,7 @@ class TestAccounting:
 
         class GrowingPolicy:
             def decide(self, t, observed, prices, probs):
-                counts = np.zeros(6, dtype=int)
+                counts = np.zeros(6, dtype=np.int64)
                 counts[0] = t + 1
                 return counts
 

@@ -25,7 +25,7 @@ class TestWorkloadTrace:
             WorkloadTrace(np.array([1.0]), interval_seconds=0)
 
     def test_window(self):
-        trace = WorkloadTrace(np.arange(10, dtype=float) + 1)
+        trace = WorkloadTrace(np.arange(10, dtype=np.float64) + 1)
         sub = trace.window(2, 5)
         np.testing.assert_array_equal(sub.rates, [3.0, 4.0, 5.0])
         with pytest.raises(ValueError):
