@@ -1,0 +1,200 @@
+"""CI gate: the hybrid engine must stay accurate and earn its speedup.
+
+Runs a quick grid of cluster scenarios twice — once with the two-tier
+hybrid engine, once with the pure request-level reference — and fails
+unless (a) every cell's P99 latency agrees within ``--tolerance``
+relative error and (b) a perf-smoke cell shows the hybrid engine at
+least ``--min-speedup`` times faster in sim-intervals per wall second.
+Lives here instead of an inline script in ``ci.yml`` so the check is
+importable, testable, and versioned with the code it gates::
+
+    PYTHONPATH=src python -m repro.bench.hybridgate --min-speedup 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = [
+    "ACCURACY_GRID",
+    "check_hybrid_accuracy",
+    "check_hybrid_speedup",
+    "main",
+]
+
+#: Quick accuracy grid: small enough that the request-level reference is
+#: cheap, varied enough to cover both steady state and a revocation with
+#: its fidelity window.  Post-kill utilization stays below saturation —
+#: at rho >= 1 the tail is unstable and a relative P99 comparison only
+#: measures noise.
+ACCURACY_GRID = (
+    {
+        "peak_rps": 600.0,
+        "servers": 10,
+        "capacity_rps": 100.0,
+        "sim_seconds": 180.0,
+        "revoke": True,
+    },
+    {
+        "peak_rps": 750.0,
+        "servers": 10,
+        "capacity_rps": 100.0,
+        "sim_seconds": 180.0,
+        "revoke": False,
+    },
+)
+
+
+def _run_engine(
+    engine: str,
+    *,
+    peak_rps: float,
+    servers: int,
+    capacity_rps: float,
+    sim_seconds: float,
+    revoke: bool,
+    seed: int,
+):
+    """Run one engine on the shared scenario; returns (cluster, seconds)."""
+    from repro.simulator.cluster import ClusterConfig
+    from repro.simulator.hybrid import HybridClusterSimulation, HybridConfig
+
+    config = ClusterConfig(seed=seed, warning_seconds=2.0)
+    cluster = HybridClusterSimulation(
+        config,
+        engine=engine,
+        hybrid=HybridConfig(settle_seconds=2.0),
+        keep_raw=False,
+    )
+    for _ in range(servers):
+        cluster.add_server(capacity_rps, boot_seconds=0.0)
+    cluster.sim.advance(config.warmup_seconds + 1.0)
+    if revoke:
+        cluster.schedule_revocation(1, cluster.sim.now + 0.2 * sim_seconds)
+    t0 = time.perf_counter()
+    cluster.run(sim_seconds, peak_rps)
+    return cluster, time.perf_counter() - t0
+
+
+def check_hybrid_accuracy(
+    *, scenarios: tuple = ACCURACY_GRID, seed: int = 0
+) -> list[dict]:
+    """Hybrid-vs-request P99 agreement over the quick grid.
+
+    Returns one entry per cell with both engines' P99 (digest estimate)
+    and the relative error; the caller applies the tolerance.
+    """
+    results = []
+    for scenario in scenarios:
+        hybrid, _ = _run_engine("hybrid", seed=seed, **scenario)
+        request, _ = _run_engine("request", seed=seed, **scenario)
+        p99_h = hybrid.recorder.percentile(99.0)
+        p99_r = request.recorder.percentile(99.0)
+        results.append(
+            {
+                "peak_rps": scenario["peak_rps"],
+                "servers": scenario["servers"],
+                "revoke": scenario["revoke"],
+                "p99_hybrid_s": p99_h,
+                "p99_request_s": p99_r,
+                "rel_error": abs(p99_h - p99_r) / p99_r,
+                "tier_steps": dict(sorted(hybrid.tier_steps.items())),
+            }
+        )
+    return results
+
+
+def check_hybrid_speedup(
+    *,
+    peak_rps: float = 2000.0,
+    servers: int = 25,
+    capacity_rps: float = 100.0,
+    sim_seconds: float = 120.0,
+    seed: int = 0,
+) -> dict:
+    """Perf smoke: sim-intervals/sec, hybrid vs request, one shared cell."""
+    scenario = dict(
+        peak_rps=peak_rps,
+        servers=servers,
+        capacity_rps=capacity_rps,
+        sim_seconds=sim_seconds,
+        revoke=True,
+    )
+    hybrid, t_hybrid = _run_engine("hybrid", seed=seed, **scenario)
+    request, t_request = _run_engine("request", seed=seed, **scenario)
+    ips_hybrid = sum(hybrid.tier_steps.values()) / t_hybrid
+    ips_request = sum(request.tier_steps.values()) / t_request
+    return {
+        "hybrid_seconds": t_hybrid,
+        "request_seconds": t_request,
+        "hybrid_intervals_per_sec": ips_hybrid,
+        "request_intervals_per_sec": ips_request,
+        "speedup": ips_hybrid / ips_request if ips_request > 0 else 0.0,
+        "tier_steps": dict(sorted(hybrid.tier_steps.items())),
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.hybridgate",
+        description="Gate: hybrid-engine P99 accuracy + speedup smoke.",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="max relative P99 error tolerated on the accuracy grid",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="fail when hybrid is not at least this much faster",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    failures = 0
+    for cell in check_hybrid_accuracy(seed=args.seed):
+        verdict = "ok" if cell["rel_error"] <= args.tolerance else "FAIL"
+        print(
+            f"p99 accuracy peak={cell['peak_rps']:g} "
+            f"servers={cell['servers']} revoke={cell['revoke']}: "
+            f"hybrid {cell['p99_hybrid_s']:.3f}s vs "
+            f"request {cell['p99_request_s']:.3f}s "
+            f"(rel err {cell['rel_error']:.1%}, tiers {cell['tier_steps']}) "
+            f"{verdict}"
+        )
+        if cell["rel_error"] > args.tolerance:
+            failures += 1
+    smoke = check_hybrid_speedup(seed=args.seed)
+    print(
+        f"perf smoke: hybrid {smoke['hybrid_intervals_per_sec']:.1f} ips "
+        f"vs request {smoke['request_intervals_per_sec']:.1f} ips "
+        f"-> {smoke['speedup']:.1f}x (tiers {smoke['tier_steps']})"
+    )
+    if failures:
+        print(
+            f"{failures} accuracy cell(s) beyond {args.tolerance:.0%} "
+            f"relative P99 error",
+            file=sys.stderr,
+        )
+        return 1
+    if smoke["speedup"] < args.min_speedup:
+        print(
+            f"hybrid engine only {smoke['speedup']:.1f}x "
+            f"(need {args.min_speedup:g}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,17 +13,24 @@ from pathlib import Path
 __all__ = [
     "SCHEMA_MPO",
     "SCHEMA_SIM",
+    "SCHEMA_SIM_V1",
     "write_bench",
     "load_bench",
     "crossover_violations",
     "bench_regressions",
+    "sim_regressions",
+    "hybrid_speedup_violations",
     "format_bench_mpo",
     "format_bench_sim",
 ]
 
 SCHEMA_MPO = "spotweb-bench-mpo/1"
-SCHEMA_SIM = "spotweb-bench-sim/1"
-_KNOWN_SCHEMAS = (SCHEMA_MPO, SCHEMA_SIM)
+#: v1 sim files (CostSimulator cells only) stay loadable and comparable.
+SCHEMA_SIM_V1 = "spotweb-bench-sim/1"
+#: v2 adds cluster-engine cells (request / hybrid / 500k-RPS hybrid).
+SCHEMA_SIM = "spotweb-bench-sim/2"
+_SIM_SCHEMAS = (SCHEMA_SIM_V1, SCHEMA_SIM)
+_KNOWN_SCHEMAS = (SCHEMA_MPO, SCHEMA_SIM_V1, SCHEMA_SIM)
 
 
 def write_bench(data: dict, path: str | Path) -> Path:
@@ -105,6 +112,117 @@ def bench_regressions(
     return regressions
 
 
+def _sim_cell_key(cell: dict) -> tuple:
+    """Identity of a sim cell across runs/schema versions.
+
+    Interval cells carry ``policy``/``markets``; cluster-engine cells
+    carry ``engine``/``peak_rps``.  Both kinds may coexist in one file.
+    """
+    if "engine" in cell:
+        return ("engine", cell["engine"], float(cell["peak_rps"]))
+    return ("policy", cell["policy"], cell["markets"])
+
+
+def sim_regressions(
+    fresh: dict, baseline: dict, *, factor: float = 2.5
+) -> list[dict]:
+    """Throughput regressions of ``fresh`` against a recorded sim baseline.
+
+    Cells are matched by :func:`_sim_cell_key`; a cell regresses when its
+    median intervals/second falls below ``1/factor`` of the baseline's.
+    Cells present on only one side are ignored (the CI quick grid skips
+    the 500k cell), but zero overlap is an error — a vacuous comparison
+    would silently gate nothing.
+    """
+    for data in (fresh, baseline):
+        if data.get("schema") not in _SIM_SCHEMAS:
+            raise ValueError("sim regression check needs bench-sim results")
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1.0")
+    base = {_sim_cell_key(c): c for c in baseline["cells"]}
+    matched = 0
+    regressions = []
+    for cell in fresh["cells"]:
+        ref = base.get(_sim_cell_key(cell))
+        if ref is None or ref["intervals_per_sec_median"] <= 0:
+            continue
+        matched += 1
+        ratio = (
+            ref["intervals_per_sec_median"] / cell["intervals_per_sec_median"]
+        )
+        if ratio > factor:
+            regressions.append(
+                {
+                    "cell": _sim_cell_key(cell),
+                    "intervals_per_sec_median": cell[
+                        "intervals_per_sec_median"
+                    ],
+                    "baseline_intervals_per_sec_median": ref[
+                        "intervals_per_sec_median"
+                    ],
+                    "slowdown": ratio,
+                }
+            )
+    if matched == 0:
+        raise ValueError("no overlapping cells between fresh and baseline")
+    return regressions
+
+
+def hybrid_speedup_violations(
+    fresh: dict, *, baseline: dict | None = None, min_speedup: float = 50.0
+) -> list[dict]:
+    """Hybrid cells not beating the request-level reference by enough.
+
+    Each ``engine="hybrid"`` cell in ``fresh`` is compared against the
+    ``engine="request"`` cell at the same ``peak_rps`` — taken from
+    ``baseline`` when given (the committed full-grid file), else from
+    ``fresh`` itself.  Hybrid cells with no request reference at their
+    rate (the 500k cell: the request tier cannot feasibly run it) are
+    skipped; at least one pair must match.  Returns the offending cells
+    (empty list == the two-tier engine is earning its keep).
+    """
+    if fresh.get("schema") not in _SIM_SCHEMAS:
+        raise ValueError("hybrid speedup check needs bench-sim results")
+    reference = fresh if baseline is None else baseline
+    if reference.get("schema") not in _SIM_SCHEMAS:
+        raise ValueError("hybrid speedup check needs bench-sim results")
+    if min_speedup <= 1.0:
+        raise ValueError("min_speedup must exceed 1.0")
+    request_by_rate = {
+        float(c["peak_rps"]): c
+        for c in reference["cells"]
+        if c.get("engine") == "request"
+    }
+    matched = 0
+    violations = []
+    for cell in fresh["cells"]:
+        if cell.get("engine") != "hybrid":
+            continue
+        ref = request_by_rate.get(float(cell["peak_rps"]))
+        if ref is None or ref["intervals_per_sec_median"] <= 0:
+            continue
+        matched += 1
+        speedup = (
+            cell["intervals_per_sec_median"] / ref["intervals_per_sec_median"]
+        )
+        if speedup < min_speedup:
+            violations.append(
+                {
+                    "peak_rps": float(cell["peak_rps"]),
+                    "intervals_per_sec_median": cell[
+                        "intervals_per_sec_median"
+                    ],
+                    "request_intervals_per_sec_median": ref[
+                        "intervals_per_sec_median"
+                    ],
+                    "speedup": speedup,
+                }
+            )
+    if matched == 0:
+        raise ValueError("no hybrid/request cell pair to compare")
+    return violations
+
+
 def format_bench_mpo(data: dict) -> str:
     from repro.textfmt import format_table
 
@@ -146,18 +264,55 @@ def format_bench_mpo(data: dict) -> str:
 def format_bench_sim(data: dict) -> str:
     from repro.textfmt import format_table
 
-    rows = [
-        [
-            c["policy"],
-            c["markets"],
-            c["intervals"],
-            c["intervals_per_sec_median"],
-            c["intervals_per_sec_max"],
+    interval_cells = [c for c in data["cells"] if "policy" in c]
+    cluster_cells = [c for c in data["cells"] if "engine" in c]
+    parts = []
+    if interval_cells:
+        rows = [
+            [
+                c["policy"],
+                c["markets"],
+                c["intervals"],
+                c["intervals_per_sec_median"],
+                c["intervals_per_sec_max"],
+            ]
+            for c in interval_cells
         ]
-        for c in data["cells"]
-    ]
-    return format_table(
-        ["policy", "markets", "intervals", "ips_median", "ips_max"],
-        rows,
-        title="simulator throughput (intervals/sec)",
-    )
+        parts.append(
+            format_table(
+                ["policy", "markets", "intervals", "ips_median", "ips_max"],
+                rows,
+                title="cost simulator throughput (intervals/sec)",
+            )
+        )
+    if cluster_cells:
+        rows = [
+            [
+                c["engine"],
+                c["peak_rps"],
+                c["servers"],
+                c["sim_seconds"],
+                c["intervals_per_sec_median"],
+                c["tier_steps"].get("fluid", 0),
+                c["tier_steps"].get("request", 0),
+                c["p99_s"],
+            ]
+            for c in cluster_cells
+        ]
+        parts.append(
+            format_table(
+                [
+                    "engine",
+                    "peak_rps",
+                    "servers",
+                    "sim_s",
+                    "ips_median",
+                    "fluid",
+                    "request",
+                    "p99_s",
+                ],
+                rows,
+                title="cluster engine throughput (sim-intervals/sec)",
+            )
+        )
+    return "\n".join(parts)

@@ -1,9 +1,19 @@
-"""Cost-simulator throughput benchmark (intervals per second).
+"""Simulator throughput benchmarks (intervals per second).
 
-Uses a deliberately trivial policy (fixed uniform counts, no optimizer) so
-the measurement tracks :meth:`repro.simulator.CostSimulator.run` itself —
-revocation sampling, billing, shortfall accounting — and regressions in the
-interval loop show up undiluted.
+Two families of cells:
+
+- **interval** cells — :meth:`repro.simulator.CostSimulator.run` under a
+  deliberately trivial policy (fixed uniform counts, no optimizer) so the
+  measurement tracks the interval loop itself: revocation sampling,
+  billing, shortfall accounting.
+- **cluster-engine** cells — the request-level testbed
+  (:class:`~repro.simulator.hybrid.HybridClusterSimulation`) under a
+  revocation scenario, once per engine.  The ``request`` cell is the
+  pure-DES reference whose intervals/second the hybrid engine must beat
+  by :data:`~repro.bench.report.hybrid_speedup_violations`' factor; the
+  ``hybrid`` cells show the two-tier engine holding thousands of
+  intervals/second at 500k RPS ("million-user" traffic) where the
+  request tier would need hours.
 """
 
 from __future__ import annotations
@@ -16,9 +26,11 @@ from repro.bench.report import SCHEMA_SIM
 from repro.experiments.fig7b_scalability import _replicated_markets
 from repro.markets import generate_market_dataset
 from repro.simulator import CostSimulator
+from repro.simulator.cluster import ClusterConfig
+from repro.simulator.hybrid import HybridClusterSimulation, HybridConfig
 from repro.workloads import wikipedia_like
 
-__all__ = ["bench_sim", "UniformCountsPolicy"]
+__all__ = ["bench_sim", "bench_cluster", "UniformCountsPolicy"]
 
 
 class UniformCountsPolicy:
@@ -37,6 +49,124 @@ class UniformCountsPolicy:
         return self.counts
 
 
+def _cluster_cell(
+    engine: str,
+    *,
+    peak_rps: float,
+    servers: int,
+    capacity_rps: float,
+    sim_seconds: float,
+    repeats: int,
+    seed: int,
+    revoke: bool,
+) -> dict:
+    """Time one engine on the shared revocation scenario.
+
+    Every repeat builds a fresh fleet (the DES is not resettable), runs it
+    warm (servers booted and past cache warm-up before the clock starts),
+    and — when ``revoke`` is set — issues one short-warning revocation at
+    20% of the horizon so the hybrid engine pays for a real fidelity
+    window rather than coasting through a steady-state run.
+    """
+    warning_seconds = 2.0
+    rates: list[float] = []
+    cluster = None
+    for _ in range(repeats):
+        config = ClusterConfig(seed=seed, warning_seconds=warning_seconds)
+        cluster = HybridClusterSimulation(
+            config,
+            engine=engine,
+            hybrid=HybridConfig(settle_seconds=2.0),
+            keep_raw=False,
+        )
+        for _server in range(servers):
+            cluster.add_server(capacity_rps, boot_seconds=0.0)
+        # Warm the fleet before timing: past boot and cache warm-up the
+        # scenario starts from the steady state both engines agree on.
+        cluster.sim.advance(config.warmup_seconds + 1.0)
+        if revoke:
+            cluster.schedule_revocation(3, cluster.sim.now + 0.2 * sim_seconds)
+        t0 = time.perf_counter()
+        cluster.run(sim_seconds, peak_rps)
+        elapsed = time.perf_counter() - t0
+        chunks = sum(cluster.tier_steps.values())
+        rates.append(chunks / elapsed)
+    return {
+        "engine": engine,
+        "peak_rps": float(peak_rps),
+        "servers": int(servers),
+        "sim_seconds": float(sim_seconds),
+        "intervals": int(sum(cluster.tier_steps.values())),
+        "tier_steps": {k: int(v) for k, v in sorted(cluster.tier_steps.items())},
+        "intervals_per_sec_median": float(np.median(rates)),
+        "intervals_per_sec_max": float(np.max(rates)),
+        "served": float(cluster.recorder.served),
+        "p99_s": float(cluster.recorder.percentile(99.0)),
+    }
+
+
+def bench_cluster(
+    *,
+    peak_rps: float = 20_000.0,
+    servers: int = 250,
+    capacity_rps: float = 100.0,
+    request_seconds: float = 8.0,
+    hybrid_seconds: float = 300.0,
+    huge_peak_rps: float = 500_000.0,
+    huge_servers: int = 550,
+    huge_capacity_rps: float = 1100.0,
+    huge_seconds: float = 120.0,
+    include_huge: bool = True,
+    repeats: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Cluster-engine cells: request reference, hybrid, and the 500k cell.
+
+    The request cell uses a short horizon — its intervals/second is a
+    per-wall-second property, roughly independent of duration — while the
+    hybrid cell needs a long one so the fixed-cost fidelity window is
+    amortized the way production runs amortize it.  The huge cell is
+    hybrid-only and steady-state: the point is that a half-million-RPS
+    fleet simulates at fluid-tier speed at all.
+    """
+    cells = [
+        _cluster_cell(
+            "request",
+            peak_rps=peak_rps,
+            servers=servers,
+            capacity_rps=capacity_rps,
+            sim_seconds=request_seconds,
+            repeats=repeats,
+            seed=seed,
+            revoke=True,
+        ),
+        _cluster_cell(
+            "hybrid",
+            peak_rps=peak_rps,
+            servers=servers,
+            capacity_rps=capacity_rps,
+            sim_seconds=hybrid_seconds,
+            repeats=repeats,
+            seed=seed,
+            revoke=True,
+        ),
+    ]
+    if include_huge:
+        cells.append(
+            _cluster_cell(
+                "hybrid",
+                peak_rps=huge_peak_rps,
+                servers=huge_servers,
+                capacity_rps=huge_capacity_rps,
+                sim_seconds=huge_seconds,
+                repeats=repeats,
+                seed=seed,
+                revoke=False,
+            )
+        )
+    return cells
+
+
 def bench_sim(
     *,
     num_markets: int = 12,
@@ -44,6 +174,10 @@ def bench_sim(
     peak_rps: float = 20_000.0,
     repeats: int = 3,
     seed: int = 0,
+    cluster_repeats: int = 3,
+    request_seconds: float = 8.0,
+    hybrid_seconds: float = 300.0,
+    include_huge: bool = True,
 ) -> dict:
     """Benchmark simulator throughput; returns a ``SCHEMA_SIM`` dict."""
     markets = _replicated_markets(num_markets)
@@ -61,6 +195,26 @@ def bench_sim(
         report = sim.run(policy, name="uniform")
         elapsed = time.perf_counter() - t0
         rates.append(sim.horizon_intervals / elapsed)
+    cells = [
+        {
+            "policy": "uniform",
+            "intervals": int(sim.horizon_intervals),
+            "markets": num_markets,
+            "intervals_per_sec_median": float(np.median(rates)),
+            "intervals_per_sec_max": float(np.max(rates)),
+            "total_cost": float(report.total_cost),
+        }
+    ]
+    cells.extend(
+        bench_cluster(
+            peak_rps=peak_rps,
+            request_seconds=request_seconds,
+            hybrid_seconds=hybrid_seconds,
+            include_huge=include_huge,
+            repeats=cluster_repeats,
+            seed=seed,
+        )
+    )
     return {
         "schema": SCHEMA_SIM,
         "config": {
@@ -68,16 +222,11 @@ def bench_sim(
             "weeks": weeks,
             "peak_rps": peak_rps,
             "repeats": repeats,
+            "cluster_repeats": cluster_repeats,
+            "request_seconds": request_seconds,
+            "hybrid_seconds": hybrid_seconds,
+            "include_huge": include_huge,
             "seed": seed,
         },
-        "cells": [
-            {
-                "policy": "uniform",
-                "intervals": int(sim.horizon_intervals),
-                "markets": num_markets,
-                "intervals_per_sec_median": float(np.median(rates)),
-                "intervals_per_sec_max": float(np.max(rates)),
-                "total_cost": float(report.total_cost),
-            }
-        ],
+        "cells": cells,
     }

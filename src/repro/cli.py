@@ -27,7 +27,9 @@ Commands
 - ``bench`` — run the solver/simulator micro benchmarks and write the
   machine-readable ``BENCH_mpo.json`` / ``BENCH_sim.json`` baselines
   (``--check`` turns the structured-vs-dense crossover into a hard gate;
-  ``--compare PATH`` fails on warm-latency regressions vs that baseline).
+  ``--compare PATH`` fails on warm-latency regressions vs that baseline;
+  ``--compare-sim PATH`` gates simulator throughput and the hybrid
+  engine's speedup over the request-level reference).
 """
 
 from __future__ import annotations
@@ -72,7 +74,11 @@ def _run_fig4a(args) -> str:
     from repro.experiments import fig4a_loadbalancer
 
     return fig4a_loadbalancer.format_fig4a(
-        fig4a_loadbalancer.run_fig4a(seed=args.seed, scale=args.scale)
+        fig4a_loadbalancer.run_fig4a(
+            seed=args.seed,
+            scale=args.scale,
+            engine=getattr(args, "engine", "request"),
+        )
     )
 
 
@@ -376,7 +382,19 @@ def _cmd_bench(args) -> str:
         mpo = bench.bench_mpo(
             market_counts=(12, 48), horizons=(4, 6), repeats=3, seed=args.seed
         )
-        sim = bench.bench_sim(num_markets=8, weeks=1, repeats=2, seed=args.seed)
+        # The quick grid keeps the hybrid cell's horizon at full length —
+        # its intervals/second depends on how far the fidelity window is
+        # amortized — and trims everything else (repeats, the request
+        # reference's horizon, the 500k cell).
+        sim = bench.bench_sim(
+            num_markets=8,
+            weeks=1,
+            repeats=2,
+            seed=args.seed,
+            cluster_repeats=2,
+            request_seconds=4.0,
+            include_huge=False,
+        )
     else:
         mpo = bench.bench_mpo(seed=args.seed)
         sim = bench.bench_sim(seed=args.seed)
@@ -421,6 +439,37 @@ def _cmd_bench(args) -> str:
                 f"{args.compare}: {detail}"
             )
         text += f"\nno warm-latency regressions vs {args.compare}"
+    if args.compare_sim:
+        sim_baseline = bench.load_bench(args.compare_sim)
+        sim_slow = bench.sim_regressions(
+            sim, sim_baseline, factor=args.regress_factor
+        )
+        if sim_slow:
+            detail = ", ".join(
+                f"{r['cell']} ({r['slowdown']:.2f}x slower)" for r in sim_slow
+            )
+            print(text)
+            raise SystemExit(
+                f"simulator throughput regressed beyond "
+                f"{args.regress_factor:g}x vs {args.compare_sim}: {detail}"
+            )
+        hybrid_slow = bench.hybrid_speedup_violations(
+            sim, baseline=sim_baseline, min_speedup=args.hybrid_speedup
+        )
+        if hybrid_slow:
+            detail = ", ".join(
+                f"peak={v['peak_rps']:g} ({v['speedup']:.1f}x)"
+                for v in hybrid_slow
+            )
+            print(text)
+            raise SystemExit(
+                f"hybrid engine below {args.hybrid_speedup:g}x the "
+                f"request-level reference: {detail}"
+            )
+        text += (
+            f"\nno throughput regressions vs {args.compare_sim}; hybrid "
+            f"holds >= {args.hybrid_speedup:g}x over request-level"
+        )
     return text
 
 
@@ -457,6 +506,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--weeks", type=int, default=2)
     p_exp.add_argument("--scale", type=float, default=0.5)
     p_exp.add_argument(
+        "--engine",
+        choices=("hybrid", "request", "fluid"),
+        default="request",
+        help="simulation engine for cluster experiments (fig4a)",
+    )
+    p_exp.add_argument(
         "--workload", choices=("wikipedia", "vod"), default="wikipedia"
     )
     p_exp.add_argument(
@@ -476,6 +531,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--weeks", type=int, default=2)
     p_run.add_argument("--hours", type=int, default=72, help="fig6a length")
     p_run.add_argument("--scale", type=float, default=0.5)
+    p_run.add_argument(
+        "--engine",
+        choices=("hybrid", "request", "fluid"),
+        default="request",
+        help="simulation engine for cluster experiments (fig4a)",
+    )
     p_run.add_argument(
         "--workload", choices=("wikipedia", "vod"), default="wikipedia"
     )
@@ -607,6 +668,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.5,
         help="warm-median slowdown tolerated by --compare",
+    )
+    p_bench.add_argument(
+        "--compare-sim",
+        default=None,
+        metavar="PATH",
+        help=(
+            "fail on intervals/sec regressions vs this BENCH_sim.json and "
+            "on the hybrid engine missing its speedup floor"
+        ),
+    )
+    p_bench.add_argument(
+        "--hybrid-speedup",
+        type=float,
+        default=50.0,
+        help="minimum hybrid-vs-request speedup enforced by --compare-sim",
     )
     return parser
 

@@ -79,6 +79,12 @@ DETERMINISTIC_PREFIXES: tuple[str, ...] = (
     "repro.obs.slo",
     "repro.predictors",
     "repro.simulator",
+    # Redundant with the package prefix above, but listed explicitly:
+    # the fluid tier draws no randomness at all and the hybrid driver
+    # must stay a pure function of (config, seed) for tier handoffs to
+    # be replayable.
+    "repro.simulator.fluid",
+    "repro.simulator.hybrid",
     "repro.solvers",
     "repro.textfmt",
     "repro.workloads",

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.loadbalancer import TransiencyAwareLoadBalancer, VanillaLoadBalancer
-from repro.simulator import ClusterConfig, ClusterSimulation
+from repro.simulator import ClusterConfig, ClusterSimulation, HybridClusterSimulation
+from repro.simulator.hybrid import ENGINES
 from repro.simulator.metrics import LatencyRecorder
 
 __all__ = ["Fig4aResult", "run_fig4a", "format_fig4a"]
@@ -48,10 +49,16 @@ class Fig4aResult:
 
 
 def _run_one(
-    transiency_aware: bool, *, seed: int = 0, scale: float = 1.0
+    transiency_aware: bool,
+    *,
+    seed: int = 0,
+    scale: float = 1.0,
+    engine: str = "request",
 ) -> Fig4aResult:
     if scale <= 0:
         raise ValueError("scale must be positive")
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     config = ClusterConfig(seed=seed)
 
     cluster: ClusterSimulation
@@ -68,7 +75,16 @@ def _run_one(
     else:
         factory = lambda rec: VanillaLoadBalancer(rec)  # noqa: E731
 
-    cluster = ClusterSimulation(config, factory)
+    if engine == "request":
+        # The paper-faithful default: the plain request-level testbed,
+        # byte-identical to what this experiment always produced.
+        cluster = ClusterSimulation(config, factory)
+    else:
+        # keep_raw: the per-minute latency windows below need raw samples
+        # (fluid-tier masses are expanded to integer repeats).
+        cluster = HybridClusterSimulation(
+            config, factory, engine=engine, keep_raw=True
+        )
     for cap in SERVER_CAPACITIES:
         cluster.add_server(cap * scale, boot_seconds=0.0)
     # Warm the caches before the measurement starts, as the testbed would be.
@@ -100,16 +116,20 @@ def _run_one(
     )
 
 
-def run_fig4a(*, seed: int = 0, scale: float = 1.0) -> dict[str, Fig4aResult]:
+def run_fig4a(
+    *, seed: int = 0, scale: float = 1.0, engine: str = "request"
+) -> dict[str, Fig4aResult]:
     """Run the scenario under both balancers.
 
     ``scale`` multiplies both load and server capacities (1.0 = the paper's
     600 req/s testbed; smaller values keep the same utilization for quick
-    tests).
+    tests).  ``engine`` selects the simulation engine: ``"request"`` (the
+    default, pure DES), ``"hybrid"`` (fluid between fidelity windows), or
+    ``"fluid"`` (rate steps throughout — no per-request effects).
     """
     return {
-        "spotweb": _run_one(True, seed=seed, scale=scale),
-        "vanilla": _run_one(False, seed=seed, scale=scale),
+        "spotweb": _run_one(True, seed=seed, scale=scale, engine=engine),
+        "vanilla": _run_one(False, seed=seed, scale=scale, engine=engine),
     }
 
 

@@ -33,6 +33,7 @@ from repro.obs.eventreport import (
     kind_counts,
     slo_series,
     summarize_events_file,
+    tier_spans,
     timeline_file,
 )
 from repro.obs.events import (
@@ -116,6 +117,7 @@ __all__ = [
     "kind_counts",
     "slo_series",
     "summarize_events_file",
+    "tier_spans",
     "timeline_file",
     "TRACE_SCHEMA",
     "NullSpan",

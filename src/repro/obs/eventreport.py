@@ -9,7 +9,10 @@ rendered through the foundation renderer :mod:`repro.textfmt` —
   gap), and the SLO compliance series with alert count;
 - **timeline** — the ASCII incident timeline: every warning with its
   causally linked drain / migration / replacement-boot / admission /
-  reprovision events indented beneath it, in sim-time order;
+  reprovision events indented beneath it, in sim-time order; journals
+  from the hybrid engine additionally get a tier-span table showing
+  when the run was on the fluid vs the request tier and which
+  warning/spike forced each switch;
 - **diff** — aligns two journals by interval (falling back to sim-time
   buckets for intra-interval events) and reports the divergent buckets;
   identical-seed runs must report zero divergence.
@@ -28,6 +31,7 @@ __all__ = [
     "incidents",
     "kind_counts",
     "slo_series",
+    "tier_spans",
     "format_event_summary",
     "format_timeline",
     "diff_journals",
@@ -110,6 +114,37 @@ def slo_series(records: list[dict]) -> list[dict]:
     series = [r for r in records if r["kind"] == "slo.interval"]
     series.sort(key=lambda r: (r["interval"], r["seq"]))
     return series
+
+
+def tier_spans(records: list[dict]) -> list[dict]:
+    """Engine-tier spans from ``sim.tier_switch`` events, in time order.
+
+    Each span carries the tier, its ``[t_start, t_end)`` extent (the last
+    span ends at the journal's final event time), the trigger that forced
+    the switch, the causal link (``warning.issued`` / ``sim.spike`` id or
+    ``None``), and how many in-flight requests the handoff moved.
+    Journals without tier switches (plain request-level runs) yield an
+    empty list.
+    """
+    switches = [r for r in records if r["kind"] == "sim.tier_switch"]
+    if not switches:
+        return []
+    switches.sort(key=lambda r: (r["t"], r["seq"]))
+    t_last = max(rec["t"] for rec in records)
+    spans: list[dict] = []
+    for i, rec in enumerate(switches):
+        t_end = switches[i + 1]["t"] if i + 1 < len(switches) else t_last
+        spans.append(
+            {
+                "tier": rec["attrs"]["tier"],
+                "t_start": rec["t"],
+                "t_end": t_end,
+                "trigger": rec["attrs"].get("trigger"),
+                "cause": rec["cause"],
+                "moved": int(rec["attrs"].get("moved", 0)),
+            }
+        )
+    return spans
 
 
 def format_event_summary(records: list[dict], *, top: int = 12) -> str:
@@ -225,12 +260,38 @@ def _capped_children(events: list[dict]) -> list[tuple[dict | None, str]]:
     return out
 
 
+def _format_tier_spans(spans: list[dict]) -> str:
+    rows = [
+        [
+            span["tier"],
+            span["t_start"],
+            span["t_end"],
+            span["trigger"] if span["trigger"] is not None else "-",
+            span["cause"] if span["cause"] is not None else "-",
+            span["moved"],
+        ]
+        for span in spans
+    ]
+    return format_table(
+        ["tier", "t_start", "t_end", "trigger", "cause", "moved"],
+        rows,
+        title=f"engine tier spans ({len(spans)} spans)",
+    )
+
+
 def format_timeline(records: list[dict]) -> str:
-    """ASCII incident timeline: warnings with linked events indented."""
+    """ASCII incident timeline: warnings with linked events indented.
+
+    Hybrid-engine journals get the tier-span table prepended; journals
+    without ``sim.tier_switch`` events render exactly as before.
+    """
     if not records:
         return "journal contains no events"
+    spans = tier_spans(records)
     incs = incidents(records)
     if not incs:
+        if spans:
+            return _format_tier_spans(spans)
         return "journal contains no revocation warnings"
     rows: list[list] = []
     depths: list[int] = []
@@ -245,12 +306,15 @@ def format_timeline(records: list[dict]) -> str:
             else:
                 rows.append([label, e["t"], e["cause"]])
             depths.append(1)
-    return format_chain(
+    timeline = format_chain(
         ["event", "t", "cause"],
         rows,
         depths,
         title=f"incident timeline ({len(incs)} warnings)",
     )
+    if spans:
+        return _format_tier_spans(spans) + "\n\n" + timeline
+    return timeline
 
 
 # ----------------------------------------------------------------------- diff

@@ -176,6 +176,20 @@ class EventLog:
             if info is not None:
                 info["migrated"] += int(attrs.get("migrated", 0))
 
+    def unique_id(self, prefix: str) -> str | None:
+        """A journal-unique event id (``None`` while disabled).
+
+        Built from the next sequence number, which strictly increases and
+        is never reused — so ids minted here can never collide with each
+        other, and :meth:`adopt` prefixing keeps them unique across
+        parallel sweep cells.  Intended for emitters that need a
+        referenceable id outside the warning lifecycle (e.g. spike
+        markers that tier-switch events point at causally).
+        """
+        if not self.enabled:
+            return None
+        return f"{prefix}{self._seq}"
+
     # ---------------------------------------------------------- causal layer
     def open_warning(
         self, backend: object, *, t: float | None = None, **attrs

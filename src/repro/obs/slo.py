@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.obs.events import get_events
 
 __all__ = ["LatencyDigest", "SLOEngine"]
@@ -64,6 +66,38 @@ class LatencyDigest:
         self.total += latency
         if latency > self.max:
             self.max = latency
+
+    def add_masses(self, latencies: np.ndarray, weights: np.ndarray) -> None:
+        """Record fractional request *mass* at each latency (fluid tier).
+
+        One vectorized call folds a whole quantile-node batch into the
+        histogram: ``weights[i]`` requests (a float mass, not a count) at
+        latency ``latencies[i]``.  Bin counts become floats once this is
+        used; the integer :meth:`add` path is untouched until then, so
+        request-level-only runs stay bitwise-identical.
+        """
+        lat = np.asarray(latencies, dtype=np.float64).ravel()
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        if lat.shape != w.shape:
+            raise ValueError("latencies and weights must have the same shape")
+        if lat.size == 0:
+            return
+        if float(lat.min()) < 0 or float(w.min()) < 0:
+            raise ValueError("latencies and weights must be non-negative")
+        idx = np.minimum(
+            (lat / self.bin_width).astype(np.int64), self.num_bins
+        )
+        binned = np.bincount(idx, weights=w, minlength=self.num_bins + 1)
+        for i in np.flatnonzero(binned):
+            self.counts[i] += float(binned[i])
+        mass = float(w.sum())
+        if mass <= 0:
+            return
+        self.count += mass
+        self.total += float((lat * w).sum())
+        top = float(lat[w > 0].max())
+        if top > self.max:
+            self.max = top
 
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
@@ -203,6 +237,31 @@ class SLOEngine:
         """Count one unserved (dropped or failed) request as a violation."""
         self._roll(t)
         self._bad += 1
+
+    def record_mass(
+        self, t: float, latencies: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Classify served request *mass* (fluid tier) against the SLO.
+
+        ``weights[i]`` requests at latency ``latencies[i]``; mass above the
+        threshold burns budget exactly like individually-late requests.
+        """
+        self._roll(t)
+        lat = np.asarray(latencies, dtype=np.float64).ravel()
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        late = lat > self.slo_threshold
+        self._bad += float(w[late].sum())
+        self._good += float(w[~late].sum())
+        self._digest.add_masses(lat, w)
+
+    def record_bad_mass(self, t: float, mass: float) -> None:
+        """Count unserved request mass (fluid-tier drops/kills) as violations."""
+        if mass < 0:
+            raise ValueError("mass must be non-negative")
+        if mass == 0:
+            return
+        self._roll(t)
+        self._bad += float(mass)
 
     def finish(self, t: float) -> None:
         """Close every interval up to ``t`` (the last only if it saw traffic)."""

@@ -77,13 +77,23 @@ class ClusterSimulation:
         ``factory(recorder) -> balancer`` — builds the balancer under test
         (vanilla or transiency-aware).  The cluster wires warnings to
         ``balancer.on_warning``.
+    keep_raw:
+        Retain exact per-request latency/timestamp arrays (Fig. 4(a)'s
+        per-minute windows need them).  Defaults on; the hybrid engine's
+        huge-fleet benchmarks turn it off to keep memory bounded.
     """
+
+    #: Subclass hook: the hybrid engine needs servers that remember their
+    #: pending completion events for the request->fluid handoff.
+    _track_completions = False
 
     def __init__(
         self,
         config: ClusterConfig | None = None,
         balancer_factory: Callable[[LatencyRecorder], VanillaLoadBalancer]
         | None = None,
+        *,
+        keep_raw: bool = True,
     ) -> None:
         self.config = config or ClusterConfig()
         self.sim = Simulator()
@@ -98,7 +108,7 @@ class ClusterSimulation:
         )
         self.recorder = LatencyRecorder(
             slo_threshold=self.config.slo_threshold,
-            keep_raw=True,
+            keep_raw=keep_raw,
             engine=self.slo_engine,
         )
         factory = balancer_factory or (lambda rec: VanillaLoadBalancer(rec))
@@ -134,6 +144,7 @@ class ClusterSimulation:
             cold_multiplier=self.config.cold_multiplier,
             queue_limit_seconds=self.config.queue_limit_seconds,
             seed=self.config.seed,
+            track_completions=self._track_completions,
         )
         self._next_id += 1
         self.servers[server.server_id] = server
@@ -166,8 +177,15 @@ class ClusterSimulation:
                 capacity_rps=server.capacity_rps,
                 warning_seconds=warning,
             )
+        # Subclass hook between warning emission and the balancer's
+        # reaction: the hybrid engine materializes fluid queue mass here
+        # so the balancer's drain/defer decision sees real utilization.
+        self._on_warning_issued(server_id, warning)
         self.balancer.on_warning(server_id, self.sim.now)
         self.sim.schedule(warning, self._kill, server_id)
+
+    def _on_warning_issued(self, server_id: int, warning_seconds: float) -> None:
+        """Hook invoked when a warning is issued, before the balancer reacts."""
 
     def schedule_revocation(
         self, server_id: int, at_time: float, *, warning_seconds: float | None = None

@@ -8,7 +8,29 @@ import numpy as np
 
 from repro.obs.slo import LatencyDigest, SLOEngine
 
-__all__ = ["RequestOutcome", "LatencyRecorder"]
+__all__ = ["RequestOutcome", "LatencyRecorder", "integer_masses"]
+
+
+def integer_masses(weights: np.ndarray) -> np.ndarray:
+    """Deterministic largest-remainder rounding of float mass to counts.
+
+    Returns non-negative int64 counts with ``counts.sum() ==
+    round(weights.sum())``: floors first, then the residual units go to
+    the largest fractional parts (stable order, so ties break by index).
+    Used to expand fluid-tier request mass into discrete raw samples when
+    ``keep_raw`` is on, conserving total request count.
+    """
+    w = np.asarray(weights, dtype=np.float64).ravel()
+    if w.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if float(w.min()) < 0:
+        raise ValueError("weights must be non-negative")
+    floors = np.floor(w).astype(np.int64)
+    remainder = int(round(float(w.sum()))) - int(floors.sum())
+    if remainder > 0:
+        order = np.argsort(-(w - floors), kind="stable")
+        floors[order[: min(remainder, w.size)]] += 1
+    return floors
 
 
 class RequestOutcome(enum.Enum):
@@ -82,6 +104,63 @@ class LatencyRecorder:
         self.failed += 1
         if self.engine is not None:
             self.engine.record_bad(float(timestamp))
+
+    # ------------------------------------------------------- fluid-tier mass
+    def record_served_mass(
+        self, timestamp: float, latencies: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Record served request *mass*: ``weights[i]`` requests at
+        ``latencies[i]``.
+
+        The fluid tier serves fractional request mass per step rather than
+        individual requests; one call folds a whole quantile-node batch
+        into the digest/SLO pipeline.  With ``keep_raw`` the mass is
+        expanded to discrete samples by :func:`integer_masses` so
+        :meth:`window`/:meth:`percentile` keep working.  Counters become
+        floats only once this path is used.
+        """
+        lat = np.asarray(latencies, dtype=np.float64).ravel()
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        if lat.shape != w.shape:
+            raise ValueError("latencies and weights must have the same shape")
+        if lat.size == 0:
+            return
+        if float(lat.min()) < 0 or float(w.min()) < 0:
+            raise ValueError("latencies and weights must be non-negative")
+        mass = float(w.sum())
+        if mass <= 0:
+            return
+        timestamp = float(timestamp)
+        self._served += mass
+        self._late += float(w[lat > self.slo_threshold].sum())
+        self.digest.add_masses(lat, w)
+        if self.keep_raw:
+            counts = integer_masses(w)
+            expanded = np.repeat(lat, counts).tolist()
+            self.latencies.extend(expanded)
+            self.timestamps.extend([timestamp] * len(expanded))
+        if self.engine is not None:
+            self.engine.record_mass(timestamp, lat, w)
+
+    def record_dropped_mass(self, timestamp: float, mass: float) -> None:
+        """Record dropped request mass (fluid-tier admission overflow)."""
+        if mass < 0:
+            raise ValueError("mass must be non-negative")
+        if mass == 0:
+            return
+        self.dropped += float(mass)
+        if self.engine is not None:
+            self.engine.record_bad_mass(float(timestamp), float(mass))
+
+    def record_failed_mass(self, timestamp: float, mass: float) -> None:
+        """Record failed request mass (queue mass lost to a revocation)."""
+        if mass < 0:
+            raise ValueError("mass must be non-negative")
+        if mass == 0:
+            return
+        self.failed += float(mass)
+        if self.engine is not None:
+            self.engine.record_bad_mass(float(timestamp), float(mass))
 
     # ------------------------------------------------------------- summaries
     @property

@@ -34,12 +34,42 @@ from typing import Protocol
 import numpy as np
 
 from repro.core.costs import CostModel
+from repro.devtools.contracts import shapes
 from repro.markets.dataset import MarketDataset
 from repro.markets.revocation import CorrelatedRevocationSampler
 from repro.obs import get_events, get_metrics, get_tracer
+from repro.simulator.fluid import stochastic_wait
 from repro.workloads.trace import WorkloadTrace
 
-__all__ = ["ProvisioningPolicy", "CostSimulator", "SimulationReport"]
+__all__ = [
+    "ProvisioningPolicy",
+    "CostSimulator",
+    "SimulationReport",
+    "interval_p99",
+]
+
+# Exponential-service P99 offset in units of the mean service time.
+_P99_EXP = 4.605170185988091  # -ln(0.01)
+
+
+@shapes("(T,) f8", "(T,) f8", None, ret="(T,) f8")
+def interval_p99(
+    demand_rps: np.ndarray, capacity_eff_rps: np.ndarray, service_time: float
+) -> np.ndarray:
+    """M/G/k-style P99 response-time estimate per interval (seconds).
+
+    The interval-level simulator tracks only rates, not requests; this
+    turns its demand/effective-capacity series into a latency signal by
+    treating each interval as a steady M/M/k system: Sakasegawa's mean
+    queueing delay (:func:`~repro.simulator.fluid.stochastic_wait`) plus
+    the exponential service-time P99.  Overloaded intervals saturate at
+    the utilization clip — a flag, not a forecast.
+    """
+    cap = np.maximum(capacity_eff_rps, 1e-9)
+    rho = demand_rps / cap
+    workers = np.maximum(capacity_eff_rps * service_time, 1.0)
+    service = np.full_like(rho, service_time)
+    return stochastic_wait(rho, service, workers) + service_time * _P99_EXP
 
 
 class ProvisioningPolicy(Protocol):
@@ -74,10 +104,19 @@ class SimulationReport:
     counts: np.ndarray
     capacity_rps: np.ndarray
     demand_rps: np.ndarray
+    #: per-interval M/G/k P99 estimate (seconds); None for legacy callers
+    p99_est_s: np.ndarray | None = None
 
     @property
     def total_cost(self) -> float:
         return self.provisioning_cost + self.sla_penalty_cost
+
+    @property
+    def p99_est_max_s(self) -> float:
+        """Worst per-interval P99 estimate over the run (NaN if absent)."""
+        if self.p99_est_s is None or len(self.p99_est_s) == 0:
+            return float("nan")
+        return float(np.max(self.p99_est_s))
 
     @property
     def unserved_fraction(self) -> float:
@@ -92,7 +131,7 @@ class SimulationReport:
         return 1.0 - self.total_cost / other.total_cost
 
     def summary(self) -> dict[str, float]:
-        return {
+        out = {
             "total_cost": self.total_cost,
             "provisioning_cost": self.provisioning_cost,
             "sla_penalty_cost": self.sla_penalty_cost,
@@ -100,6 +139,9 @@ class SimulationReport:
             "revocations": float(self.revocation_events),
             "decision_seconds": self.decision_seconds,
         }
+        if self.p99_est_s is not None:
+            out["p99_est_max_s"] = self.p99_est_max_s
+        return out
 
 
 class CostSimulator:
@@ -115,11 +157,15 @@ class CostSimulator:
         seed: int = 0,
         correlated_revocations: bool = True,
         max_lifetime_intervals: int | None = None,
+        service_time: float = 0.1,
     ) -> None:
         if len(trace) < 2:
             raise ValueError("trace must span at least two intervals")
         if max_lifetime_intervals is not None and max_lifetime_intervals < 1:
             raise ValueError("max_lifetime_intervals must be >= 1")
+        if service_time <= 0:
+            raise ValueError("service_time must be positive")
+        self.service_time = float(service_time)
         self.dataset = dataset
         self.trace = trace
         self.cost_model = cost_model or CostModel()
@@ -166,6 +212,7 @@ class CostSimulator:
         counts_out = np.zeros((T, N), dtype=np.int64)
         capacity_out = np.zeros(T)
         demand_out = np.zeros(T)
+        capacity_eff_out = np.zeros(T)
 
         # Loop-invariant: the boot window covers a fixed fraction of every
         # interval (servers added this interval serve nothing during it).
@@ -277,6 +324,13 @@ class CostSimulator:
             counts_out[t] = counts
             capacity_out[t] = capacity_full
             demand_out[t] = demand
+            # Time-weighted serving capacity across the three phases — the
+            # effective rate the latency estimate sees.
+            capacity_eff_out[t] = (
+                surviving * gap_mean
+                + (capacity_full - boot_capacity) * boot_phase
+                + capacity_full * rest_phase
+            )
             observed = demand
             if evented:
                 ev.emit(
@@ -306,4 +360,5 @@ class CostSimulator:
             counts=counts_out,
             capacity_rps=capacity_out,
             demand_rps=demand_out,
+            p99_est_s=interval_p99(demand_out, capacity_eff_out, self.service_time),
         )

@@ -75,6 +75,7 @@ class SimServer:
         cold_multiplier: float = 3.0,
         queue_limit_seconds: float = 10.0,
         seed: int = 0,
+        track_completions: bool = False,
     ) -> None:
         if capacity_rps <= 0 or service_time <= 0:
             raise ValueError("capacity_rps and service_time must be positive")
@@ -98,6 +99,12 @@ class SimServer:
         self._worker_free = np.zeros(self.workers)
         self._in_flight = 0
         self._completions = 0
+        # Hybrid-engine support: remember pending completion events so a
+        # request->fluid handoff can cancel them and re-absorb the work as
+        # queue mass.  Off by default — the plain request-level path keeps
+        # zero extra state.
+        self._track_completions = bool(track_completions)
+        self._pending_completions: list = []
         # A replacement launched inside a warning's causal scope boots
         # asynchronously; capture the cause now so the boot event links back.
         self._launch_cause = get_events().current_cause()
@@ -215,8 +222,71 @@ class SimServer:
         self._worker_free[idx] = finish
         self._in_flight += 1
         arrived = self.sim.now
-        self.sim.schedule_at(finish, self._complete, arrived)
+        event = self.sim.schedule_at(finish, self._complete, arrived)
+        if self._track_completions:
+            self._remember(event)
         return True
+
+    # ---------------------------------------------------- hybrid handoffs
+    def _remember(self, event) -> None:
+        """Track a completion event, compacting fired ones amortized."""
+        pending = self._pending_completions
+        pending.append(event)
+        if len(pending) > 2 * self._in_flight + 64:
+            now = self.sim.now
+            self._pending_completions = [
+                e for e in pending if not e.cancelled and e.time > now
+            ]
+
+    def materialize(self, count: int) -> int:
+        """Admit ``count`` in-flight requests handed off from the fluid tier.
+
+        Fills worker slots exactly like :meth:`submit` but without the
+        admission test (the fluid tier already admitted this work), with
+        every request arrival-stamped *now*: an exponential's remaining
+        service time is again exponential (memorylessness), so redrawing
+        full service times for materialized work is distribution-correct.
+        Returns the number actually admitted — 0 while booting or dead,
+        so the caller can leave that mass in the fluid tier.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.phase in (ServerPhase.DEAD, ServerPhase.BOOTING):
+            return 0
+        now = self.sim.now
+        for _ in range(count):
+            idx = int(np.argmin(self._worker_free))
+            start = max(now, float(self._worker_free[idx]))
+            finish = start + self._current_service_time()
+            self._worker_free[idx] = finish
+            self._in_flight += 1
+            event = self.sim.schedule_at(finish, self._complete, now)
+            if self._track_completions:
+                self._remember(event)
+        return count
+
+    def absorb(self) -> int:
+        """Cancel pending completions and return the in-flight count.
+
+        The request->fluid handoff: the returned count becomes queue mass
+        in the fluid tier, worker slots reset to idle.  Requires
+        ``track_completions=True`` at construction.
+        """
+        if not self._track_completions:
+            raise RuntimeError(
+                "absorb() needs completion tracking; construct the server "
+                "with track_completions=True"
+            )
+        now = self.sim.now
+        absorbed = 0
+        for event in self._pending_completions:
+            if not event.cancelled and event.time > now:
+                event.cancel()
+                absorbed += 1
+        self._pending_completions.clear()
+        self._in_flight -= absorbed
+        self._worker_free[:] = now
+        return absorbed
 
     def _complete(self, arrived: float) -> None:
         if self.phase is ServerPhase.DEAD:

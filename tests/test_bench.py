@@ -8,13 +8,16 @@ import pytest
 from repro.bench import (
     SCHEMA_MPO,
     SCHEMA_SIM,
+    SCHEMA_SIM_V1,
     bench_mpo,
     bench_regressions,
     bench_sim,
     crossover_violations,
     format_bench_mpo,
     format_bench_sim,
+    hybrid_speedup_violations,
     load_bench,
+    sim_regressions,
     write_bench,
 )
 
@@ -50,13 +53,33 @@ class TestBenchMPO:
 
 class TestBenchSim:
     def test_throughput_positive(self):
-        data = bench_sim(num_markets=4, weeks=1, repeats=2, seed=0)
+        # Test-sized cluster cells: low rate, short horizons, single repeat.
+        data = bench_sim(
+            num_markets=4,
+            weeks=1,
+            peak_rps=500.0,
+            repeats=2,
+            seed=0,
+            cluster_repeats=1,
+            request_seconds=2.0,
+            hybrid_seconds=10.0,
+            include_huge=False,
+        )
         assert data["schema"] == SCHEMA_SIM
-        (cell,) = data["cells"]
-        assert cell["intervals"] == 7 * 24
-        assert cell["intervals_per_sec_median"] > 0
-        assert np.isfinite(cell["total_cost"])
-        assert "intervals/sec" in format_bench_sim(data)
+        interval_cell, request_cell, hybrid_cell = data["cells"]
+        assert interval_cell["intervals"] == 7 * 24
+        assert interval_cell["intervals_per_sec_median"] > 0
+        assert np.isfinite(interval_cell["total_cost"])
+        assert request_cell["engine"] == "request"
+        assert request_cell["tier_steps"]["fluid"] == 0
+        assert hybrid_cell["engine"] == "hybrid"
+        assert hybrid_cell["tier_steps"]["fluid"] > 0
+        for cell in (request_cell, hybrid_cell):
+            assert cell["intervals_per_sec_median"] > 0
+            assert cell["served"] > 0
+            assert np.isfinite(cell["p99_s"])
+        out = format_bench_sim(data)
+        assert "intervals/sec" in out and "sim-intervals/sec" in out
 
 
 class TestPersistence:
@@ -163,3 +186,116 @@ class TestBenchRegressions:
         keys = {(c["markets"], c["horizon"]) for c in base["cells"]}
         # _cmd_bench --quick runs market_counts=(12, 48), horizons=(4, 6).
         assert {(12, 4), (48, 4)} <= keys
+
+
+class TestSimRegressions:
+    def _data(self, cells, schema=SCHEMA_SIM):
+        return {"schema": schema, "cells": cells}
+
+    def _interval(self, markets, ips):
+        return {
+            "policy": "uniform",
+            "markets": markets,
+            "intervals_per_sec_median": ips,
+        }
+
+    def _engine(self, engine, rps, ips):
+        return {
+            "engine": engine,
+            "peak_rps": rps,
+            "intervals_per_sec_median": ips,
+        }
+
+    def test_clean_within_factor(self):
+        base = self._data([self._interval(12, 100.0)])
+        fresh = self._data([self._interval(12, 50.0)])
+        assert sim_regressions(fresh, base, factor=2.5) == []
+
+    def test_flags_slow_cells_of_both_kinds(self):
+        base = self._data(
+            [self._interval(12, 100.0), self._engine("hybrid", 2e4, 30.0)]
+        )
+        fresh = self._data(
+            [self._interval(12, 10.0), self._engine("hybrid", 2e4, 5.0)]
+        )
+        bad = sim_regressions(fresh, base, factor=2.5)
+        assert {v["cell"][0] for v in bad} == {"policy", "engine"}
+        assert bad[0]["slowdown"] == pytest.approx(10.0)
+
+    def test_v1_baseline_still_comparable(self):
+        # Old committed baselines (interval cells only) keep gating.
+        base = self._data([self._interval(12, 100.0)], schema=SCHEMA_SIM_V1)
+        fresh = self._data(
+            [self._interval(12, 90.0), self._engine("hybrid", 2e4, 30.0)]
+        )
+        assert sim_regressions(fresh, base) == []
+
+    def test_zero_overlap_rejected(self):
+        base = self._data([self._interval(12, 100.0)])
+        fresh = self._data([self._engine("hybrid", 2e4, 30.0)])
+        with pytest.raises(ValueError, match="no overlapping"):
+            sim_regressions(fresh, base)
+
+    def test_rejects_bad_inputs(self):
+        good = self._data([self._interval(12, 100.0)])
+        with pytest.raises(ValueError, match="bench-sim"):
+            sim_regressions({"schema": SCHEMA_MPO, "cells": []}, good)
+        with pytest.raises(ValueError, match="factor"):
+            sim_regressions(good, good, factor=1.0)
+
+
+class TestHybridSpeedup:
+    def _data(self, cells):
+        return {"schema": SCHEMA_SIM, "cells": cells}
+
+    def _cell(self, engine, rps, ips):
+        return {
+            "engine": engine,
+            "peak_rps": rps,
+            "intervals_per_sec_median": ips,
+        }
+
+    def test_clean_when_fast_enough(self):
+        data = self._data(
+            [self._cell("request", 2e4, 0.3), self._cell("hybrid", 2e4, 30.0)]
+        )
+        assert hybrid_speedup_violations(data, min_speedup=50.0) == []
+
+    def test_flags_insufficient_speedup(self):
+        data = self._data(
+            [self._cell("request", 2e4, 1.0), self._cell("hybrid", 2e4, 20.0)]
+        )
+        bad = hybrid_speedup_violations(data, min_speedup=50.0)
+        assert len(bad) == 1
+        assert bad[0]["speedup"] == pytest.approx(20.0)
+
+    def test_reference_from_baseline_and_unpaired_skipped(self):
+        # The 500k hybrid cell has no request reference and is skipped;
+        # the 20k pair resolves against the committed baseline.
+        baseline = self._data([self._cell("request", 2e4, 0.5)])
+        fresh = self._data(
+            [self._cell("hybrid", 2e4, 30.0), self._cell("hybrid", 5e5, 600.0)]
+        )
+        assert (
+            hybrid_speedup_violations(fresh, baseline=baseline) == []
+        )
+
+    def test_zero_pairs_rejected(self):
+        fresh = self._data([self._cell("hybrid", 5e5, 600.0)])
+        with pytest.raises(ValueError, match="no hybrid/request"):
+            hybrid_speedup_violations(fresh)
+
+    def test_rejects_bad_inputs(self):
+        good = self._data(
+            [self._cell("request", 2e4, 1.0), self._cell("hybrid", 2e4, 90.0)]
+        )
+        with pytest.raises(ValueError, match="bench-sim"):
+            hybrid_speedup_violations({"schema": SCHEMA_MPO, "cells": []})
+        with pytest.raises(ValueError, match="min_speedup"):
+            hybrid_speedup_violations(good, min_speedup=1.0)
+
+    def test_committed_baseline_meets_floor(self):
+        """The repo-root BENCH_sim.json is part of the perf contract."""
+        root = Path(__file__).resolve().parents[1]
+        sim = load_bench(root / "BENCH_sim.json")
+        assert hybrid_speedup_violations(sim, min_speedup=50.0) == []

@@ -15,6 +15,7 @@ from repro.obs import (
     kind_counts,
     prometheus_text,
     slo_series,
+    tier_spans,
     write_events,
 )
 
@@ -95,6 +96,66 @@ class TestReports:
         text = format_timeline(log.records())
         assert "... (38 more admission.flip)" in text
         assert text.count("admission.flip") == 3  # 2 shown + elision row
+
+
+def hybrid_journal() -> list[dict]:
+    """A journal with tier switches: start fluid, warning window, settle."""
+    log = EventLog(enabled=True)
+    log.emit("sim.tier_switch", t=0.0, tier="fluid", trigger="start", moved=0)
+    w0 = log.open_warning(2, t=60.0, capacity_rps=80.0, warning_seconds=5.0)
+    log.emit(
+        "sim.tier_switch", t=60.0, cause=w0, tier="request",
+        trigger="warning", moved=17,
+    )
+    log.emit("server.killed", t=65.0, cause=w0, backend=2, lost=0)
+    log.resolve_warning(w0, t=65.0, lost=0)
+    log.emit(
+        "sim.tier_switch", t=70.0, tier="fluid", trigger="settled", moved=12
+    )
+    log.emit("slo.interval", t=120.0, requests=10, compliance=1.0, burn=0.0,
+             p50=0.1, p95=0.2, p99=0.3)
+    return log.records()
+
+
+class TestTierSpans:
+    def test_spans_cover_journal_in_order(self):
+        spans = tier_spans(hybrid_journal())
+        assert [s["tier"] for s in spans] == ["fluid", "request", "fluid"]
+        assert [s["t_start"] for s in spans] == [0.0, 60.0, 70.0]
+        # Each span ends where the next begins; the last at the final event.
+        assert [s["t_end"] for s in spans] == [60.0, 70.0, 120.0]
+
+    def test_spans_carry_trigger_cause_and_moved(self):
+        spans = tier_spans(hybrid_journal())
+        assert spans[1]["trigger"] == "warning"
+        assert spans[1]["cause"] == "w0"
+        assert spans[1]["moved"] == 17
+        assert spans[2]["trigger"] == "settled"
+        assert spans[2]["cause"] is None
+
+    def test_plain_journal_yields_no_spans(self):
+        assert tier_spans(sample_journal()) == []
+
+    def test_timeline_prepends_span_table(self):
+        text = format_timeline(hybrid_journal())
+        assert text.startswith("engine tier spans (3 spans)")
+        # The incident timeline still follows.
+        assert "w0 warning.issued" in text
+
+    def test_timeline_unchanged_without_switches(self):
+        rendered = format_timeline(sample_journal()) + "\n"
+        assert rendered == GOLDEN.read_text()
+
+    def test_span_table_without_incidents(self):
+        log = EventLog(enabled=True)
+        log.emit(
+            "sim.tier_switch", t=0.0, tier="fluid", trigger="start", moved=0
+        )
+        log.emit("slo.interval", t=60.0, requests=5, compliance=1.0, burn=0.0,
+                 p50=0.1, p95=0.2, p99=0.3)
+        text = format_timeline(log.records())
+        assert "engine tier spans (1 spans)" in text
+        assert "warning" not in text
 
 
 class TestDiff:
