@@ -20,6 +20,9 @@ Commands
 - ``events validate|summarize|timeline|diff <file> [file_b]`` — schema +
   causal-integrity check, incident report, ASCII incident timeline, or a
   by-interval divergence diff of two journals.
+- ``scenarios run|list|check`` — the adversarial scenario suite: run a
+  pack (journals per cell), list the registered families, or evaluate
+  journals against their invariant packs (non-zero exit on violation).
 - ``list`` — list available experiments with one-line descriptions.
 - ``catalog`` — print the instance catalog / market universe.
 - ``advisor`` — print the emulated Spot Instance Advisor table for a
@@ -473,6 +476,79 @@ def _cmd_bench(args) -> str:
     return text
 
 
+def _cmd_scenarios(args) -> str:
+    """Run / list / check the adversarial scenario suite.
+
+    ``run`` executes a pack (or named scenarios) across engines, writes
+    one ``spotweb-events/1`` journal per (scenario, engine) cell, and —
+    with ``--check`` — immediately evaluates every invariant pack.
+    ``check`` re-evaluates existing journal files (or a directory of
+    them); any violation exits non-zero, which is the CI gate.
+    """
+    from pathlib import Path
+
+    from repro import scenarios
+
+    if args.action == "list":
+        from repro.analysis import format_table
+
+        rows = [
+            [
+                s.name,
+                s.kind,
+                "quick" if s.quick else "nightly",
+                ",".join(scenarios.engines_for(s, ("request", "hybrid"))),
+                s.description,
+            ]
+            for s in scenarios.SCENARIOS.values()
+        ]
+        return format_table(
+            ["scenario", "kind", "pack", "engines", "description"], rows
+        )
+
+    if args.action == "run":
+        engines = (
+            ("request", "hybrid")
+            if args.engine == "both"
+            else (args.engine,)
+        )
+        runs = scenarios.run_suite(
+            args.scenario or None,
+            pack=args.pack,
+            engines=engines,
+            seed=args.seed,
+            max_workers=(args.workers if args.parallel else 1),
+        )
+        lines = []
+        for run in runs:
+            path = scenarios.write_run(run, args.out_dir)
+            lines.append(f"wrote {len(run.records)} events to {path}")
+        if args.check:
+            violations = scenarios.check_runs(runs)
+            report = scenarios.format_check_report(runs, violations)
+            if violations:
+                print("\n".join(lines))
+                raise SystemExit(report)
+            lines.append(report)
+        return "\n".join(lines)
+
+    # action == "check": evaluate existing journals.
+    paths = [Path(p) for p in args.journals]
+    if args.dir is not None:
+        paths.extend(sorted(Path(args.dir).glob("events_scenario_*.jsonl")))
+    if not paths:
+        raise SystemExit(
+            "scenarios check needs journal files or --dir with "
+            "events_scenario_*.jsonl journals"
+        )
+    runs = [scenarios.load_run(path) for path in paths]
+    violations = scenarios.check_runs(runs)
+    report = scenarios.format_check_report(runs, violations)
+    if violations:
+        raise SystemExit(report)
+    return report
+
+
 def _cmd_advisor(args) -> str:
     from repro.analysis import format_table
     from repro.markets import advisor_table, default_catalog, generate_market_dataset
@@ -627,6 +703,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="pool size (default: cpu count)"
     )
 
+    p_scn = sub.add_parser(
+        "scenarios", help="run/list/check the adversarial scenario suite"
+    )
+    p_scn.add_argument("action", choices=("run", "list", "check"))
+    p_scn.add_argument(
+        "journals",
+        nargs="*",
+        default=[],
+        help="journal files to check (check only)",
+    )
+    p_scn.add_argument(
+        "--pack",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick = push-CI pack; full adds the nightly-only cells",
+    )
+    p_scn.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="run only this scenario (repeatable; overrides --pack)",
+    )
+    p_scn.add_argument(
+        "--engine",
+        choices=("request", "hybrid", "both"),
+        default="both",
+        help="engine(s) for cluster scenarios (portfolio cells ignore it)",
+    )
+    p_scn.add_argument("--seed", type=int, default=0)
+    p_scn.add_argument(
+        "--out-dir",
+        default="scenario_journals",
+        help="directory for the per-cell journal files",
+    )
+    p_scn.add_argument(
+        "--check",
+        action="store_true",
+        help="evaluate invariant packs right after running (exit non-zero "
+        "on any violation)",
+    )
+    p_scn.add_argument(
+        "--dir",
+        default=None,
+        help="check every events_scenario_*.jsonl journal in this directory",
+    )
+    p_scn.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan scenario cells out over a process pool",
+    )
+    p_scn.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cpu count)"
+    )
+
     p_adv = sub.add_parser("advisor", help="print the emulated Spot Advisor")
     p_adv.add_argument("--markets", type=int, default=12)
     p_adv.add_argument("--seed", type=int, default=0)
@@ -705,6 +835,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_catalog(args))
     elif args.command == "simulate":
         print(_cmd_simulate(args))
+    elif args.command == "scenarios":
+        print(_cmd_scenarios(args))
     elif args.command == "advisor":
         print(_cmd_advisor(args))
     elif args.command == "bench":

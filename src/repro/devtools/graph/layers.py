@@ -54,6 +54,11 @@ _MID = {
                             "predictors", "solvers", "workloads"}),
     "baselines": frozenset({"core", "markets", "predictors", "workloads"}),
     "analysis": frozenset({"core", "markets", "simulator", "workloads"}),
+    # The scenario DSL composes markets/workloads/simulator into checked
+    # episodes — it sits beside analysis, below the roots.
+    "scenarios": frozenset({"baselines", "core", "loadbalancer", "markets",
+                            "monitoring", "predictors", "simulator",
+                            "solvers", "workloads"}),
 }
 _NON_ROOT = (
     frozenset(_MID) | _LEAVES | frozenset({"analysis", "baselines"})
@@ -74,7 +79,7 @@ LAYER_ALLOWED: dict[str, frozenset[str]] = {
 #: Display grouping for the ASCII diagram (top may import downward only).
 LAYER_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("roots", ("__main__", "cli", "bench", "experiments")),
-    ("reporting", ("analysis",)),
+    ("reporting", ("analysis", "scenarios")),
     ("simulation", ("simulator", "baselines")),
     ("control", ("core",)),
     ("components", ("loadbalancer", "monitoring", "predictors")),

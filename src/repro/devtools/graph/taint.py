@@ -78,6 +78,7 @@ DETERMINISTIC_PREFIXES: tuple[str, ...] = (
     "repro.obs.metrics",
     "repro.obs.slo",
     "repro.predictors",
+    "repro.scenarios",
     "repro.simulator",
     # Redundant with the package prefix above, but listed explicitly:
     # the fluid tier draws no randomness at all and the hybrid driver

@@ -43,6 +43,14 @@ class SessionTable:
         if backend is not None:
             self._by_backend[backend].discard(session_id)
 
+    def counts_by_backend(self) -> dict[Hashable, int]:
+        """Live session count per backend (only non-empty backends)."""
+        return {
+            backend: len(sessions)
+            for backend, sessions in self._by_backend.items()
+            if sessions
+        }
+
     def evict_backend(self, backend: Hashable) -> set[int]:
         """Unpin every session on a backend; returns the orphaned sessions."""
         sessions = self._by_backend.pop(backend, set())

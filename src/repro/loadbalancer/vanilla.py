@@ -152,3 +152,19 @@ class VanillaLoadBalancer:
         return sum(
             b.capacity_rps for b in self.backends.values() if b.accepting
         )
+
+    def stranded_sessions(self) -> int:
+        """Sessions still pinned to a backend that can no longer serve them.
+
+        A session is stranded when its sticky assignment points at a dead
+        or dropped backend.  The transiency-aware balancer's migration
+        sweep should leave zero; the vanilla baseline strands every
+        session of a revoked backend until a health check evicts it.  The
+        scenario invariant packs read this at end of episode.
+        """
+        stranded = 0
+        for bid, count in self.sessions.counts_by_backend().items():
+            backend = self.backends.get(bid)
+            if backend is None or not backend.alive:
+                stranded += count
+        return stranded

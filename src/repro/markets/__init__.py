@@ -38,6 +38,13 @@ from repro.markets.revocation import (
     event_covariance,
 )
 from repro.markets.dataset import MarketDataset, generate_market_dataset
+from repro.markets.injectors import (
+    correlated_market_block,
+    inject_capacity_drought,
+    inject_drift,
+    inject_price_war,
+    inject_revocation_storm,
+)
 from repro.markets.cloud import TransientCloud, VMInstance, VMState
 from repro.markets.advisor import ADVISOR_BUCKETS, AdvisorBucket, advisor_table, bucket_for
 from repro.markets.bidding import (
@@ -66,6 +73,11 @@ __all__ = [
     "event_covariance",
     "MarketDataset",
     "generate_market_dataset",
+    "correlated_market_block",
+    "inject_capacity_drought",
+    "inject_drift",
+    "inject_price_war",
+    "inject_revocation_storm",
     "TransientCloud",
     "VMInstance",
     "VMState",

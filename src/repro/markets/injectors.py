@@ -1,0 +1,236 @@
+"""Adversarial market injectors: regime shifts layered onto a dataset.
+
+The synthetic generators in :mod:`repro.markets.price_process` and
+:mod:`repro.markets.revocation` produce *mean-reverting* markets with
+mild regimes — exactly the regime SpotWeb's controller finds easy.  The
+scenario suite (:mod:`repro.scenarios`) needs the ugly cases documented
+in the transient-cloud literature (Portfolio-driven Resource Management,
+arXiv:1704.08738, records regime-shift revocation dynamics; Kiessler et
+al., arXiv:2206.07092, motivates multi-week drift horizons), so this
+module provides pure dataset → dataset transforms that can be layered in
+any order:
+
+- :func:`correlated_market_block` — the most mutually correlated block
+  of markets (the synthetic stand-in for "one availability zone").
+- :func:`inject_revocation_storm` — a whole correlated block's failure
+  probabilities pinned near 1 inside one window: an AZ-wide reclaim.
+- :func:`inject_price_war` — a price-collapse regime shift with the
+  accompanying revocation surge (capacity is being bid away).
+- :func:`inject_capacity_drought` — sustained price surge + elevated
+  revocations on most markets: the window where ``A_max`` becomes
+  infeasible for any cost-bounded policy.
+- :func:`inject_drift` — compounding multi-week price/failure drift.
+
+Every injector returns a **new** :class:`~repro.markets.dataset
+.MarketDataset`; inputs are never mutated, and no injector draws
+randomness — a shaped dataset is a pure function of (dataset, args).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markets.dataset import MarketDataset
+
+__all__ = [
+    "correlated_market_block",
+    "inject_revocation_storm",
+    "inject_price_war",
+    "inject_capacity_drought",
+    "inject_drift",
+]
+
+#: Failure probabilities are kept strictly below 1 so copula sampling and
+#: the Eq. 5 covariance stay well conditioned.
+_PROB_CAP = 0.95
+
+
+def _replace(
+    dataset: MarketDataset, prices: np.ndarray, failure_probs: np.ndarray
+) -> MarketDataset:
+    """A new dataset sharing the market universe with swapped matrices."""
+    return MarketDataset(
+        markets=list(dataset.markets),
+        prices=prices,
+        failure_probs=failure_probs,
+        interval_seconds=dataset.interval_seconds,
+    )
+
+
+def _window(dataset: MarketDataset, start: int, duration: int) -> slice:
+    if not 0 <= start < dataset.num_intervals:
+        raise ValueError("start interval out of range")
+    if duration < 1:
+        raise ValueError("duration must be >= 1 interval")
+    return slice(start, min(start + duration, dataset.num_intervals))
+
+
+def correlated_market_block(dataset: MarketDataset, size: int) -> list[int]:
+    """The ``size`` most mutually correlated markets — a synthetic "AZ".
+
+    Seeded from the market with the highest mean absolute correlation to
+    the rest, then grown greedily by correlation to the seed.  Purely a
+    function of the dataset's failure-probability dynamics, so the same
+    dataset always yields the same block.
+    """
+    n = dataset.num_markets
+    if not 1 <= size <= n:
+        raise ValueError("block size out of range")
+    cov = dataset.covariance()
+    d = np.sqrt(np.clip(np.diag(cov), 1e-12, None))
+    rho = np.abs(cov / np.outer(d, d))
+    np.fill_diagonal(rho, 0.0)
+    anchor = int(np.argmax(rho.sum(axis=1)))
+    order = np.argsort(-rho[anchor], kind="stable")
+    block = [anchor] + [int(i) for i in order if int(i) != anchor]
+    return sorted(block[:size])
+
+
+def inject_revocation_storm(
+    dataset: MarketDataset,
+    *,
+    at: int,
+    duration: int = 1,
+    markets: list[int] | None = None,
+    fraction: float = 0.5,
+    probability: float = 0.9,
+) -> MarketDataset:
+    """Pin a correlated market block's failure probability inside a window.
+
+    ``markets`` selects the doomed columns explicitly; otherwise the
+    ``fraction`` most mutually correlated markets form the block (see
+    :func:`correlated_market_block`).  Within ``[at, at + duration)``
+    their revocation probability is raised to ``probability`` — with the
+    copula correlation intact, one draw then reclaims the whole block
+    inside a single warning window.
+    """
+    if not 0 < probability <= _PROB_CAP:
+        raise ValueError(f"probability must be in (0, {_PROB_CAP}]")
+    window = _window(dataset, at, duration)
+    if markets is None:
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        size = max(1, int(round(fraction * dataset.num_markets)))
+        markets = correlated_market_block(dataset, size)
+    cols = np.asarray(sorted(markets), dtype=np.int64)
+    if cols.size == 0 or cols[0] < 0 or cols[-1] >= dataset.num_markets:
+        raise ValueError("market indices out of range")
+    probs = dataset.failure_probs.copy()
+    probs[window, cols] = np.maximum(probs[window][:, cols], probability)
+    return _replace(dataset, dataset.prices.copy(), probs)
+
+
+def inject_price_war(
+    dataset: MarketDataset,
+    *,
+    start: int,
+    ramp: int = 6,
+    depth: float = 0.7,
+    revocation_boost: float = 3.0,
+) -> MarketDataset:
+    """A price-collapse regime shift: spot prices crash, revocations surge.
+
+    From ``start`` the spot prices of every revocable market ramp down
+    over ``ramp`` intervals to ``(1 - depth)`` of their trajectory and
+    stay collapsed; failure probabilities scale by ``revocation_boost``
+    over the same ramp (capacity being bid away is capacity being
+    reclaimed).  This is the 1704.08738 regime-shift dynamic: the cheap
+    market is the dangerous market.
+    """
+    if not 0 < depth < 1:
+        raise ValueError("depth must be in (0, 1)")
+    if ramp < 1:
+        raise ValueError("ramp must be >= 1 interval")
+    if revocation_boost < 1:
+        raise ValueError("revocation_boost must be >= 1")
+    if not 0 <= start < dataset.num_intervals:
+        raise ValueError("start interval out of range")
+    T = dataset.num_intervals
+    t = np.arange(T, dtype=np.float64)
+    progress = np.clip((t - start) / ramp, 0.0, 1.0)
+    price_factor = 1.0 - depth * progress
+    prob_factor = 1.0 + (revocation_boost - 1.0) * progress
+    revocable = np.array(
+        [m.revocable for m in dataset.markets], dtype=np.float64
+    )
+    prices = dataset.prices * (
+        1.0 + (price_factor[:, None] - 1.0) * revocable[None, :]
+    )
+    probs = dataset.failure_probs * (
+        1.0 + (prob_factor[:, None] - 1.0) * revocable[None, :]
+    )
+    return _replace(dataset, prices, np.clip(probs, 0.0, _PROB_CAP))
+
+
+def inject_capacity_drought(
+    dataset: MarketDataset,
+    *,
+    start: int,
+    duration: int,
+    price_surge: float = 3.0,
+    probability_floor: float = 0.3,
+    spared_markets: list[int] | None = None,
+) -> MarketDataset:
+    """A sustained scarcity window: prices surge, revocations stay high.
+
+    Inside ``[start, start + duration)`` every revocable market (except
+    ``spared_markets``) multiplies its price by ``price_surge`` and
+    raises its failure probability to at least ``probability_floor`` —
+    the regime where the portfolio's ``A_max`` budget cannot buy enough
+    surviving capacity and shortfall is unavoidable.
+    """
+    if price_surge < 1:
+        raise ValueError("price_surge must be >= 1")
+    if not 0 <= probability_floor <= _PROB_CAP:
+        raise ValueError(f"probability_floor must be in [0, {_PROB_CAP}]")
+    window = _window(dataset, start, duration)
+    spared = set(spared_markets or ())
+    mask = np.array(
+        [m.revocable and i not in spared for i, m in enumerate(dataset.markets)]
+    )
+    prices = dataset.prices.copy()
+    probs = dataset.failure_probs.copy()
+    prices[window] = np.where(
+        mask[None, :], prices[window] * price_surge, prices[window]
+    )
+    probs[window] = np.where(
+        mask[None, :],
+        np.maximum(probs[window], probability_floor),
+        probs[window],
+    )
+    return _replace(dataset, prices, probs)
+
+
+def inject_drift(
+    dataset: MarketDataset,
+    *,
+    price_growth_per_week: float = 0.1,
+    probability_growth_per_week: float = 0.0,
+) -> MarketDataset:
+    """Compounding long-horizon drift (the 2206.07092 allocation setting).
+
+    Prices (and optionally failure probabilities) of revocable markets
+    compound by the given weekly growth rates over the whole horizon —
+    the slow secular shift a controller tuned on a stationary market
+    never sees coming.  Negative rates model secular decline.
+    """
+    if price_growth_per_week <= -1 or probability_growth_per_week <= -1:
+        raise ValueError("growth rates must be > -1")
+    T = dataset.num_intervals
+    weeks = (
+        np.arange(T, dtype=np.float64)
+        * dataset.interval_seconds
+        / (7 * 24 * 3600.0)
+    )
+    price_path = (1.0 + price_growth_per_week) ** weeks
+    prob_path = (1.0 + probability_growth_per_week) ** weeks
+    revocable = np.array(
+        [m.revocable for m in dataset.markets], dtype=np.float64
+    )
+    prices = dataset.prices * (
+        1.0 + (price_path[:, None] - 1.0) * revocable[None, :]
+    )
+    probs = dataset.failure_probs * (
+        1.0 + (prob_path[:, None] - 1.0) * revocable[None, :]
+    )
+    return _replace(dataset, prices, np.clip(probs, 0.0, _PROB_CAP))

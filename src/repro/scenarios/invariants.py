@@ -1,0 +1,324 @@
+"""Invariant packs: the per-scenario contracts the oracle enforces.
+
+A scenario without an enforceable contract is a demo, not a gate.  Each
+scenario family in :mod:`repro.scenarios.suite` ships an
+:class:`InvariantPack` — a frozen bundle of bounds evaluated against the
+scenario's ``spotweb-events/1`` journal by :func:`evaluate_pack`:
+
+- **SLO floor** — request-weighted compliance over the ``slo.interval``
+  series (cluster episodes) or the served fraction reported by the
+  interval simulator (portfolio scenarios) must not drop below a floor.
+- **Cost ceiling** — the episode's integrated cost must stay bounded;
+  a controller that survives a storm by buying the world has not won.
+- **No stranded sessions** — at episode end no session may remain
+  pinned to a dead or dropped backend.
+- **Causal resolution** — every ``warning.issued`` must be closed by a
+  ``warning.resolved`` whose ``cause`` names it (terminal outcomes are
+  enforced by the journal schema itself).
+- **Conservation ledger** — the hybrid engine's fluid tier must balance
+  (inflow == outflow + residual mass) to within a tolerance.
+- **Stress witnesses** — minimum revocation counts / shortfall so a
+  green run proves the scenario actually bit, not that it was skipped.
+
+Violations are data, not exceptions: the oracle collects all of them and
+the CLI turns a non-empty list into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Violation",
+    "InvariantPack",
+    "scenario_outcome",
+    "weighted_compliance",
+    "unresolved_warnings",
+    "evaluate_pack",
+    "compare_engines",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with the observed value and its bound."""
+
+    scenario: str
+    invariant: str
+    message: str
+    observed: float | None = None
+    bound: float | None = None
+
+    def __str__(self) -> str:
+        return f"{self.scenario}: [{self.invariant}] {self.message}"
+
+
+@dataclass(frozen=True)
+class InvariantPack:
+    """Bounds one scenario's journal must satisfy.
+
+    ``None`` disables a bound (e.g. portfolio scenarios have no session
+    table, so ``max_stranded=None``).  ``min_revocations`` and
+    ``min_unserved_fraction`` are *stress witnesses*: they fail the run
+    when the adversarial condition never materialized, which would make
+    every other bound vacuously green.
+    """
+
+    slo_floor: float | None = None
+    cost_ceiling: float | None = None
+    max_stranded: int | None = 0
+    require_resolution: bool = True
+    conservation_tol: float | None = 1e-6
+    min_revocations: int = 0
+    max_unserved_fraction: float | None = None
+    min_unserved_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.slo_floor is not None and not 0 <= self.slo_floor <= 1:
+            raise ValueError("slo_floor must be in [0, 1]")
+        if self.cost_ceiling is not None and self.cost_ceiling <= 0:
+            raise ValueError("cost_ceiling must be positive")
+        if self.max_stranded is not None and self.max_stranded < 0:
+            raise ValueError("max_stranded must be non-negative")
+        if self.conservation_tol is not None and self.conservation_tol < 0:
+            raise ValueError("conservation_tol must be non-negative")
+        if self.min_revocations < 0:
+            raise ValueError("min_revocations must be non-negative")
+
+
+def scenario_outcome(records: list[dict]) -> dict | None:
+    """The attrs of the journal's final ``scenario.outcome`` event."""
+    outcome = None
+    for rec in records:
+        if rec["kind"] == "scenario.outcome":
+            outcome = rec["attrs"]
+    return outcome
+
+
+def weighted_compliance(records: list[dict]) -> float | None:
+    """Request-weighted SLO compliance over the ``slo.interval`` series.
+
+    ``None`` when the journal has no SLO series (interval-level
+    scenarios) — callers fall back to the outcome's served fraction.
+    Empty intervals carry compliance 1.0 with weight 0, so they cannot
+    mask a bad interval.
+    """
+    total = 0.0
+    good = 0.0
+    seen = False
+    for rec in records:
+        if rec["kind"] != "slo.interval":
+            continue
+        seen = True
+        requests = float(rec["attrs"].get("requests", 0))
+        total += requests
+        good += requests * float(rec["attrs"].get("compliance", 1.0))
+    if not seen:
+        return None
+    return good / total if total > 0 else 1.0
+
+
+def unresolved_warnings(records: list[dict]) -> list[str]:
+    """Ids of ``warning.issued`` events never closed by a resolution."""
+    open_ids: dict[str, None] = {}
+    for rec in records:
+        if rec["kind"] == "warning.issued" and rec["id"] is not None:
+            open_ids[rec["id"]] = None
+        elif rec["kind"] == "warning.resolved" and rec["cause"] is not None:
+            open_ids.pop(rec["cause"], None)
+    return list(open_ids)
+
+
+def _count_warnings(records: list[dict]) -> int:
+    return sum(1 for rec in records if rec["kind"] == "warning.issued")
+
+
+def evaluate_pack(
+    scenario: str, records: list[dict], pack: InvariantPack
+) -> list[Violation]:
+    """Evaluate one scenario journal against its pack; returns violations.
+
+    The journal must contain a ``scenario.outcome`` event (emitted by
+    every scenario runner); its absence is itself a violation, because a
+    crashed or truncated run must not pass the gate.
+    """
+    violations: list[Violation] = []
+
+    outcome = scenario_outcome(records)
+    if outcome is None:
+        violations.append(
+            Violation(
+                scenario,
+                "outcome",
+                "journal has no scenario.outcome event (truncated run?)",
+            )
+        )
+        outcome = {}
+
+    compliance = weighted_compliance(records)
+    if compliance is None:
+        served = outcome.get("compliance")
+        compliance = None if served is None else float(served)
+    if pack.slo_floor is not None:
+        if compliance is None:
+            violations.append(
+                Violation(
+                    scenario,
+                    "slo_floor",
+                    "no compliance signal in journal (no slo.interval "
+                    "events and no outcome compliance)",
+                    bound=pack.slo_floor,
+                )
+            )
+        elif compliance < pack.slo_floor:
+            violations.append(
+                Violation(
+                    scenario,
+                    "slo_floor",
+                    f"compliance {compliance:.4f} below floor "
+                    f"{pack.slo_floor:.4f}",
+                    observed=compliance,
+                    bound=pack.slo_floor,
+                )
+            )
+
+    if pack.cost_ceiling is not None:
+        cost = outcome.get("cost")
+        if cost is None:
+            violations.append(
+                Violation(
+                    scenario,
+                    "cost_ceiling",
+                    "outcome reports no cost",
+                    bound=pack.cost_ceiling,
+                )
+            )
+        elif float(cost) > pack.cost_ceiling:
+            violations.append(
+                Violation(
+                    scenario,
+                    "cost_ceiling",
+                    f"cost {float(cost):.3f} exceeds ceiling "
+                    f"{pack.cost_ceiling:.3f}",
+                    observed=float(cost),
+                    bound=pack.cost_ceiling,
+                )
+            )
+
+    if pack.max_stranded is not None:
+        stranded = int(outcome.get("stranded", 0))
+        if stranded > pack.max_stranded:
+            violations.append(
+                Violation(
+                    scenario,
+                    "stranded_sessions",
+                    f"{stranded} sessions stranded on dead backends "
+                    f"(allowed {pack.max_stranded})",
+                    observed=float(stranded),
+                    bound=float(pack.max_stranded),
+                )
+            )
+
+    if pack.require_resolution:
+        dangling = unresolved_warnings(records)
+        if dangling:
+            violations.append(
+                Violation(
+                    scenario,
+                    "warning_resolution",
+                    f"{len(dangling)} warning(s) never resolved: "
+                    f"{', '.join(sorted(dangling)[:5])}",
+                    observed=float(len(dangling)),
+                    bound=0.0,
+                )
+            )
+
+    if pack.conservation_tol is not None:
+        ledger = abs(float(outcome.get("ledger_error", 0.0)))
+        if ledger > pack.conservation_tol:
+            violations.append(
+                Violation(
+                    scenario,
+                    "conservation",
+                    f"fluid ledger error {ledger:.3e} exceeds tolerance "
+                    f"{pack.conservation_tol:.1e}",
+                    observed=ledger,
+                    bound=pack.conservation_tol,
+                )
+            )
+
+    if pack.min_revocations > 0:
+        revocations = _count_warnings(records)
+        if revocations < pack.min_revocations:
+            violations.append(
+                Violation(
+                    scenario,
+                    "stress_witness",
+                    f"only {revocations} revocation warning(s); scenario "
+                    f"requires at least {pack.min_revocations} to count "
+                    "as stressed",
+                    observed=float(revocations),
+                    bound=float(pack.min_revocations),
+                )
+            )
+
+    unserved = outcome.get("unserved_fraction")
+    if pack.max_unserved_fraction is not None and unserved is not None:
+        if float(unserved) > pack.max_unserved_fraction:
+            violations.append(
+                Violation(
+                    scenario,
+                    "unserved_ceiling",
+                    f"unserved fraction {float(unserved):.4f} exceeds "
+                    f"{pack.max_unserved_fraction:.4f}",
+                    observed=float(unserved),
+                    bound=pack.max_unserved_fraction,
+                )
+            )
+    if pack.min_unserved_fraction is not None:
+        if unserved is None or float(unserved) < pack.min_unserved_fraction:
+            violations.append(
+                Violation(
+                    scenario,
+                    "stress_witness",
+                    "scenario expected unavoidable shortfall "
+                    f"(>= {pack.min_unserved_fraction:.4f}) but observed "
+                    f"{0.0 if unserved is None else float(unserved):.4f}",
+                    observed=0.0 if unserved is None else float(unserved),
+                    bound=pack.min_unserved_fraction,
+                )
+            )
+
+    return violations
+
+
+def compare_engines(
+    scenario: str,
+    compliance_by_engine: dict[str, float],
+    *,
+    tolerance: float,
+) -> list[Violation]:
+    """Cross-engine accuracy gate: compliance must agree within tolerance.
+
+    Scenario episodes run under both ``engine=request`` (the reference)
+    and ``engine=hybrid`` (the fluid/request two-tier engine); a drift
+    larger than ``tolerance`` means the fluid tier is mis-modelling
+    exactly the adversarial windows it exists to survive.
+    """
+    if len(compliance_by_engine) < 2:
+        return []
+    values = sorted(compliance_by_engine.items())
+    spread = max(v for _, v in values) - min(v for _, v in values)
+    if spread <= tolerance:
+        return []
+    detail = ", ".join(f"{eng}={val:.4f}" for eng, val in values)
+    return [
+        Violation(
+            scenario,
+            "engine_agreement",
+            f"compliance spread {spread:.4f} across engines ({detail}) "
+            f"exceeds tolerance {tolerance:.4f}",
+            observed=spread,
+            bound=tolerance,
+        )
+    ]

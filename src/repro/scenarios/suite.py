@@ -1,0 +1,243 @@
+"""The scenario registry: ≥5 adversarial families, each with its pack.
+
+Every entry couples a seeded generator spec (cluster episode or shaped
+portfolio run) with the :class:`~repro.scenarios.invariants
+.InvariantPack` its journal must satisfy.  ``quick`` marks the pack that
+runs on every push (the ``scenario-smoke`` CI job); the nightly
+full-grid workflow runs everything, including the multi-week
+``long_drift`` cells excluded from push CI for runtime.
+
+Bounds are calibrated against seed 0 of each family with deliberate
+margin — they are regression tripwires for *qualitative* failures
+(stranded sessions, unresolved warnings, ledger drift, collapse of
+compliance, runaway cost), not golden-value assertions; see
+``tests/test_scenarios_suite.py`` for the violating-fixture
+counterparts that prove each bound can actually fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.markets.dataset import MarketDataset
+from repro.markets.injectors import (
+    inject_capacity_drought,
+    inject_drift,
+    inject_price_war,
+)
+from repro.scenarios.episode import EpisodeSpec, StormSpec
+from repro.scenarios.invariants import InvariantPack
+from repro.scenarios.portfolio import PortfolioSpec
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "scenario_names",
+    "get_scenario",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered scenario family."""
+
+    name: str
+    kind: str  # "cluster" (DES episode) | "portfolio" (interval-level)
+    description: str
+    quick: bool
+    pack: InvariantPack
+    spec: EpisodeSpec | PortfolioSpec
+    #: max compliance spread between request/hybrid engines (cluster only)
+    engine_agreement_tol: float | None = None
+
+
+def _shape_price_war(dataset: MarketDataset) -> MarketDataset:
+    return inject_price_war(dataset, start=24, ramp=6, depth=0.7)
+
+
+def _shape_drought(dataset: MarketDataset) -> MarketDataset:
+    return inject_capacity_drought(
+        dataset, start=72, duration=36, price_surge=4.0
+    )
+
+
+def _shape_drift(dataset: MarketDataset) -> MarketDataset:
+    return inject_drift(
+        dataset,
+        price_growth_per_week=0.15,
+        probability_growth_per_week=0.05,
+    )
+
+
+_ALL = [
+    Scenario(
+        name="storm_az",
+        kind="cluster",
+        description=(
+            "Correlated revocation storm: half the fleet (one synthetic "
+            "AZ) reclaimed inside a single 120 s warning window"
+        ),
+        quick=True,
+        pack=InvariantPack(
+            slo_floor=0.90,
+            cost_ceiling=2.0,
+            max_stranded=0,
+            min_revocations=3,
+        ),
+        spec=EpisodeSpec(
+            name="storm_az",
+            duration=480.0,
+            capacities=(60.0,) * 6,
+            base_rps=150.0,
+            storms=(StormSpec(at=120.0, servers=(0, 1, 2)),),
+        ),
+        engine_agreement_tol=0.05,
+    ),
+    Scenario(
+        name="flash_crowd",
+        kind="cluster",
+        description=(
+            "TV4-style flash crowds: three seeded spikes up to 1.9x the "
+            "base rate against a fixed fleet — graceful degradation, "
+            "bounded shedding"
+        ),
+        quick=True,
+        pack=InvariantPack(
+            slo_floor=0.75,
+            cost_ceiling=2.0,
+            max_stranded=0,
+            max_unserved_fraction=0.10,
+        ),
+        spec=EpisodeSpec(
+            name="flash_crowd",
+            duration=480.0,
+            capacities=(60.0,) * 6,
+            base_rps=130.0,
+            flash_crowds=3,
+            flash_magnitude=(1.4, 1.9),
+        ),
+        engine_agreement_tol=0.05,
+    ),
+    Scenario(
+        name="storm_in_crowd",
+        kind="cluster",
+        description=(
+            "Composite: a two-server storm landing while flash crowds "
+            "are already elevated — the layered-DSL case"
+        ),
+        quick=True,
+        pack=InvariantPack(
+            slo_floor=0.88,
+            cost_ceiling=2.0,
+            max_stranded=0,
+            min_revocations=2,
+        ),
+        spec=EpisodeSpec(
+            name="storm_in_crowd",
+            duration=480.0,
+            capacities=(60.0,) * 6,
+            base_rps=130.0,
+            flash_crowds=2,
+            flash_magnitude=(1.3, 1.8),
+            storms=(StormSpec(at=240.0, servers=(1, 4)),),
+        ),
+        engine_agreement_tol=0.05,
+    ),
+    Scenario(
+        name="price_war",
+        kind="portfolio",
+        description=(
+            "Spot-market collapse: prices crash 70% from hour 24 while "
+            "revocation rates triple (the cheap market is the dangerous "
+            "market)"
+        ),
+        quick=True,
+        pack=InvariantPack(
+            slo_floor=0.95,
+            cost_ceiling=2000.0,
+            max_stranded=None,
+            conservation_tol=None,
+            min_revocations=10,
+        ),
+        spec=PortfolioSpec(
+            name="price_war",
+            weeks=1,
+            num_markets=8,
+            mean_rps=2000.0,
+            shape=_shape_price_war,
+        ),
+    ),
+    Scenario(
+        name="capacity_drought",
+        kind="portfolio",
+        description=(
+            "A_max infeasibility: a 36-hour scarcity window (4x prices, "
+            "elevated revocations) under a hard per-market server cap — "
+            "shortfall is unavoidable and must stay bounded"
+        ),
+        quick=True,
+        pack=InvariantPack(
+            slo_floor=0.80,
+            cost_ceiling=4000.0,
+            max_stranded=None,
+            conservation_tol=None,
+            min_unserved_fraction=0.005,
+            max_unserved_fraction=0.20,
+        ),
+        spec=PortfolioSpec(
+            name="capacity_drought",
+            weeks=1,
+            num_markets=8,
+            mean_rps=2000.0,
+            shape=_shape_drought,
+            a_max=4,
+        ),
+    ),
+    Scenario(
+        name="long_drift",
+        kind="portfolio",
+        description=(
+            "Long-horizon drift: three weeks of compounding price "
+            "(+15%/wk) and revocation (+5%/wk) drift under growing "
+            "(+10%/wk), flash-crowded demand — nightly grid only"
+        ),
+        quick=False,
+        pack=InvariantPack(
+            slo_floor=0.95,
+            cost_ceiling=12000.0,
+            max_stranded=None,
+            conservation_tol=None,
+            min_revocations=30,
+        ),
+        spec=PortfolioSpec(
+            name="long_drift",
+            weeks=3,
+            num_markets=8,
+            mean_rps=2000.0,
+            flash_crowds=6,
+            demand_growth_per_week=0.10,
+            shape=_shape_drift,
+        ),
+    ),
+]
+
+#: name -> scenario, in registration order.
+SCENARIOS: dict[str, Scenario] = {s.name: s for s in _ALL}
+
+
+def scenario_names(pack: str = "full") -> list[str]:
+    """Names in the ``quick`` (push CI) or ``full`` (nightly) pack."""
+    if pack not in ("quick", "full"):
+        raise ValueError("pack must be 'quick' or 'full'")
+    return [
+        s.name for s in SCENARIOS.values() if pack == "full" or s.quick
+    ]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Registry lookup with a helpful error."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None

@@ -196,6 +196,49 @@ class ClusterSimulation:
             lambda: self.revoke(server_id, warning_seconds=warning_seconds),
         )
 
+    def schedule_storm(
+        self,
+        server_ids: list[int],
+        at_time: float,
+        *,
+        warning_seconds: float | None = None,
+    ) -> None:
+        """Schedule a correlated revocation storm: one warning window, many
+        servers.
+
+        Every listed server receives its revocation warning at the same
+        instant — the "whole availability zone reclaimed at once" case.
+        Each warning flows through the normal chain (``warning.issued`` →
+        balancer reaction → kill → ``warning.resolved``); the storm only
+        adds a ``storm.begin`` marker so journals can attribute the burst.
+        """
+        if not server_ids:
+            raise ValueError("storm needs at least one server")
+        ids = list(dict.fromkeys(server_ids))
+        unknown = [i for i in ids if i not in self.servers]
+        if unknown:
+            raise KeyError(f"unknown servers: {unknown}")
+
+        def _begin() -> None:
+            ev = get_events()
+            if ev.enabled:
+                ev.emit(
+                    "storm.begin",
+                    t=self.sim.now,
+                    servers=len(ids),
+                    capacity_rps=sum(
+                        self.servers[i].capacity_rps
+                        for i in ids
+                        if i in self.servers
+                    ),
+                )
+            for server_id in ids:
+                server = self.servers.get(server_id)
+                if server is not None and server.alive:
+                    self.revoke(server_id, warning_seconds=warning_seconds)
+
+        self.sim.schedule_at(at_time, _begin)
+
     def _kill(self, server_id: int) -> None:
         server = self.servers.get(server_id)
         if server is None or not server.alive:

@@ -17,6 +17,7 @@ from repro.workloads.generators import (
     step_workload,
 )
 from repro.workloads.spikes import inject_spikes, SpikeSpec
+from repro.workloads.flashcrowd import compose_flash_crowds, ramp_trace
 from repro.workloads.io import load_csv_trace, load_wikipedia_pagecounts
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "step_workload",
     "inject_spikes",
     "SpikeSpec",
+    "compose_flash_crowds",
+    "ramp_trace",
     "load_csv_trace",
     "load_wikipedia_pagecounts",
 ]

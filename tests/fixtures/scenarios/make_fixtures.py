@@ -1,0 +1,50 @@
+"""Regenerate the deliberately-violating scenario journals.
+
+Each fixture starts from the real seed-0 journal of its scenario and
+doctors only event *attrs* (never ids, seqs, or causal links), so the
+result still loads as a valid ``spotweb-events/1`` journal — the oracle
+must reject it on invariant grounds, not schema grounds.  CI's
+``scenario-smoke`` job asserts ``python -m repro scenarios check`` exits
+non-zero on these files.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/scenarios/make_fixtures.py
+"""
+
+from pathlib import Path
+
+from repro.obs.events import write_events
+from repro.scenarios import run_scenario
+
+OUT = Path(__file__).parent
+
+
+def _violating_storm_az() -> None:
+    """Break slo floor, cost ceiling, stranded sessions, and the ledger."""
+    records = run_scenario("storm_az", engine="request", seed=0)
+    for rec in records:
+        if rec["kind"] == "slo.interval":
+            rec["attrs"]["compliance"] = 0.1
+        elif rec["kind"] == "scenario.outcome":
+            rec["attrs"].update(
+                compliance=0.1, cost=999.0, stranded=7, ledger_error=0.5
+            )
+    write_events(records, OUT / "events_violating_storm_az.jsonl")
+
+
+def _violating_price_war() -> None:
+    """Break the portfolio pack: compliance collapse + runaway cost."""
+    records = run_scenario("price_war", engine="interval", seed=0)
+    for rec in records:
+        if rec["kind"] == "scenario.outcome":
+            rec["attrs"].update(
+                compliance=0.42, unserved_fraction=0.58, cost=99999.0
+            )
+    write_events(records, OUT / "events_violating_price_war.jsonl")
+
+
+if __name__ == "__main__":
+    _violating_storm_az()
+    _violating_price_war()
+    print("fixtures regenerated under", OUT)

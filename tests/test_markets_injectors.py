@@ -1,0 +1,152 @@
+"""Unit tests for the adversarial market injectors."""
+
+import numpy as np
+import pytest
+
+from repro.markets import (
+    correlated_market_block,
+    default_catalog,
+    generate_market_dataset,
+    inject_capacity_drought,
+    inject_drift,
+    inject_price_war,
+    inject_revocation_storm,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    markets = default_catalog().spot_markets()[:6]
+    return generate_market_dataset(markets, intervals=48, seed=7)
+
+
+class TestRevocationStorm:
+    def test_window_probabilities_raised(self, dataset):
+        shaped = inject_revocation_storm(
+            dataset, at=10, duration=3, markets=[0, 2], probability=0.9
+        )
+        assert np.all(shaped.failure_probs[10:13, [0, 2]] >= 0.9)
+
+    def test_outside_window_untouched(self, dataset):
+        shaped = inject_revocation_storm(
+            dataset, at=10, duration=3, markets=[0, 2], probability=0.9
+        )
+        mask = np.ones(dataset.num_intervals, dtype=np.bool_)
+        mask[10:13] = False
+        np.testing.assert_array_equal(
+            shaped.failure_probs[mask], dataset.failure_probs[mask]
+        )
+        np.testing.assert_array_equal(shaped.prices, dataset.prices)
+
+    def test_input_not_mutated(self, dataset):
+        before = dataset.failure_probs.copy()
+        inject_revocation_storm(dataset, at=10, markets=[0])
+        np.testing.assert_array_equal(dataset.failure_probs, before)
+
+    def test_fraction_selects_correlated_block(self, dataset):
+        shaped = inject_revocation_storm(dataset, at=5, fraction=0.5)
+        touched = np.where(
+            shaped.failure_probs[5] != dataset.failure_probs[5]
+        )[0]
+        assert 1 <= touched.size <= 3
+
+    def test_rejects_bad_window(self, dataset):
+        with pytest.raises(ValueError):
+            inject_revocation_storm(dataset, at=-1, markets=[0])
+        with pytest.raises(ValueError):
+            inject_revocation_storm(dataset, at=48, markets=[0])
+
+
+class TestCorrelatedBlock:
+    def test_block_size_and_sorted(self, dataset):
+        block = correlated_market_block(dataset, 3)
+        assert len(block) == 3
+        assert block == sorted(block)
+
+    def test_full_universe(self, dataset):
+        assert correlated_market_block(dataset, 6) == list(range(6))
+
+    def test_rejects_bad_size(self, dataset):
+        with pytest.raises(ValueError):
+            correlated_market_block(dataset, 0)
+        with pytest.raises(ValueError):
+            correlated_market_block(dataset, 7)
+
+
+class TestPriceWar:
+    def test_prices_crash_on_revocable_markets(self, dataset):
+        shaped = inject_price_war(dataset, start=20, ramp=4, depth=0.6)
+        revocable = [
+            j for j, m in enumerate(dataset.markets) if m.revocable
+        ]
+        after_ramp = shaped.prices[26:, revocable]
+        expected = dataset.prices[26:, revocable] * 0.4
+        np.testing.assert_allclose(after_ramp, expected)
+
+    def test_revocations_rise_with_cap(self, dataset):
+        shaped = inject_price_war(
+            dataset, start=20, ramp=2, revocation_boost=100.0
+        )
+        revocable = [
+            j for j, m in enumerate(dataset.markets) if m.revocable
+        ]
+        assert np.all(shaped.failure_probs[24:, revocable] <= 0.95)
+        assert np.all(
+            shaped.failure_probs[24:, revocable]
+            >= dataset.failure_probs[24:, revocable]
+        )
+
+    def test_before_start_untouched(self, dataset):
+        shaped = inject_price_war(dataset, start=20, ramp=4)
+        np.testing.assert_array_equal(
+            shaped.prices[:20], dataset.prices[:20]
+        )
+
+
+class TestCapacityDrought:
+    def test_window_surge_and_floor(self, dataset):
+        shaped = inject_capacity_drought(
+            dataset, start=8, duration=6, price_surge=3.0,
+            probability_floor=0.4,
+        )
+        revocable = [
+            j for j, m in enumerate(dataset.markets) if m.revocable
+        ]
+        np.testing.assert_allclose(
+            shaped.prices[8:14, revocable],
+            dataset.prices[8:14, revocable] * 3.0,
+        )
+        assert np.all(shaped.failure_probs[8:14, revocable] >= 0.4)
+        np.testing.assert_array_equal(
+            shaped.prices[14:], dataset.prices[14:]
+        )
+
+    def test_spared_markets_untouched(self, dataset):
+        shaped = inject_capacity_drought(
+            dataset, start=8, duration=6, spared_markets=[1]
+        )
+        np.testing.assert_array_equal(
+            shaped.prices[:, 1], dataset.prices[:, 1]
+        )
+
+
+class TestDrift:
+    def test_compounding_growth(self, dataset):
+        shaped = inject_drift(
+            dataset, price_growth_per_week=0.5,
+            probability_growth_per_week=0.1,
+        )
+        weeks = (
+            np.arange(48) * dataset.interval_seconds / (7 * 24 * 3600.0)
+        )
+        np.testing.assert_allclose(
+            shaped.prices, dataset.prices * (1.5 ** weeks)[:, None]
+        )
+        assert np.all(shaped.failure_probs <= 0.95)
+
+    def test_zero_growth_is_identity(self, dataset):
+        shaped = inject_drift(dataset, price_growth_per_week=0.0)
+        np.testing.assert_array_equal(shaped.prices, dataset.prices)
+        np.testing.assert_array_equal(
+            shaped.failure_probs, dataset.failure_probs
+        )

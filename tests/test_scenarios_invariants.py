@@ -1,0 +1,204 @@
+"""Positive and violating cases for every invariant in the packs."""
+
+import pytest
+
+from repro.scenarios import (
+    InvariantPack,
+    Violation,
+    compare_engines,
+    evaluate_pack,
+    scenario_outcome,
+    unresolved_warnings,
+    weighted_compliance,
+)
+
+
+def _rec(kind, *, rid=None, cause=None, **attrs):
+    return {
+        "seq": 0,
+        "t": 0.0,
+        "interval": None,
+        "kind": kind,
+        "id": rid,
+        "cause": cause,
+        "attrs": attrs,
+    }
+
+
+def _journal(
+    *,
+    compliance=0.99,
+    cost=1.0,
+    stranded=0,
+    ledger=0.0,
+    warnings=2,
+    resolve=True,
+    unserved=0.0,
+):
+    records = []
+    for i in range(warnings):
+        records.append(_rec("warning.issued", rid=f"w{i}"))
+        if resolve:
+            records.append(
+                _rec("warning.resolved", cause=f"w{i}", outcome="migrated")
+            )
+    records.append(
+        _rec("slo.interval", requests=1000.0, compliance=compliance)
+    )
+    records.append(
+        _rec(
+            "scenario.outcome",
+            cost=cost,
+            stranded=stranded,
+            ledger_error=ledger,
+            unserved_fraction=unserved,
+        )
+    )
+    return records
+
+
+PACK = InvariantPack(
+    slo_floor=0.9,
+    cost_ceiling=10.0,
+    max_stranded=0,
+    min_revocations=1,
+    max_unserved_fraction=0.1,
+)
+
+
+def _invariants(violations):
+    return sorted(v.invariant for v in violations)
+
+
+class TestEvaluatePack:
+    def test_healthy_journal_passes(self):
+        assert evaluate_pack("s", _journal(), PACK) == []
+
+    def test_slo_floor_violation(self):
+        bad = evaluate_pack("s", _journal(compliance=0.5), PACK)
+        assert _invariants(bad) == ["slo_floor"]
+        assert bad[0].observed == pytest.approx(0.5)
+        assert bad[0].bound == pytest.approx(0.9)
+
+    def test_cost_ceiling_violation(self):
+        bad = evaluate_pack("s", _journal(cost=11.0), PACK)
+        assert _invariants(bad) == ["cost_ceiling"]
+
+    def test_stranded_violation(self):
+        bad = evaluate_pack("s", _journal(stranded=3), PACK)
+        assert _invariants(bad) == ["stranded_sessions"]
+
+    def test_unresolved_warning_violation(self):
+        bad = evaluate_pack("s", _journal(resolve=False), PACK)
+        assert _invariants(bad) == ["warning_resolution"]
+        assert "w0" in bad[0].message
+
+    def test_conservation_violation(self):
+        bad = evaluate_pack("s", _journal(ledger=0.5), PACK)
+        assert _invariants(bad) == ["conservation"]
+
+    def test_stress_witness_revocations(self):
+        bad = evaluate_pack("s", _journal(warnings=0), PACK)
+        assert _invariants(bad) == ["stress_witness"]
+
+    def test_unserved_ceiling_violation(self):
+        bad = evaluate_pack("s", _journal(unserved=0.25), PACK)
+        assert _invariants(bad) == ["unserved_ceiling"]
+
+    def test_unserved_floor_witness(self):
+        pack = InvariantPack(
+            max_stranded=None,
+            conservation_tol=None,
+            min_unserved_fraction=0.01,
+        )
+        ok = evaluate_pack("s", _journal(unserved=0.05), pack)
+        assert ok == []
+        bad = evaluate_pack("s", _journal(unserved=0.0), pack)
+        assert _invariants(bad) == ["stress_witness"]
+
+    def test_missing_outcome_is_violation(self):
+        records = [_rec("slo.interval", requests=10.0, compliance=1.0)]
+        bad = evaluate_pack("s", records, PACK)
+        assert "outcome" in _invariants(bad)
+
+    def test_disabled_bounds_do_not_fire(self):
+        pack = InvariantPack(
+            slo_floor=None,
+            cost_ceiling=None,
+            max_stranded=None,
+            require_resolution=False,
+            conservation_tol=None,
+        )
+        journal = _journal(
+            compliance=0.0, cost=1e9, stranded=9, ledger=1.0, resolve=False
+        )
+        assert evaluate_pack("s", journal, pack) == []
+
+    def test_multiple_violations_all_reported(self):
+        bad = evaluate_pack(
+            "s", _journal(compliance=0.1, cost=99.0, stranded=2), PACK
+        )
+        assert _invariants(bad) == [
+            "cost_ceiling", "slo_floor", "stranded_sessions",
+        ]
+
+    def test_pack_validation(self):
+        with pytest.raises(ValueError):
+            InvariantPack(slo_floor=1.5)
+        with pytest.raises(ValueError):
+            InvariantPack(cost_ceiling=0.0)
+        with pytest.raises(ValueError):
+            InvariantPack(min_revocations=-1)
+
+
+class TestHelpers:
+    def test_weighted_compliance_request_weighted(self):
+        records = [
+            _rec("slo.interval", requests=100.0, compliance=1.0),
+            _rec("slo.interval", requests=300.0, compliance=0.5),
+        ]
+        assert weighted_compliance(records) == pytest.approx(0.625)
+
+    def test_weighted_compliance_none_without_series(self):
+        assert weighted_compliance([_rec("scenario.outcome")]) is None
+
+    def test_empty_intervals_cannot_mask(self):
+        records = [_rec("slo.interval", requests=0.0, compliance=0.0)]
+        assert weighted_compliance(records) == pytest.approx(1.0)
+
+    def test_scenario_outcome_takes_last(self):
+        records = [
+            _rec("scenario.outcome", cost=1.0),
+            _rec("scenario.outcome", cost=2.0),
+        ]
+        assert scenario_outcome(records)["cost"] == pytest.approx(2.0)
+
+    def test_unresolved_warnings(self):
+        records = [
+            _rec("warning.issued", rid="a"),
+            _rec("warning.issued", rid="b"),
+            _rec("warning.resolved", cause="a", outcome="migrated"),
+        ]
+        assert unresolved_warnings(records) == ["b"]
+
+
+class TestCompareEngines:
+    def test_within_tolerance(self):
+        assert compare_engines(
+            "s", {"request": 0.98, "hybrid": 0.96}, tolerance=0.05
+        ) == []
+
+    def test_spread_violation(self):
+        bad = compare_engines(
+            "s", {"request": 0.99, "hybrid": 0.80}, tolerance=0.05
+        )
+        assert len(bad) == 1
+        assert bad[0].invariant == "engine_agreement"
+        assert bad[0].observed == pytest.approx(0.19)
+
+    def test_single_engine_never_fires(self):
+        assert compare_engines("s", {"request": 0.1}, tolerance=0.05) == []
+
+    def test_violation_str_names_invariant(self):
+        v = Violation("scn", "slo_floor", "too low")
+        assert str(v) == "scn: [slo_floor] too low"

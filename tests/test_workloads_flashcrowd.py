@@ -1,0 +1,69 @@
+"""Unit tests for the flash-crowd compositor and demand ramps."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import WorkloadTrace, compose_flash_crowds, ramp_trace
+
+
+def _base(n=64, rate=100.0):
+    return WorkloadTrace(np.full(n, rate), 15.0, "base")
+
+
+class TestComposeFlashCrowds:
+    def test_same_seed_byte_identical(self):
+        a = compose_flash_crowds(_base(), count=3, seed=42)
+        b = compose_flash_crowds(_base(), count=3, seed=42)
+        assert np.array_equal(a.rates, b.rates)
+
+    def test_different_seed_differs(self):
+        a = compose_flash_crowds(_base(), count=3, seed=1)
+        b = compose_flash_crowds(_base(), count=3, seed=2)
+        assert not np.array_equal(a.rates, b.rates)
+
+    def test_rates_only_elevated(self):
+        shaped = compose_flash_crowds(_base(), count=2, seed=5)
+        assert np.all(shaped.rates >= 100.0)
+        assert shaped.rates.max() > 100.0
+
+    def test_magnitude_bounds_single_spike(self):
+        shaped = compose_flash_crowds(
+            _base(), count=1, seed=9, magnitude_range=(1.5, 2.0)
+        )
+        # One spike cannot exceed its drawn magnitude times the base.
+        assert shaped.rates.max() <= 2.0 * 100.0 + 1e-9
+
+    def test_input_untouched_and_renamed(self):
+        base = _base()
+        before = base.rates.copy()
+        shaped = compose_flash_crowds(base, count=4, seed=0)
+        np.testing.assert_array_equal(base.rates, before)
+        assert shaped.name == "base+flash4"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compose_flash_crowds(_base(), count=0, seed=0)
+        with pytest.raises(ValueError):
+            compose_flash_crowds(
+                _base(), count=1, seed=0, magnitude_range=(0.5, 2.0)
+            )
+        with pytest.raises(ValueError):
+            compose_flash_crowds(
+                _base(), count=1, seed=0, decay_range=(0.0, 1.5)
+            )
+
+
+class TestRampTrace:
+    def test_compounds_weekly(self):
+        week = int(7 * 24 * 3600 / 15.0)
+        base = WorkloadTrace(np.full(2 * week, 100.0), 15.0, "b")
+        ramped = ramp_trace(base, growth_per_week=0.10)
+        assert ramped.rates[0] == pytest.approx(100.0)
+        assert ramped.rates[week] == pytest.approx(110.0)
+        assert ramped.rates[-1] == pytest.approx(121.0, rel=1e-3)
+
+    def test_decline_and_validation(self):
+        ramped = ramp_trace(_base(), growth_per_week=-0.5)
+        assert np.all(ramped.rates <= 100.0)
+        with pytest.raises(ValueError):
+            ramp_trace(_base(), growth_per_week=-1.0)
