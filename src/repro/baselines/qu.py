@@ -12,12 +12,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.targets import TargetFn, reactive_target
+from repro.devtools.contracts import field_units, units
 from repro.core.portfolio import allocation_to_counts
 from repro.markets.catalog import Market
 
 __all__ = ["QuThresholdPolicy"]
 
 
+@field_units(capacities="rps/server")
 class QuThresholdPolicy:
     """Even spread over the cheapest ``num_markets`` with k-failure padding."""
 
@@ -49,6 +51,7 @@ class QuThresholdPolicy:
         m = self.num_markets
         return m / (m - self.k) if self.k > 0 else 1.0
 
+    @units(None, "req/s", "usd/(server*hr)", "frac", ret="server")
     def decide(
         self,
         t: int,

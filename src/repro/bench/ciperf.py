@@ -36,12 +36,12 @@ def check_parallel_speedup(
     from repro.experiments.table1 import run_table1_costs
 
     kwargs = dict(reps=reps, num_markets=num_markets, weeks=weeks, seed=seed)
-    t0 = time.perf_counter()
+    t0_s = time.perf_counter()
     serial = run_table1_costs(parallel=False, **kwargs)
-    t_serial = time.perf_counter() - t0
-    t0 = time.perf_counter()
+    t_serial = time.perf_counter() - t0_s
+    t0_s = time.perf_counter()
     par = run_table1_costs(parallel=True, max_workers=max_workers, **kwargs)
-    t_par = time.perf_counter() - t0
+    t_par = time.perf_counter() - t0_s
     mismatches = [
         key
         for key, report in serial.reports.items()

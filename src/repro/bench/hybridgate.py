@@ -73,9 +73,9 @@ def _run_engine(
     cluster.sim.advance(config.warmup_seconds + 1.0)
     if revoke:
         cluster.schedule_revocation(1, cluster.sim.now + 0.2 * sim_seconds)
-    t0 = time.perf_counter()
+    t0_s = time.perf_counter()
     cluster.run(sim_seconds, peak_rps)
-    return cluster, time.perf_counter() - t0
+    return cluster, time.perf_counter() - t0_s
 
 
 def check_hybrid_accuracy(

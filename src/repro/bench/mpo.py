@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.bench.report import SCHEMA_MPO
 from repro.core import CostModel, MPOOptimizer
+from repro.core.units import MS_PER_SECOND
 from repro.experiments.fig7b_scalability import _replicated_markets
 from repro.markets import generate_market_dataset
 
@@ -48,20 +49,20 @@ def _bench_cell(
             covariance,
         )
 
-    t0 = time.perf_counter()
+    t0_s = time.perf_counter()
     optimizer.optimize(*inputs(0, 10_000.0))
-    cold = time.perf_counter() - t0
+    cold = time.perf_counter() - t0_s
 
     samples = []
     fractions = None
     objective = float("nan")
     for r in range(repeats):
         target = 10_000.0 * float(rng.uniform(0.8, 1.2))
-        t0 = time.perf_counter()
+        t0_s = time.perf_counter()
         res = optimizer.optimize(
             *inputs(r + 1, target), current_fractions=fractions
         )
-        samples.append(time.perf_counter() - t0)
+        samples.append(time.perf_counter() - t0_s)
         fractions = res.plan.first.fractions
         objective = float(res.solver.objective)
     return {
@@ -70,9 +71,9 @@ def _bench_cell(
         "backend": backend,
         "resolved_backend": optimizer.resolved_backend,
         "variables": len(markets) * horizon,
-        "cold_ms": 1000.0 * cold,
-        "warm_median_ms": 1000.0 * float(np.median(samples)),
-        "warm_max_ms": 1000.0 * float(np.max(samples)),
+        "cold_ms": MS_PER_SECOND * cold,
+        "warm_median_ms": MS_PER_SECOND * float(np.median(samples)),
+        "warm_max_ms": MS_PER_SECOND * float(np.max(samples)),
         "final_objective": objective,
     }
 

@@ -86,9 +86,9 @@ def _cluster_cell(
         cluster.sim.advance(config.warmup_seconds + 1.0)
         if revoke:
             cluster.schedule_revocation(3, cluster.sim.now + 0.2 * sim_seconds)
-        t0 = time.perf_counter()
+        t0_s = time.perf_counter()
         cluster.run(sim_seconds, peak_rps)
-        elapsed = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0_s
         chunks = sum(cluster.tier_steps.values())
         rates.append(chunks / elapsed)
     return {
@@ -191,9 +191,9 @@ def bench_sim(
 
     rates = []
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        t0_s = time.perf_counter()
         report = sim.run(policy, name="uniform")
-        elapsed = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0_s
         rates.append(sim.horizon_intervals / elapsed)
     cells = [
         {

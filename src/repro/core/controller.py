@@ -27,6 +27,8 @@ from repro.core.discretize import refine_counts
 from repro.core.overprovision import CapacityPlanner, ShortfallTracker
 from repro.core.portfolio import Allocation
 from repro.core.reactive import ReactiveFallback
+from repro.core.units import MS_PER_SECOND
+from repro.devtools.contracts import field_units, units
 from repro.markets.catalog import Market
 from repro.markets.revocation import event_covariance
 from repro.obs import get_events, get_metrics, get_tracer
@@ -39,6 +41,7 @@ __all__ = ["SpotWebController", "ControllerDecision"]
 logger = logging.getLogger(__name__)
 
 
+@field_units(counts="server", target_rps="req/s", weights="frac")
 @dataclass
 class ControllerDecision:
     """One interval's provisioning decision."""
@@ -136,6 +139,7 @@ class SpotWebController:
                 self._covariance = np.diag(probs * (1 - probs) + 1e-6)
         return self._covariance
 
+    @units("req/s", "usd/(server*hr)", "frac")
     def step(
         self,
         observed_rps: float,
@@ -197,7 +201,7 @@ class SpotWebController:
                     status=result.solver.status.value,
                 )
             get_metrics().histogram("controller.solve_ms").observe(
-                1000.0 * result.solver.solve_time
+                MS_PER_SECOND * result.solver.solve_time
             )
             self._steps += 1
 

@@ -7,6 +7,13 @@ what keeps the multi-period program a convex QP.
 Paper defaults (Sec. 6, "SpotWeb's configuration"): ``P = 0.02`` (double the
 maximum per-request serving cost in the catalog), ``L = 0`` (the testbed's
 0.5 s responses migrate comfortably within the warning period), ``alpha = 5``.
+
+Units: both the per-request serving cost ``C = price / r`` and the penalty
+``P`` are ``usd/(rps*hr)`` — dollars per unit of request rate sustained for
+an hour (the paper defines ``P`` as double the maximum ``C``).  Every
+per-interval dollar term therefore carries an explicit ``interval_hours``
+factor; omitting it on the SLA term (an earlier revision did) silently
+mis-weights SLA against provisioning whenever intervals are not one hour.
 """
 
 from __future__ import annotations
@@ -15,9 +22,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.devtools.contracts import field_units, units
+
 __all__ = ["CostModel"]
 
 
+@field_units(
+    penalty="usd/(rps*hr)",
+    long_running_fraction="frac",
+    risk_aversion="usd",
+    churn_penalty="usd",
+)
 @dataclass
 class CostModel:
     """Cost-model parameters and evaluators.
@@ -25,9 +40,10 @@ class CostModel:
     Attributes
     ----------
     penalty:
-        ``P`` — $ penalty per SLO-violating (dropped/delayed) request.  Must
-        exceed the per-request serving cost, or the optimizer will prefer
-        dropping requests to serving them (the paper makes this exact point).
+        ``P`` — $ penalty per unit of SLO-violating request rate per hour,
+        the same units as the per-request serving cost ``C``.  Must exceed
+        ``C``, or the optimizer will prefer dropping requests to serving
+        them (the paper makes this exact point).
     long_running_fraction:
         ``L`` — fraction of in-flight requests that cannot migrate within the
         revocation warning period.
@@ -55,6 +71,7 @@ class CostModel:
             raise ValueError("churn_penalty must be non-negative")
 
     # ------------------------------------------------------------------ Eq. 3
+    @units("frac", "usd/(rps*hr)", "req/s", "hr", ret="usd")
     def provisioning_cost(
         self,
         fractions: np.ndarray,
@@ -73,6 +90,7 @@ class CostModel:
             (fractions * per_request_cost).sum() * predicted_rps * interval_hours
         )
 
+    @units("usd/(rps*hr)", "req/s", "hr", ret="usd")
     def provisioning_coefficients(
         self,
         per_request_cost: np.ndarray,
@@ -87,19 +105,22 @@ class CostModel:
         )
 
     # ------------------------------------------------------------------ Eq. 4
+    @units("frac", "frac", "req/s", "req/s", "hr", ret="usd")
     def sla_cost(
         self,
         fractions: np.ndarray,
         failure_probs: np.ndarray,
         actual_rps: float,
         predicted_rps: float,
+        interval_hours: float = 1.0,
     ) -> float:
         """SLA violation cost for one interval (Eq. 4).
 
         Two sources: requests dropped because a revoked server's in-flight
         long-running requests could not migrate (``P * A * f * lambda * L``),
         and capacity shortage from workload misprediction
-        (``P * A * (lambda - lambda_pred)`` when positive).
+        (``P * A * (lambda - lambda_pred)`` when positive).  Like Eq. 3,
+        the charge scales with the interval length.
         """
         fractions = np.asarray(fractions, dtype=np.float64)
         failure_probs = np.asarray(failure_probs, dtype=np.float64)
@@ -110,13 +131,19 @@ class CostModel:
             * self.long_running_fraction
         )
         shortfall = max(0.0, actual_rps - predicted_rps)
-        return float(self.penalty * (drop.sum() + fractions.sum() * shortfall))
+        return float(
+            self.penalty
+            * (drop.sum() + fractions.sum() * shortfall)
+            * interval_hours
+        )
 
+    @units("frac", "req/s", "req/s", "hr", ret="usd")
     def sla_coefficients(
         self,
         failure_probs: np.ndarray,
         predicted_rps: float,
         expected_shortfall_rps: float = 0.0,
+        interval_hours: float = 1.0,
     ) -> np.ndarray:
         """Linear coefficients of Eq. 4 w.r.t. the allocation vector.
 
@@ -125,12 +152,18 @@ class CostModel:
         priori (``expected_shortfall_rps``).
         """
         failure_probs = np.asarray(failure_probs, dtype=np.float64)
-        return self.penalty * (
-            failure_probs * float(predicted_rps) * self.long_running_fraction
-            + float(max(0.0, expected_shortfall_rps))
+        return (
+            self.penalty
+            * (
+                failure_probs * float(predicted_rps)
+                * self.long_running_fraction
+                + float(max(0.0, expected_shortfall_rps))
+            )
+            * interval_hours
         )
 
     # ------------------------------------------------------------------ Eq. 5
+    @units("frac", ret="usd")
     def risk(self, fractions: np.ndarray, covariance: np.ndarray) -> float:
         """Quadratic portfolio risk ``alpha * A' M A`` (Eq. 5)."""
         fractions = np.asarray(fractions, dtype=np.float64)
@@ -138,6 +171,10 @@ class CostModel:
         return float(self.risk_aversion * fractions @ covariance @ fractions)
 
     # ------------------------------------------------------------------ total
+    @units(
+        "frac", "usd/(rps*hr)", "frac", None, "req/s", "req/s", "hr",
+        ret="usd",
+    )
     def interval_cost(
         self,
         fractions: np.ndarray,
@@ -153,6 +190,12 @@ class CostModel:
             self.provisioning_cost(
                 fractions, per_request_cost, predicted_rps, interval_hours
             )
-            + self.sla_cost(fractions, failure_probs, actual_rps, predicted_rps)
+            + self.sla_cost(
+                fractions,
+                failure_probs,
+                actual_rps,
+                predicted_rps,
+                interval_hours,
+            )
             + self.risk(fractions, covariance)
         )

@@ -47,7 +47,7 @@ import numpy as np
 from repro.core.constraints import AllocationConstraints
 from repro.core.costs import CostModel
 from repro.core.portfolio import PortfolioPlan
-from repro.devtools.contracts import shapes
+from repro.devtools.contracts import field_units, shapes, units
 from repro.markets.catalog import Market
 from repro.obs import get_metrics, get_tracer
 from repro.solvers import (
@@ -82,6 +82,7 @@ class MPOResult:
         return self.solver.objective
 
 
+@field_units(capacities="rps/server", interval_hours="hr")
 class MPOOptimizer:
     """SpotWeb's multi-period, SLO-aware server-portfolio optimizer.
 
@@ -220,6 +221,14 @@ class MPOOptimizer:
         "(N,N)",
         current_fractions="(N,)",
     )
+    @units(
+        "req/s",
+        "usd/(server*hr)",
+        "frac",
+        None,
+        current_fractions="frac",
+        expected_shortfall_rps="req/s",
+    )
     def optimize(
         self,
         predicted_rps: np.ndarray,
@@ -285,7 +294,10 @@ class MPOOptimizer:
                 per_request_cost[tau], predicted_rps[tau], self.interval_hours
             )
             q[block] += self.cost_model.sla_coefficients(
-                failure_probs[tau], predicted_rps[tau], float(shortfall[tau])
+                failure_probs[tau],
+                predicted_rps[tau],
+                float(shortfall[tau]),
+                self.interval_hours,
             )
         # Churn linear term: -2 gamma A_0 on the first block.
         gamma = self.cost_model.churn_penalty
@@ -338,7 +350,10 @@ class MPOOptimizer:
         sla = sum(
             float(
                 self.cost_model.sla_coefficients(
-                    failure_probs[tau], predicted_rps[tau], float(shortfall[tau])
+                    failure_probs[tau],
+                    predicted_rps[tau],
+                    float(shortfall[tau]),
+                    self.interval_hours,
                 )
                 @ fractions[tau]
             )

@@ -13,12 +13,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.devtools.contracts import nonneg, shapes
+from repro.devtools.contracts import field_units, nonneg, shapes, units
 from repro.markets.catalog import Market
 
 __all__ = ["Allocation", "PortfolioPlan", "allocation_to_counts"]
 
 
+@field_units(fractions="frac")
 @dataclass
 class Allocation:
     """A single-interval fractional allocation across markets.
@@ -56,6 +57,7 @@ class Allocation:
             m for m, a in zip(self.markets, self.fractions) if a > threshold
         ]
 
+    @units("req/s", ret="server")
     def counts(self, workload_rps: float) -> np.ndarray:
         """Integer server counts realizing this allocation for a workload."""
         return allocation_to_counts(self.fractions, workload_rps, self.capacities)
@@ -64,6 +66,7 @@ class Allocation:
     def capacities(self) -> np.ndarray:
         return np.array([m.capacity_rps for m in self.markets])
 
+    @units("req/s", ret="req/s")
     def capacity_rps(self, workload_rps: float) -> float:
         """Actual capacity (req/s) after integer rounding of server counts."""
         return float(self.counts(workload_rps) @ self.capacities)
@@ -71,6 +74,7 @@ class Allocation:
 
 @shapes("(N,)", "()", "(N,)", ret="(N,) i8")
 @nonneg("fractions", "workload_rps")
+@units("frac", "req/s", "rps/server", ret="server")
 def allocation_to_counts(
     fractions: np.ndarray, workload_rps: float, capacities: np.ndarray
 ) -> np.ndarray:
@@ -94,6 +98,7 @@ def allocation_to_counts(
     return counts.astype(np.int64)
 
 
+@field_units(fractions="frac", target_rps="req/s")
 @dataclass
 class PortfolioPlan:
     """A multi-period plan: one allocation per interval over the horizon.

@@ -1,0 +1,41 @@
+"""Named conversion constants — control-plane spelling.
+
+The constants themselves live in the foundation package
+:mod:`repro.units` (so leaf layers — ``markets``, ``workloads``,
+``obs`` — can use them without importing upward through ``core``);
+this module is the conventional import for control-plane code and the
+name the ``spotunits`` SW304 autofix hints cite::
+
+    from repro.core.units import SECONDS_PER_HOUR
+    interval_h = interval_s / SECONDS_PER_HOUR
+"""
+
+from __future__ import annotations
+
+from repro.units import (
+    DAYS_PER_WEEK,
+    HOURS_PER_DAY,
+    HOURS_PER_WEEK,
+    MINUTES_PER_HOUR,
+    MS_PER_SECOND,
+    REQUESTS_PER_KREQ,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    SECONDS_PER_WEEK,
+    UNIT_OF,
+)
+
+__all__ = [
+    "SECONDS_PER_MINUTE",
+    "MINUTES_PER_HOUR",
+    "SECONDS_PER_HOUR",
+    "HOURS_PER_DAY",
+    "SECONDS_PER_DAY",
+    "DAYS_PER_WEEK",
+    "HOURS_PER_WEEK",
+    "SECONDS_PER_WEEK",
+    "MS_PER_SECOND",
+    "REQUESTS_PER_KREQ",
+    "UNIT_OF",
+]

@@ -21,6 +21,7 @@ from repro.devtools.contracts import (
     ContractError,
     UnitScalar,
     contracts_enabled,
+    field_units,
     freeze_arrays,
     nonneg,
     per_request_prices,
@@ -31,6 +32,12 @@ from repro.devtools.contracts import (
     usd_per_hour,
     usd_per_hour_per_rps,
 )
+
+# NOTE: the ``units`` *decorator* is deliberately not re-exported here —
+# ``repro.devtools.units`` is the static analyzer subpackage, and a
+# same-named attribute would be silently clobbered the moment anything
+# imported the submodule.  Use ``from repro.devtools.contracts import
+# units`` for the decorator.
 from repro.devtools.rules import RULES, Finding, Rule
 
 # The lint engine is re-exported lazily (PEP 562) so that running
@@ -49,6 +56,7 @@ __all__ = [
     "ContractError",
     "UnitScalar",
     "contracts_enabled",
+    "field_units",
     "freeze_arrays",
     "nonneg",
     "per_request_prices",

@@ -33,6 +33,8 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "split_findings",
+    "BaselineSchema",
+    "make_baseline",
 ]
 
 
@@ -114,3 +116,41 @@ def split_findings(
         else:
             new.append(finding)
     return new, accepted
+
+
+class BaselineSchema:
+    """The shared baseline mechanics bound to one tool's schema tag.
+
+    Each checker binds its tag once via :func:`make_baseline`; the bound
+    ``load``/``write`` drop the ``schema=`` argument so tool CLIs cannot
+    accidentally read another tool's baseline file.
+    """
+
+    def __init__(self, schema: str) -> None:
+        self.schema = schema
+
+    fingerprint = staticmethod(fingerprint)
+    split = staticmethod(split_findings)
+
+    def load(self, path: Path | str | None) -> set[str]:
+        """The accepted fingerprints in ``path`` (empty for missing files)."""
+        return load_baseline(path, schema=self.schema)
+
+    def write(
+        self,
+        path: Path | str,
+        findings: Iterable[Finding],
+        *,
+        justification: str = (
+            "accepted by --update-baseline; burn down, do not grow"
+        ),
+    ) -> None:
+        """Write ``findings`` as the new accepted baseline at ``path``."""
+        write_baseline(
+            path, findings, schema=self.schema, justification=justification
+        )
+
+
+def make_baseline(schema: str) -> BaselineSchema:
+    """Bind the shared baseline mechanics to ``schema`` (one per tool)."""
+    return BaselineSchema(schema)

@@ -15,6 +15,15 @@ switchable call-time checks:
   portfolio invariant.
 - :func:`freeze_arrays` — make ndarray fields of a (frozen) dataclass
   genuinely immutable from ``__post_init__``.
+- :func:`units` — declare units of measure per parameter in the shared
+  spec grammar (``@units("req/s", "s/interval", ret="usd")``); tagged
+  :class:`UnitScalar` arguments are checked for dimensional equivalence
+  at call time, and the same declarations drive the static ``spotunits``
+  analyzer as interprocedural call summaries.
+- :func:`field_units` — declare units of a class's attributes (dataclass
+  fields, ``__init__``-assigned attributes, or properties); checked where
+  tagged values are constructed, and read statically by ``spotunits`` to
+  seed attribute units.
 - Unit-tagged scalars (:class:`UnitScalar` plus :func:`usd_per_hour`,
   :func:`usd_per_hour_per_rps`, :func:`rps`) and the canonical
   :func:`per_request_prices` conversion, so the $/hour → $/hour-per-req/s
@@ -36,7 +45,15 @@ from typing import Any, Callable, TypeVar
 
 import numpy as np
 
-from repro.devtools.specs import DTYPE_CODES, ShapeSpec, format_spec, parse_spec
+from repro.devtools.specs import (
+    DTYPE_CODES,
+    ShapeSpec,
+    UnitSpec,
+    format_spec,
+    format_unit,
+    parse_spec,
+    parse_unit,
+)
 
 __all__ = [
     "ContractError",
@@ -45,6 +62,8 @@ __all__ = [
     "shapes",
     "nonneg",
     "freeze_arrays",
+    "units",
+    "field_units",
     "UnitScalar",
     "usd_per_hour",
     "usd_per_hour_per_rps",
@@ -247,6 +266,138 @@ def nonneg(*param_names: str, tol: float = 1e-9) -> Callable[[_F], _F]:
 
 
 # --------------------------------------------------------------------------
+# Units of measure (grammar shared with the static checker repro.devtools.units)
+# --------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=256)
+def _cached_unit(text: str) -> UnitSpec:
+    return parse_unit(text)
+
+
+def _check_unit(qualname: str, pname: str, value: Any, spec: UnitSpec) -> None:
+    """Tagged values must be dimensionally equivalent; untagged pass."""
+    if not isinstance(value, UnitScalar):
+        return
+    try:
+        actual = _cached_unit(value.unit)
+    except ValueError:
+        # Legacy free-text tags fall back to exact-string semantics.
+        return
+    if not actual.equivalent(spec):
+        raise ContractError(
+            f"{qualname}: parameter '{pname}' has unit "
+            f"{format_unit(actual)}, expected {format_unit(spec)}"
+        )
+
+
+def units(
+    *pos_specs: str | None, ret: str | None = None, **kw_specs: str
+) -> Callable[[_F], _F]:
+    """Declare units of measure for a function's parameters.
+
+    Positional specs map onto the function's parameters in order
+    (``self``/``cls`` is skipped automatically); keyword specs address
+    parameters by name; ``None`` or ``"*"`` skips a parameter.  Specs use
+    the shared grammar from :mod:`repro.devtools.specs` — ``"req/s"``,
+    ``"usd/(server*hr)"``, ``"s/interval"`` — so a spec that the runtime
+    accepts is exactly one the static ``spotunits`` analyzer understands,
+    and vice versa.
+
+    At call time only :class:`UnitScalar`-tagged arguments are checked
+    (plain floats/arrays carry no unit evidence and pass); a tagged value
+    whose unit is not dimensionally equivalent raises
+    :class:`ContractError` naming the offending parameter.  ``ret=``
+    checks a tagged return value.  The declarations are also extracted
+    statically, where they seed and check *untagged* dataflow — the
+    runtime and static halves enforce the same spec from the same parser.
+    """
+    parsed_kw = {
+        name: _cached_unit(spec)
+        for name, spec in kw_specs.items()
+        if spec not in _SKIP
+    }
+    parsed_ret = _cached_unit(ret) if ret not in _SKIP else None
+
+    def decorate(func: _F) -> _F:
+        signature = inspect.signature(func)
+        names = list(signature.parameters)
+        if names and names[0] in ("self", "cls"):
+            names = names[1:]
+        if len(pos_specs) > len(names):
+            raise ValueError(
+                f"{func.__qualname__}: {len(pos_specs)} unit specs for "
+                f"{len(names)} parameters"
+            )
+        spec_map = dict(parsed_kw)
+        for name, spec in zip(names, pos_specs):
+            if spec not in _SKIP:
+                spec_map[name] = _cached_unit(spec)
+        unknown = set(spec_map) - set(signature.parameters)
+        if unknown:
+            raise ValueError(
+                f"{func.__qualname__}: unit specs for unknown parameters "
+                f"{sorted(unknown)}"
+            )
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _enabled:
+                return func(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            for pname, spec in spec_map.items():
+                value = bound.arguments.get(pname, None)
+                if value is None:
+                    continue
+                _check_unit(func.__qualname__, pname, value, spec)
+            result = func(*args, **kwargs)
+            if parsed_ret is not None and result is not None:
+                _check_unit(func.__qualname__, "<return>", result, parsed_ret)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def field_units(**specs: str) -> Callable[[type], type]:
+    """Declare units for a class's attributes (``@field_units(rates="req/s")``).
+
+    A declaration-first contract: specs are parsed (and therefore
+    validated) at decoration time and stored on the class as
+    ``__unit_fields__``, where the static ``spotunits`` analyzer reads
+    them to give attribute loads (``self.x``, ``obj.x`` for objects of
+    annotated type) known units.  When the class is a dataclass, declared
+    names must name real fields or class attributes — a typo fails at
+    import, not silently.
+    """
+    parsed = {name: _cached_unit(spec) for name, spec in specs.items()}
+
+    def decorate(cls: type) -> type:
+        import dataclasses
+
+        known: set[str] | None = None
+        if dataclasses.is_dataclass(cls):
+            known = {f.name for f in dataclasses.fields(cls)}
+            known.update(
+                name for name in dir(cls) if not name.startswith("__")
+            )
+        if known is not None:
+            unknown = set(parsed) - known
+            if unknown:
+                raise ValueError(
+                    f"{cls.__qualname__}: unit specs for unknown fields "
+                    f"{sorted(unknown)}"
+                )
+        inherited = dict(getattr(cls, "__unit_fields__", {}))
+        inherited.update({name: format_unit(u) for name, u in parsed.items()})
+        cls.__unit_fields__ = inherited
+        return cls
+
+    return decorate
+
+
+# --------------------------------------------------------------------------
 # Immutability helper
 # --------------------------------------------------------------------------
 
@@ -290,17 +441,17 @@ class UnitScalar(float):
 
 
 def usd_per_hour(value: float) -> UnitScalar:
-    """Tag a server price in $/hour (the raw market feed unit)."""
+    """Tag a server price in usd/(server*hr) (the raw market feed unit)."""
     if value < 0:
         raise ContractError(f"price must be non-negative, got {value!r}")
-    return UnitScalar(value, "USD/hour")
+    return UnitScalar(value, "usd/(server*hr)")
 
 
 def usd_per_hour_per_rps(value: float) -> UnitScalar:
-    """Tag a *cleaned* per-request price in $/hour per req/s."""
+    """Tag a *cleaned* per-request price in usd/(rps*hr)."""
     if value < 0:
         raise ContractError(f"per-request price must be non-negative, got {value!r}")
-    return UnitScalar(value, "USD/hour/rps")
+    return UnitScalar(value, "usd/(rps*hr)")
 
 
 def rps(value: float) -> UnitScalar:
@@ -315,10 +466,20 @@ def require_unit(value: float, unit: str) -> float:
 
     Untagged plain floats pass through unchecked (the tags are opt-in),
     but a *mismatched* tag is always an error, even with contracts
-    disabled — unit bugs are never acceptable.
+    disabled — unit bugs are never acceptable.  Units compare by parsed
+    dimensional equivalence from the shared grammar, so ``"rps"`` and
+    ``"req/s"`` agree; tags that do not parse fall back to exact string
+    comparison.
     """
     if isinstance(value, UnitScalar) and value.unit != unit:
-        raise ContractError(f"expected a value in {unit}, got {value!r}")
+        try:
+            equivalent = _cached_unit(value.unit).equivalent(
+                _cached_unit(unit)
+            )
+        except ValueError:
+            equivalent = False
+        if not equivalent:
+            raise ContractError(f"expected a value in {unit}, got {value!r}")
     return float(value)
 
 

@@ -1,19 +1,14 @@
 """spotgraph's baseline: the shared mechanics bound to its schema tag.
 
 The fingerprinting/load/write/split machinery lives in
-:mod:`repro.devtools.baseline` (it is shared with ``spotshape``); this
-module pins the ``spotgraph-baseline/1`` schema so existing callers and
-committed baseline files keep working unchanged.
+:mod:`repro.devtools.baseline`; :func:`~repro.devtools.baseline
+.make_baseline` pins the ``spotgraph-baseline/1`` schema so existing
+callers and committed baseline files keep working unchanged.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
-from pathlib import Path
-
-from repro.devtools import baseline as _shared
-from repro.devtools.baseline import fingerprint, split_findings
-from repro.devtools.rules import Finding
+from repro.devtools.baseline import fingerprint, make_baseline, split_findings
 
 __all__ = [
     "BASELINE_SCHEMA",
@@ -24,20 +19,6 @@ __all__ = [
 ]
 
 BASELINE_SCHEMA = "spotgraph-baseline/1"
-
-
-def load_baseline(path: Path | str | None) -> set[str]:
-    """The accepted fingerprints in ``path`` (empty for missing files)."""
-    return _shared.load_baseline(path, schema=BASELINE_SCHEMA)
-
-
-def write_baseline(
-    path: Path | str,
-    findings: Iterable[Finding],
-    *,
-    justification: str = "accepted by --update-baseline; burn down, do not grow",
-) -> None:
-    """Write ``findings`` as the new accepted baseline at ``path``."""
-    _shared.write_baseline(
-        path, findings, schema=BASELINE_SCHEMA, justification=justification
-    )
+_baseline = make_baseline(BASELINE_SCHEMA)
+load_baseline = _baseline.load
+write_baseline = _baseline.write

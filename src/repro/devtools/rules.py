@@ -25,9 +25,16 @@ Rule inventory
 - ``SW011`` — builtin-type ``dtype=`` argument (``float``/``int``/``bool``)
   on a NumPy call; spell the width explicitly (``np.float64``/``np.int64``/
   ``np.bool_``) — bare ``int`` is platform-dependent (int32 on Windows).
+- ``SW012`` — clock read (``time.time`` / ``time.perf_counter`` /
+  ``time.monotonic`` and their ``_ns`` variants) stored into a name
+  without a unit suffix (``_s``/``_ms``, or ``_ns`` for the ``_ns``
+  readers).  Naming-level clock-domain hygiene: the suffix is what lets
+  humans — and ``spotunits``'s SW302 wall/sim-time rule — tell a
+  wall-clock timestamp from a simulated one.
 
 (``SW009`` is an engine rule — unknown suppression ids — and ``SW010`` is
-reserved; the SW2xx range belongs to ``spotshape``.)
+reserved; the SW2xx range belongs to ``spotshape`` and SW3xx to
+``spotunits``.)
 """
 
 from __future__ import annotations
@@ -639,6 +646,63 @@ def _check_builtin_dtypes(ctx: ModuleContext) -> Iterator[Finding]:
 
 
 # --------------------------------------------------------------------------
+# SW012 — clock reads stored without a unit suffix
+# --------------------------------------------------------------------------
+
+# Clock-reading callables -> the unit suffixes a receiving name may carry.
+_CLOCK_READERS: dict[str, tuple[str, ...]] = {
+    "time.time": ("_s", "_ms"),
+    "time.perf_counter": ("_s", "_ms"),
+    "time.monotonic": ("_s", "_ms"),
+    "time.time_ns": ("_ns",),
+    "time.perf_counter_ns": ("_ns",),
+    "time.monotonic_ns": ("_ns",),
+}
+
+
+def _assigned_names(target: ast.expr) -> Iterator[tuple[str, int, int]]:
+    """Simple names and attribute leaves a value is bound to."""
+    if isinstance(target, ast.Name):
+        yield target.id, target.lineno, target.col_offset
+    elif isinstance(target, ast.Attribute):
+        yield target.attr, target.lineno, target.col_offset
+
+
+def _check_clock_suffix(ctx: ModuleContext) -> Iterator[Finding]:
+    aliases = _import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.NamedExpr):
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not isinstance(value, ast.Call):
+            continue
+        resolved = _resolve_call(value.func, aliases)
+        suffixes = _CLOCK_READERS.get(resolved or "")
+        if suffixes is None:
+            continue
+        for name, line, col in (
+            found for target in targets for found in _assigned_names(target)
+        ):
+            if name.endswith(suffixes):
+                continue
+            want = "/".join(f"`{s}`" for s in suffixes)
+            yield Finding(
+                "SW012",
+                str(ctx.path),
+                line,
+                col,
+                f"`{resolved}()` result stored in `{name}` without a unit "
+                f"suffix; name clock reads with {want} so wall-clock values "
+                "are visibly wall-clock (cf. spotunits SW302)",
+            )
+
+
+# --------------------------------------------------------------------------
 # Registry
 # --------------------------------------------------------------------------
 
@@ -669,6 +733,11 @@ RULES: dict[str, Rule] = {
             "SW011",
             "builtin-type dtype= on a NumPy call (use np.float64/np.int64)",
             _check_builtin_dtypes,
+        ),
+        Rule(
+            "SW012",
+            "clock read stored without a unit suffix (_s/_ms, _ns for *_ns)",
+            _check_clock_suffix,
         ),
     )
 }

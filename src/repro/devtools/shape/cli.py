@@ -24,7 +24,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.devtools.baseline import load_baseline, split_findings, write_baseline
+from repro.devtools.baseline import make_baseline
 from repro.devtools.shape.analyze import (
     ENGINE_RULES,
     SHAPE_RULES,
@@ -34,6 +34,7 @@ from repro.devtools.shape.analyze import (
 __all__ = ["BASELINE_SCHEMA", "run", "main"]
 
 BASELINE_SCHEMA = "spotshape-baseline/1"
+_baseline = make_baseline(BASELINE_SCHEMA)
 
 
 def _rule_set(spec: str | None) -> set[str] | None:
@@ -144,7 +145,7 @@ def run(args: argparse.Namespace) -> int:
     findings = sort_findings(findings)
 
     if args.update_baseline:
-        write_baseline(args.baseline, findings, schema=BASELINE_SCHEMA)
+        _baseline.write(args.baseline, findings)
         print(
             f"spotshape: baseline updated with {len(findings)} finding(s) "
             f"-> {args.baseline}",
@@ -153,11 +154,11 @@ def run(args: argparse.Namespace) -> int:
         return 0
 
     try:
-        baseline = load_baseline(args.baseline, schema=BASELINE_SCHEMA)
+        baseline = _baseline.load(args.baseline)
     except ValueError as exc:
         print(f"spotshape: {exc}", file=sys.stderr)
         return 2
-    new, accepted = split_findings(findings, baseline)
+    new, accepted = _baseline.split(findings, baseline)
 
     extra = {
         "baselined": len(accepted),

@@ -1,0 +1,5 @@
+import sys
+
+from repro.devtools.units.cli import main
+
+sys.exit(main())

@@ -1,0 +1,203 @@
+"""``spotunits`` — the units-of-measure dataflow checker's CLI.
+
+Usage::
+
+    python -m repro.devtools.units src/
+    spotunits src/ tests/ --format json
+    spotunits src/ --update-baseline
+    spotunits --list-rules
+
+Exit status mirrors spotlint/spotgraph/spotshape: 0 when no new
+(non-baselined) findings, 1 when findings remain, 2 on usage errors.
+
+The engine extracts ``@units``/``@field_units`` declarations (pass A),
+then abstract-interprets every function against them (pass B); both
+passes are cached (``--cache``, mtime+sha256 keyed, pass B additionally
+keyed by the global unit-fact digest so cross-file contract edits
+invalidate correctly).  ``# spotunits:`` suppression comments,
+``--select`` / ``--ignore``, and the committed baseline apply in that
+order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.devtools.baseline import make_baseline
+from repro.devtools.units.analyze import (
+    ENGINE_RULES,
+    UNIT_RULES,
+    analyze_paths,
+)
+
+__all__ = ["BASELINE_SCHEMA", "run", "main"]
+
+BASELINE_SCHEMA = "spotunits-baseline/1"
+_baseline = make_baseline(BASELINE_SCHEMA)
+
+
+def _rule_set(spec: str | None) -> set[str] | None:
+    if spec is None:
+        return None
+    return {part.strip().upper() for part in spec.split(",") if part.strip()}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spotunits",
+        description=(
+            "Whole-program units-of-measure dataflow analysis over the "
+            "SpotWeb reproduction (sim/wall time, intervals, requests, "
+            "servers, dollars)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", help="comma-separated rule IDs to keep"
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES", help="comma-separated rule IDs to drop"
+    )
+    parser.add_argument(
+        "--exclude",
+        metavar="PATH",
+        action="append",
+        default=[],
+        help="file or directory to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json shares the spotlint serializer)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default="spotunits-baseline.json",
+        help="accepted-findings file (missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept all current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=".spotunits-cache.json",
+        help="summary/analysis cache file",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the cache"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-finding output"
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute one parsed spotunits invocation; returns the exit code."""
+    from repro.devtools.report import render_findings, sort_findings
+
+    select, ignore = _rule_set(args.select), _rule_set(args.ignore)
+    unknown = (
+        ((select or set()) | (ignore or set()))
+        - set(UNIT_RULES)
+        - set(ENGINE_RULES)
+    )
+    if unknown:
+        print(
+            f"spotunits: unknown rule id(s): {', '.join(sorted(unknown))}"
+            " (see --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update_baseline and (select is not None or ignore is not None):
+        # A filtered update would overwrite the baseline with only the
+        # selected subset, un-accepting every other grandfathered finding.
+        print(
+            "spotunits: --update-baseline cannot be combined with "
+            "--select/--ignore; the baseline must cover the unfiltered "
+            "finding set",
+            file=sys.stderr,
+        )
+        return 2
+
+    cache_path = None if args.no_cache else Path(args.cache)
+    stats: dict = {}
+    findings = analyze_paths(
+        args.paths, exclude=args.exclude, cache_path=cache_path, stats=stats
+    )
+    if select is not None:
+        findings = [f for f in findings if f.rule in select]
+    if ignore is not None:
+        findings = [f for f in findings if f.rule not in ignore]
+    findings = sort_findings(findings)
+
+    if args.update_baseline:
+        _baseline.write(args.baseline, findings)
+        print(
+            f"spotunits: baseline updated with {len(findings)} finding(s) "
+            f"-> {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        baseline = _baseline.load(args.baseline)
+    except ValueError as exc:
+        print(f"spotunits: {exc}", file=sys.stderr)
+        return 2
+    new, accepted = _baseline.split(findings, baseline)
+
+    extra = {
+        "baselined": len(accepted),
+        "cache": {
+            "cached": stats.get("cached", 0),
+            "analyzed": stats.get("analyzed", 0),
+        },
+    }
+    if args.format == "json":
+        print(render_findings(new, tool="spotunits", fmt="json", extra=extra))
+    elif not args.quiet:
+        for finding in new:
+            print(finding.format())
+    if new:
+        print(
+            f"spotunits: {len(new)} new finding(s)"
+            + (f" ({len(accepted)} baselined)" if accepted else ""),
+            file=sys.stderr,
+        )
+        return 1
+    if not args.quiet and args.format == "text":
+        suffix = f" ({len(accepted)} baselined)" if accepted else ""
+        print(f"spotunits: clean{suffix}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, summary in sorted(UNIT_RULES.items()):
+            print(f"{rule_id}  {summary}")
+        for rule_id, summary in sorted(ENGINE_RULES.items()):
+            print(f"{rule_id}  {summary}")
+        return 0
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

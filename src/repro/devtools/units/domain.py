@@ -1,0 +1,147 @@
+"""The abstract domain ``spotunits`` interprets numeric code over.
+
+A variable's abstract value is a :class:`~repro.devtools.specs.UnitSpec`
+— a canonical vector of rational exponents over the base dimensions
+(``sim_time``, ``wall_time``, ``interval``, ``request``, ``server``,
+``dollar``, ``fraction``) plus an exact rational scale — or ``None``,
+"no unit information".  Multiplication and division compose exponent
+vectors; addition, subtraction and comparison require compatible
+operands.  Everything the interpreter cannot model is ``None``, never a
+guess: the checker only reports **proven** inconsistencies, so unknowns
+pass silently (exactly the spotshape discipline).
+
+When two known units meet at an additive operation,
+:func:`classify_mismatch` grades the disagreement:
+
+- ``None`` — compatible (same dimensions, same scale);
+- ``SW303`` — same dimensions at different scales (``s`` + ``hr``), or
+  per-interval quantities mixed with plain time (``s`` + ``s/interval``)
+  — a missing conversion factor;
+- ``SW302`` — simulated time mixed with wall-clock time: the dimension
+  vectors agree only if ``wall_time`` were ``sim_time``, the bug class
+  the DES exists to prevent;
+- ``SW300`` — genuinely incompatible dimensions (``req`` + ``usd``).
+
+The ``fraction`` dimension is *soft*: a declared ``frac`` (utilization,
+spot-fraction) may meet a derived dimensionless ratio without complaint,
+because every ratio of like quantities is a fraction.  It still composes
+multiplicatively, so contracts can document it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.devtools.specs import (
+    DIMENSIONLESS,
+    UNIT_TOKENS,
+    UnitSpec,
+    format_unit,
+)
+
+__all__ = [
+    "DIMENSIONLESS",
+    "classify_mismatch",
+    "describe",
+    "scale_ratio",
+    "unit_div",
+    "unit_mul",
+    "unit_pow",
+]
+
+_ORDER = {token: i for i, token in enumerate(UNIT_TOKENS)}
+
+
+def _canonical(factors: dict[str, Fraction]) -> UnitSpec:
+    ordered = tuple(
+        (token, factors[token])
+        for token in sorted(factors, key=_ORDER.__getitem__)
+        if factors[token]
+    )
+    return UnitSpec(factors=ordered)
+
+
+def unit_mul(a: UnitSpec, b: UnitSpec) -> UnitSpec:
+    """The unit of a product: exponents add."""
+    merged = dict(a.factors)
+    for token, exp in b.factors:
+        total = merged.get(token, Fraction(0)) + exp
+        if total:
+            merged[token] = total
+        else:
+            merged.pop(token, None)
+    return _canonical(merged)
+
+
+def unit_div(a: UnitSpec, b: UnitSpec) -> UnitSpec:
+    """The unit of a quotient: exponents subtract."""
+    return unit_mul(a, unit_pow(b, Fraction(-1)))
+
+
+def unit_pow(a: UnitSpec, exp: Fraction) -> UnitSpec:
+    """The unit of a power: exponents scale (``exp=1/2`` is ``sqrt``)."""
+    if exp == 0:
+        return DIMENSIONLESS
+    return _canonical({token: e * exp for token, e in a.factors})
+
+
+def _comparable_dims(spec: UnitSpec) -> dict[str, Fraction]:
+    """Dimension vector with the soft ``fraction`` dimension dropped."""
+    dims = spec.dimensions()
+    dims.pop("fraction", None)
+    return dims
+
+
+def _substitute(
+    dims: dict[str, Fraction], src: str, dst: str
+) -> dict[str, Fraction]:
+    if src not in dims:
+        return dims
+    out = dict(dims)
+    exp = out.pop(src)
+    total = out.get(dst, Fraction(0)) + exp
+    if total:
+        out[dst] = total
+    else:
+        out.pop(dst, None)
+    return out
+
+
+def classify_mismatch(a: UnitSpec, b: UnitSpec) -> str | None:
+    """Grade an additive meeting of two known units.
+
+    ``None`` when compatible; otherwise the rule id of the strongest
+    applicable complaint (see the module docstring for the ladder).
+    """
+    da, db = _comparable_dims(a), _comparable_dims(b)
+    if da == db:
+        return None if a.scale() == b.scale() else "SW303"
+    if _substitute(da, "wall_time", "sim_time") == _substitute(
+        db, "wall_time", "sim_time"
+    ):
+        return "SW302"
+    if _substitute(da, "interval", "sim_time") == _substitute(
+        db, "interval", "sim_time"
+    ):
+        return "SW303"
+    return "SW300"
+
+
+def scale_ratio(a: UnitSpec, b: UnitSpec) -> str | None:
+    """Human-readable ``a``/``b`` scale factor for SW303 messages."""
+    sa, sb = a.scale(), b.scale()
+    if sb == 0:  # pragma: no cover - scales are products of positives
+        return None
+    ratio = sa / sb
+    if ratio == 0:
+        return None
+    if ratio.denominator == 1:
+        return f"{ratio.numerator}x"
+    if ratio.numerator == 1:
+        return f"1/{ratio.denominator}x"
+    return f"{ratio.numerator}/{ratio.denominator}x"
+
+
+def describe(spec: UnitSpec) -> str:
+    """Render a unit for findings (the canonical grammar spelling)."""
+    return format_unit(spec)

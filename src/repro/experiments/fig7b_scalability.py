@@ -89,19 +89,19 @@ def run_fig7b(
                 backend=backend,
             )
             # Cold start: builds and factorizes the solver, then solves.
-            t0 = time.perf_counter()
+            t0_s = time.perf_counter()
             optimizer.optimize(
                 np.full(h, 10_000.0),
                 np.tile(dataset.prices[0], (h, 1)),
                 np.tile(dataset.failure_probs[0], (h, 1)),
                 covariance,
             )
-            result.cold[(nm, h)] = time.perf_counter() - t0
+            result.cold[(nm, h)] = time.perf_counter() - t0_s
             samples = []
             fractions = None
             for r in range(repeats):
                 target = 10_000.0 * float(rng.uniform(0.8, 1.2))
-                t0 = time.perf_counter()
+                t0_s = time.perf_counter()
                 res = optimizer.optimize(
                     np.full(h, target),
                     np.tile(dataset.prices[r + 1], (h, 1)),
@@ -109,7 +109,7 @@ def run_fig7b(
                     covariance,
                     current_fractions=fractions,
                 )
-                samples.append(time.perf_counter() - t0)
+                samples.append(time.perf_counter() - t0_s)
                 fractions = res.plan.first.fractions
             result.times[(nm, h)] = (
                 float(np.median(samples)),

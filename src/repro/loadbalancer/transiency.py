@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro.devtools.contracts import field_units, units
 from repro.loadbalancer.vanilla import VanillaLoadBalancer
 from repro.obs import get_events, get_metrics, get_tracer
 
@@ -30,6 +31,11 @@ if TYPE_CHECKING:  # avoid a loadbalancer <-> simulator import cycle
 __all__ = ["TransiencyAwareLoadBalancer"]
 
 
+@field_units(
+    headroom_threshold="frac",
+    admission_wait_seconds="s",
+    drain_grace_seconds="s",
+)
 class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
     """Revocation-warning-driven balancer with migration and admission control.
 
@@ -81,6 +87,7 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
         self._admission_rejecting = False
 
     # ------------------------------------------------------------- transiency
+    @units(ret="req/s")
     def _spare_capacity(self, exclude: set[int]) -> float:
         """Headroom (req/s) among accepting backends outside ``exclude``."""
         return sum(
@@ -89,6 +96,7 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
             if b.server_id not in exclude and b.accepting
         )
 
+    @units(None, "s")
     def _drain_now(self, backend_id: int, now: float) -> None:
         backend = self.backends.get(backend_id)
         self._pending_drain.pop(backend_id, None)
@@ -122,6 +130,7 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
             )
         get_metrics().counter("lb.migrations").inc(migrated)
 
+    @units(None, "s")
     def on_warning(self, backend_id: int, now: float) -> None:
         """React to a revocation warning within the warning window.
 
@@ -182,6 +191,7 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
                 with ev.causal(wid):
                     self.reprovision(backend.capacity_rps, now)
 
+    @units("s")
     def _process_pending_drains(self, now: float) -> None:
         if not self._pending_drain:
             return
@@ -212,6 +222,7 @@ class TransiencyAwareLoadBalancer(VanillaLoadBalancer):
                 state="rejecting" if rejecting else "accepting",
             )
 
+    @units("s")
     def dispatch(
         self,
         now: float,

@@ -19,6 +19,7 @@ import abc
 
 import numpy as np
 
+from repro.devtools.contracts import units
 from repro.markets.catalog import Market
 
 __all__ = [
@@ -37,6 +38,7 @@ class BidStrategy(abc.ABC):
     def bid(self, market: Market, price_history: np.ndarray) -> float:
         """Bid in $/hour for one market given its own price history."""
 
+    @units(None, "usd/(server*hr)", ret="usd/(server*hr)")
     def bids(self, markets: list[Market], prices: np.ndarray) -> np.ndarray:
         """Vectorized convenience: one bid per market column."""
         prices = np.atleast_2d(np.asarray(prices, dtype=np.float64))
@@ -83,6 +85,7 @@ class QuantileBid(BidStrategy):
         return float(np.quantile(history, self.quantile))
 
 
+@units("usd/(server*hr)", "usd/(server*hr)")
 def revocations_from_bids(
     prices: np.ndarray, bids: np.ndarray
 ) -> np.ndarray:
@@ -98,6 +101,7 @@ def revocations_from_bids(
     return prices > bids[None, :]
 
 
+@units("usd/(server*hr)", "usd/(server*hr)", ret="frac")
 def effective_failure_probs(
     prices: np.ndarray, bids: np.ndarray, *, window: int = 168
 ) -> np.ndarray:

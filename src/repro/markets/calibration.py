@@ -19,11 +19,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.devtools.contracts import field_units, units
 from repro.markets.price_process import SpotPriceProcess
 
 __all__ = ["CalibrationResult", "fit_price_process"]
 
 
+@field_units(pressure_fraction="frac")
 @dataclass(frozen=True)
 class CalibrationResult:
     """Fitted process plus the diagnostics behind it."""
@@ -34,6 +36,7 @@ class CalibrationResult:
     residual_std: float
 
 
+@units("usd/(server*hr)", "usd/(server*hr)")
 def fit_price_process(
     prices: np.ndarray,
     ondemand_price: float,

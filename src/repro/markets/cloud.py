@@ -23,7 +23,9 @@ from typing import Callable
 
 import numpy as np
 
+from repro.devtools.contracts import field_units, units
 from repro.markets.catalog import Market
+from repro.units import SECONDS_PER_HOUR
 
 __all__ = ["VMState", "VMInstance", "TransientCloud"]
 
@@ -42,6 +44,15 @@ class VMState(enum.Enum):
     TERMINATED = "terminated"
 
 
+@field_units(
+    launched_at="s",
+    ready_time="s",
+    warned_at="s",
+    warning_deadline="s",
+    terminated_at="s",
+    accrued_cost="usd",
+    _billed_until="s",
+)
 @dataclass
 class VMInstance:
     """One leased server.
@@ -73,10 +84,12 @@ class VMInstance:
         """True when the VM can take traffic (warned VMs still serve)."""
         return self.state in (VMState.RUNNING, VMState.WARNED)
 
+    @units("s")
     def ready(self, now: float) -> bool:
         return self.alive and now >= self.ready_time
 
 
+@field_units(warning_seconds="s", startup_seconds="s")
 class TransientCloud:
     """A transient cloud: VM leases, revocation warnings, billing.
 
@@ -110,6 +123,7 @@ class TransientCloud:
         self._termination_callbacks: list[Callable[[VMInstance, float], None]] = []
 
     # ------------------------------------------------------------------ leases
+    @units(None, None, "s", startup_seconds="s")
     def request(
         self,
         market: Market,
@@ -134,6 +148,7 @@ class TransientCloud:
             vms.append(vm)
         return vms
 
+    @units(None, "s")
     def terminate(self, vm: VMInstance, now: float) -> None:
         """User-initiated termination (bills up to ``now``)."""
         if vm.state is VMState.TERMINATED:
@@ -153,6 +168,7 @@ class TransientCloud:
         """Register a termination observer."""
         self._termination_callbacks.append(callback)
 
+    @units(None, "s")
     def revoke_market(self, market: Market, now: float) -> list[VMInstance]:
         """Provider revokes a market: warn every spot VM in it."""
         if not market.revocable:
@@ -178,6 +194,7 @@ class TransientCloud:
             )
         return warned
 
+    @units(None, "s")
     def revoke_vm(self, vm: VMInstance, now: float) -> None:
         """Provider revokes a single VM (warning first)."""
         if not vm.market.revocable:
@@ -191,6 +208,7 @@ class TransientCloud:
             cb(vm, now)
 
     # ------------------------------------------------------------------- clock
+    @units("s")
     def advance(self, now: float) -> list[VMInstance]:
         """Progress VM state machines to ``now``.
 
@@ -212,19 +230,22 @@ class TransientCloud:
         return terminated
 
     # ----------------------------------------------------------------- billing
+    @units(None, "s")
     def _bill(self, vm: VMInstance, until: float) -> None:
         if until <= vm._billed_until:
             return
-        hours = (until - vm._billed_until) / 3600.0
+        hours = (until - vm._billed_until) / SECONDS_PER_HOUR
         vm.accrued_cost += hours * self.price_fn(vm.market, vm._billed_until)
         vm._billed_until = until
 
+    @units("s")
     def accrue(self, now: float) -> None:
         """Bill all live VMs up to ``now`` at current prices."""
         for vm in self._vms.values():
             if vm.alive:
                 self._bill(vm, now)
 
+    @units(ret="usd")
     def total_cost(self) -> float:
         """Total accrued spend across all VMs (live and terminated)."""
         return float(sum(vm.accrued_cost for vm in self._vms.values()))
@@ -241,6 +262,7 @@ class TransientCloud:
             out = [vm for vm in out if vm.market.name == market.name]
         return out
 
+    @units("s", ret="req/s")
     def serving_capacity(self, now: float) -> float:
         """Total requests/second the ready, serving VMs can sustain."""
         return float(

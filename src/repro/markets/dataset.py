@@ -13,6 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.devtools.contracts import field_units, units
 from repro.markets.catalog import Catalog, Market, PurchaseOption, default_catalog
 from repro.markets.price_process import generate_price_matrix
 from repro.markets.revocation import (
@@ -24,6 +25,12 @@ from repro.markets.revocation import (
 __all__ = ["MarketDataset", "generate_market_dataset"]
 
 
+@field_units(
+    prices="usd/(server*hr)",
+    failure_probs="frac",
+    interval_seconds="s/interval",
+    capacities="rps/server",
+)
 @dataclass
 class MarketDataset:
     """Aligned market traces.
@@ -81,6 +88,7 @@ class MarketDataset:
         """Per-market server capacity ``r_i`` in requests/second."""
         return np.array([m.capacity_rps for m in self.markets])
 
+    @units(ret="usd/(rps*hr)")
     def per_request_costs(self) -> np.ndarray:
         """Adjusted cost per request ``C_t^i = price_t^i / r_i`` — ``(T, N)``."""
         return self.prices / self.capacities[None, :]

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.devtools.contracts import units
 from repro.markets.dataset import MarketDataset
+from repro.units import SECONDS_PER_WEEK
 
 __all__ = [
     "correlated_market_block",
@@ -45,6 +47,7 @@ __all__ = [
 _PROB_CAP = 0.95
 
 
+@units(None, "usd/(server*hr)", "frac")
 def _replace(
     dataset: MarketDataset, prices: np.ndarray, failure_probs: np.ndarray
 ) -> MarketDataset:
@@ -220,7 +223,7 @@ def inject_drift(
     weeks = (
         np.arange(T, dtype=np.float64)
         * dataset.interval_seconds
-        / (7 * 24 * 3600.0)
+        / SECONDS_PER_WEEK
     )
     price_path = (1.0 + price_growth_per_week) ** weeks
     prob_path = (1.0 + probability_growth_per_week) ** weeks

@@ -45,6 +45,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.devtools.contracts import field_units, units
+
 __all__ = [
     "EVENTS_SCHEMA",
     "TERMINAL_OUTCOMES",
@@ -96,6 +98,7 @@ class EventValidationError(ValueError):
         self.field = field
 
 
+@field_units(clock="s")
 class EventLog:
     """Deterministic, sim-time-keyed domain-event collector.
 
@@ -134,6 +137,7 @@ class EventLog:
         self._cause_stack: list[str] = []
 
     # -------------------------------------------------------------- recording
+    @units(None, t="s")
     def emit(
         self,
         kind: str,
@@ -191,6 +195,7 @@ class EventLog:
         return f"{prefix}{self._seq}"
 
     # ---------------------------------------------------------- causal layer
+    @units(None, t="s")
     def open_warning(
         self, backend: object, *, t: float | None = None, **attrs
     ) -> str | None:
@@ -222,6 +227,7 @@ class EventLog:
         info = self._open_warnings.get(warning_id)
         return 0 if info is None else int(info["migrated"])
 
+    @units(None, t="s")
     def resolve_warning(
         self,
         warning_id: str | None,
@@ -278,6 +284,7 @@ class EventLog:
         return self._cause_stack[-1] if self._cause_stack else None
 
     # --------------------------------------------------------------- sim clock
+    @units(None, "s")
     def set_interval(self, interval: int | None, t: float | None = None) -> None:
         """Advance the log's interval (and optionally its sim clock)."""
         if not self.enabled:

@@ -29,11 +29,13 @@ from collections import deque
 
 import numpy as np
 
+from repro.devtools.contracts import field_units, units
 from repro.obs.events import get_events
 
 __all__ = ["LatencyDigest", "SLOEngine"]
 
 
+@field_units(bin_width="s", max="s")
 class LatencyDigest:
     """Fixed-bin streaming latency histogram with deterministic quantiles.
 
@@ -56,6 +58,7 @@ class LatencyDigest:
         self.total = 0.0
         self.max = 0.0
 
+    @units("s")
     def add(self, latency: float) -> None:
         """Record one latency (seconds, non-negative)."""
         idx = int(latency / self.bin_width)
@@ -67,6 +70,7 @@ class LatencyDigest:
         if latency > self.max:
             self.max = latency
 
+    @units("s", "req")
     def add_masses(self, latencies: np.ndarray, weights: np.ndarray) -> None:
         """Record fractional request *mass* at each latency (fluid tier).
 
@@ -102,6 +106,7 @@ class LatencyDigest:
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
 
+    @units(None, ret="s")
     def percentile(self, p: float) -> float:
         """Deterministic quantile estimate (``p`` in [0, 100]).
 
@@ -156,6 +161,12 @@ class LatencyDigest:
         }
 
 
+@field_units(
+    slo_threshold="s",
+    target="frac",
+    interval_seconds="s",
+    origin="s",
+)
 class SLOEngine:
     """Per-interval SLO compliance + multi-window burn-rate alerting.
 
@@ -224,6 +235,7 @@ class SLOEngine:
         )
 
     # --------------------------------------------------------------- recording
+    @units("s", "s")
     def record(self, t: float, latency: float) -> None:
         """Classify one served request against the SLO."""
         self._roll(t)
@@ -233,11 +245,13 @@ class SLOEngine:
             self._good += 1
         self._digest.add(latency)
 
+    @units("s")
     def record_bad(self, t: float) -> None:
         """Count one unserved (dropped or failed) request as a violation."""
         self._roll(t)
         self._bad += 1
 
+    @units("s", "s", "req")
     def record_mass(
         self, t: float, latencies: np.ndarray, weights: np.ndarray
     ) -> None:
@@ -254,6 +268,7 @@ class SLOEngine:
         self._good += float(w[~late].sum())
         self._digest.add_masses(lat, w)
 
+    @units("s", "req")
     def record_bad_mass(self, t: float, mass: float) -> None:
         """Count unserved request mass (fluid-tier drops/kills) as violations."""
         if mass < 0:
@@ -263,6 +278,7 @@ class SLOEngine:
         self._roll(t)
         self._bad += float(mass)
 
+    @units("s")
     def finish(self, t: float) -> None:
         """Close every interval up to ``t`` (the last only if it saw traffic)."""
         self._roll(t)
@@ -270,6 +286,7 @@ class SLOEngine:
             self._close_interval()
 
     # ---------------------------------------------------------------- rolling
+    @units("s")
     def _roll(self, t: float) -> None:
         idx = int((t - self.origin) / self.interval_seconds)
         while self._interval < idx:
@@ -312,6 +329,7 @@ class SLOEngine:
         self._bad = 0
         self._digest = self._new_digest()
 
+    @units("s")
     def _evaluate_alert(self, t: float) -> None:
         short = sum(self._short) / len(self._short) if self._short else 0.0
         long_ = sum(self._long) / len(self._long) if self._long else 0.0

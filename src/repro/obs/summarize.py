@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.obs.tracer import load_trace
+from repro.units import MS_PER_SECOND
 
 __all__ = [
     "span_children",
@@ -151,9 +152,9 @@ def format_summary(records: list[dict], *, top: int = 12) -> str:
         [
             a["name"],
             a["count"],
-            1000.0 * a["total"],
-            1000.0 * a["mean"],
-            1000.0 * a["max"],
+            MS_PER_SECOND * a["total"],
+            MS_PER_SECOND * a["mean"],
+            MS_PER_SECOND * a["max"],
             100.0 * (a["self"] / total_wall if total_wall > 0 else 0.0),
         ]
         for a in aggs
@@ -164,13 +165,13 @@ def format_summary(records: list[dict], *, top: int = 12) -> str:
             rows,
             top=top,
             title=f"top spans ({len(records)} spans, "
-            f"{1000.0 * total_wall:.1f} ms root wall-clock)",
+            f"{MS_PER_SECOND * total_wall:.1f} ms root wall-clock)",
         )
     )
 
     path = critical_path(records)
     rows = [
-        [p["name"], 1000.0 * p["dur"], 100.0 * p["share"]] for p in path
+        [p["name"], MS_PER_SECOND * p["dur"], 100.0 * p["share"]] for p in path
     ]
     parts.append(
         format_chain(
@@ -186,7 +187,7 @@ def format_summary(records: list[dict], *, top: int = 12) -> str:
     root = max(roots, key=lambda r: r["dur"])
     root_cov = coverage.get(root["id"], 0.0)
     parts.append(
-        f"root span '{root['name']}': {1000.0 * root['dur']:.1f} ms, "
+        f"root span '{root['name']}': {MS_PER_SECOND * root['dur']:.1f} ms, "
         f"{100.0 * root_cov:.1f}% covered by child spans"
     )
 
@@ -195,11 +196,11 @@ def format_summary(records: list[dict], *, top: int = 12) -> str:
         durs = np.array([s["dur"] for s in steps])
         parts.append(
             f"interval timeline ({len(steps)} x {_INTERVAL_SPAN}, "
-            f"median {1000.0 * float(np.median(durs)):.2f} ms):\n  "
+            f"median {MS_PER_SECOND * float(np.median(durs)):.2f} ms):\n  "
             + sparkline(durs, width=72)
         )
         rows = [
-            [p["phase"], p["count"], 1000.0 * p["total"], 100.0 * p["share"]]
+            [p["phase"], p["count"], MS_PER_SECOND * p["total"], 100.0 * p["share"]]
             for p in _phase_totals(records)
         ]
         if rows:

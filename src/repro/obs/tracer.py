@@ -134,7 +134,7 @@ class Tracer:
 
     def __init__(self, *, enabled: bool = True) -> None:
         self.enabled = bool(enabled)
-        self._epoch = time.perf_counter()
+        self._epoch_s = time.perf_counter()
         self._next_id = 0
         self._stack: list[Span] = []
         self._finished: list[Span] = []
@@ -151,7 +151,7 @@ class Tracer:
             parent=None if parent is None else parent.id,
             name=str(name),
             depth=0 if parent is None else parent.depth + 1,
-            start=time.perf_counter() - self._epoch,
+            start=time.perf_counter() - self._epoch_s,
             attrs=dict(attrs),
         )
         self._next_id += 1
@@ -159,11 +159,11 @@ class Tracer:
         return sp
 
     def _finish(self, sp: Span) -> None:
-        sp.dur = time.perf_counter() - self._epoch - sp.start
+        sp.dur = time.perf_counter() - self._epoch_s - sp.start
         # Tolerate mis-nested exits (exceptions unwinding several spans).
         while self._stack and self._stack[-1] is not sp:
             dangling = self._stack.pop()
-            dangling.dur = time.perf_counter() - self._epoch - dangling.start
+            dangling.dur = time.perf_counter() - self._epoch_s - dangling.start
             self._finished.append(dangling)
         if self._stack:
             self._stack.pop()
@@ -184,7 +184,7 @@ class Tracer:
         self._finished.clear()
         self._stack.clear()
         self._next_id = 0
-        self._epoch = time.perf_counter()
+        self._epoch_s = time.perf_counter()
 
     def write(self, path: str | Path) -> Path:
         """Export the finished spans as schema-tagged JSONL."""

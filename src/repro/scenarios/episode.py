@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.units import SECONDS_PER_HOUR
 from repro.loadbalancer import TransiencyAwareLoadBalancer
 from repro.obs.events import EventLog, get_events, set_events
 from repro.parallel import derive_seed
@@ -128,7 +129,7 @@ def _integrate_cost(
         cost += cap * max(0.0, min(t1, duration) - t0)
     last_t, last_cap = timeline[-1]
     cost += last_cap * max(0.0, duration - last_t)
-    return cost / 3600.0 * price_per_rps_hour
+    return cost / SECONDS_PER_HOUR * price_per_rps_hour
 
 
 def run_episode(

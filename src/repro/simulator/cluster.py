@@ -15,6 +15,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.devtools.contracts import field_units, units
 from repro.loadbalancer.vanilla import VanillaLoadBalancer
 from repro.obs import get_events
 from repro.obs.slo import SLOEngine
@@ -25,6 +26,17 @@ from repro.simulator.server import SimServer
 __all__ = ["ClusterConfig", "ClusterSimulation"]
 
 
+@field_units(
+    service_time="s",
+    slo_threshold="s",
+    boot_seconds="s",
+    warmup_seconds="s",
+    queue_limit_seconds="s",
+    warning_seconds="s",
+    new_session_probability="frac",
+    long_request_fraction="frac",
+    slo_interval_seconds="s",
+)
 @dataclass
 class ClusterConfig:
     """Knobs of the synthetic testbed.
@@ -122,6 +134,7 @@ class ClusterSimulation:
         self.capacity_timeline: list[tuple[float, float]] = []
 
     # ---------------------------------------------------------------- servers
+    @units("req/s", boot_seconds="s")
     def add_server(
         self,
         capacity_rps: float,
@@ -161,6 +174,7 @@ class ClusterSimulation:
         self._mark_capacity()
         return server
 
+    @units(None, warning_seconds="s")
     def revoke(self, server_id: int, *, warning_seconds: float | None = None) -> None:
         """Issue a revocation warning now; the server dies when it expires."""
         server = self.servers[server_id]
@@ -187,6 +201,7 @@ class ClusterSimulation:
     def _on_warning_issued(self, server_id: int, warning_seconds: float) -> None:
         """Hook invoked when a warning is issued, before the balancer reacts."""
 
+    @units(None, "s", warning_seconds="s")
     def schedule_revocation(
         self, server_id: int, at_time: float, *, warning_seconds: float | None = None
     ) -> None:
@@ -196,6 +211,7 @@ class ClusterSimulation:
             lambda: self.revoke(server_id, warning_seconds=warning_seconds),
         )
 
+    @units(None, "s", warning_seconds="s")
     def schedule_storm(
         self,
         server_ids: list[int],
@@ -293,6 +309,7 @@ class ClusterSimulation:
         if now + gap < t_end:
             self.sim.schedule(gap, self._arrival, rate_fn, t_end)
 
+    @units("s")
     def run(
         self,
         duration: float,

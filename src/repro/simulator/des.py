@@ -11,6 +11,7 @@ import heapq
 import itertools
 from typing import Any, Callable
 
+from repro.devtools.contracts import field_units, units
 from repro.obs import get_events, get_metrics, get_tracer
 
 __all__ = ["Event", "Simulator"]
@@ -39,9 +40,11 @@ class Event:
         return f"Event(t={self.time:.6g}, {getattr(self.fn, '__name__', self.fn)}, {state})"
 
 
+@field_units(_now="s")
 class Simulator:
     """Event loop with a monotonic simulated clock (seconds)."""
 
+    @units("s")
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: list[Event] = []
@@ -61,12 +64,14 @@ class Simulator:
     def processed(self) -> int:
         return self._processed
 
+    @units("s")
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
         return self.schedule_at(self._now + delay, fn, *args)
 
+    @units("s")
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
         if time < self._now:
@@ -75,6 +80,7 @@ class Simulator:
         heapq.heappush(self._heap, event)
         return event
 
+    @units("s")
     def advance(self, t_end: float) -> int:
         """Process events with ``time <= t_end`` without tracer overhead.
 
@@ -103,6 +109,7 @@ class Simulator:
             ev.clock = t_end
         return self._processed - before
 
+    @units("s")
     def run_until(self, t_end: float) -> None:
         """Process events with ``time <= t_end``; clock ends at ``t_end``."""
         if t_end < self._now:

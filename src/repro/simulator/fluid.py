@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.devtools.contracts import shapes
+from repro.devtools.contracts import field_units, shapes, units
 from repro.simulator.server import ServerPhase, SimServer
 
 __all__ = [
@@ -69,6 +69,7 @@ _RHO_MAX = 0.995
 
 
 @shapes(None, "(S,) f8", "(S,) f8", "(S,) f8", ret="(S,) f8")
+@units("s", "s", "s")
 def warm_multiplier(
     now: float,
     serving_since: np.ndarray,
@@ -104,6 +105,7 @@ def split_offered(total: float, weights: np.ndarray) -> np.ndarray:
 
 
 @shapes("(S,) f8", "(S,) f8", "(S,) f8", ret="(S,) f8")
+@units("frac", "s", None, ret="s")
 def stochastic_wait(
     rho: np.ndarray, service_eff: np.ndarray, workers: np.ndarray
 ) -> np.ndarray:
@@ -119,6 +121,7 @@ def stochastic_wait(
 
 
 @shapes("(S,) f8", "(S,) f8", ret="(S,K) f8")
+@units("s", "s", ret="s")
 def response_nodes(wait: np.ndarray, service_eff: np.ndarray) -> np.ndarray:
     """Response-time quantile nodes: wait plus exponential service quantiles.
 
@@ -129,6 +132,16 @@ def response_nodes(wait: np.ndarray, service_eff: np.ndarray) -> np.ndarray:
     return wait[:, None] + service_eff[:, None] * _NODE_EXP[None, :]
 
 
+@field_units(
+    t="s",
+    dt="s",
+    offered="req",
+    served="req",
+    dropped="req",
+    latencies="s",
+    queue_mass="req",
+    max_rho="frac",
+)
 @dataclass
 class FluidStep:
     """Outcome of one fluid rate step over the fleet."""
@@ -147,6 +160,14 @@ class FluidStep:
     max_rho: float
 
 
+@field_units(
+    offered_total="req",
+    served_total="req",
+    dropped_total="req",
+    failed_total="req",
+    deposited_total="req",
+    withdrawn_total="req",
+)
 class FluidEngine:
     """Columnar fluid-flow state over a live :class:`SimServer` fleet.
 
@@ -171,10 +192,12 @@ class FluidEngine:
         self.withdrawn_total = 0.0
 
     # ----------------------------------------------------------- fleet sync
+    @units(ret="req")
     def total_mass(self) -> float:
         """Queue mass currently held in the fluid tier (requests)."""
         return float(sum(self._mass.values()))
 
+    @units(None, "s", ret="req")
     def sync(self, servers: dict[int, SimServer], now: float) -> float:
         """Reconcile columns with the live fleet; returns failed mass.
 
@@ -229,6 +252,7 @@ class FluidEngine:
         return failed
 
     # ------------------------------------------------------------ rate step
+    @units("s", "s", "req/s")
     def step(self, now: float, dt: float, rate: float) -> FluidStep:
         """Advance the fleet by ``dt`` seconds of ``rate`` req/s traffic.
 
@@ -355,6 +379,7 @@ class FluidEngine:
         self._mass[server_id] = self._mass.get(server_id, 0.0) + count
         self.deposited_total += count
 
+    @units(ret="req")
     def balance_error(self) -> float:
         """Absolute conservation error of the ledger (should be ~0)."""
         inflow = self.offered_total + self.deposited_total

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.devtools.contracts import field_units, units
 from repro.loadbalancer.vanilla import VanillaLoadBalancer
 from repro.obs import get_events, get_tracer
 from repro.simulator.cluster import ClusterConfig, ClusterSimulation
@@ -62,6 +63,7 @@ TIER_REQUEST = "request"
 ENGINES = ("hybrid", "request", "fluid")
 
 
+@units(None, None, None, "s", ret="req")
 def materialize_fleet(
     fluid: FluidEngine, servers: dict, recorder: LatencyRecorder, now: float
 ) -> int:
@@ -86,6 +88,7 @@ def materialize_fleet(
     return moved
 
 
+@units(None, None, None, "s", ret="req")
 def absorb_fleet(
     fluid: FluidEngine, servers: dict, recorder: LatencyRecorder, now: float
 ) -> int:
@@ -105,6 +108,12 @@ def absorb_fleet(
     return moved
 
 
+@field_units(
+    interval_seconds="s",
+    settle_seconds="s",
+    spike_threshold="frac",
+    overload_utilization="frac",
+)
 @dataclass
 class HybridConfig:
     """Knobs of the two-tier engine.
@@ -191,6 +200,7 @@ class HybridClusterSimulation(ClusterSimulation):
         self._window_cause = cause
         self._window_trigger = trigger
 
+    @units(None, "s")
     def _on_warning_issued(self, server_id: int, warning_seconds: float) -> None:
         """Open a fidelity window spanning the warning and switch tiers NOW.
 
@@ -218,6 +228,7 @@ class HybridClusterSimulation(ClusterSimulation):
             if now + gap < self._chunk_end:
                 self.sim.schedule(gap, self._arrival, self._rate_fn, self._chunk_end)
 
+    @units("s")
     def _flush_fluid(self, t: float) -> None:
         """Run the fluid rate step over ``[fluid_covered, t)`` and record it."""
         dt = t - self._fluid_covered
@@ -240,6 +251,7 @@ class HybridClusterSimulation(ClusterSimulation):
                 t + self.hybrid.settle_seconds, cause=None, trigger="overload"
             )
 
+    @units("s", "req/s")
     def _detect_spike(self, now: float, rate: float) -> None:
         previous, self._last_rate = self._last_rate, rate
         if self.engine != "hybrid" or previous is None:
@@ -268,10 +280,12 @@ class HybridClusterSimulation(ClusterSimulation):
         return TIER_REQUEST if now < self._window_until else TIER_FLUID
 
     # -------------------------------------------------------------- handoffs
+    @units("s", "req")
     def _record_failed_mass(self, now: float, mass: float) -> None:
         if mass > 0:
             self.recorder.record_failed_mass(now, mass)
 
+    @units(None, "s")
     def _switch_tier(self, tier: str, now: float) -> None:
         previous, self._tier = self._tier, tier
         self.tier_switches += 1
@@ -304,6 +318,7 @@ class HybridClusterSimulation(ClusterSimulation):
             )
 
     # ------------------------------------------------------------------- run
+    @units("s")
     def run(
         self,
         duration: float,
@@ -361,6 +376,7 @@ class HybridClusterSimulation(ClusterSimulation):
         return self.recorder
 
     # ------------------------------------------------------------ invariants
+    @units(ret="req")
     def in_system(self) -> float:
         """Work currently in the system: fluid mass + real in-flight."""
         in_flight = sum(

@@ -34,7 +34,8 @@ from typing import Protocol
 import numpy as np
 
 from repro.core.costs import CostModel
-from repro.devtools.contracts import shapes
+from repro.core.units import SECONDS_PER_HOUR
+from repro.devtools.contracts import field_units, shapes, units
 from repro.markets.dataset import MarketDataset
 from repro.markets.revocation import CorrelatedRevocationSampler
 from repro.obs import get_events, get_metrics, get_tracer
@@ -53,6 +54,7 @@ _P99_EXP = 4.605170185988091  # -ln(0.01)
 
 
 @shapes("(T,) f8", "(T,) f8", None, ret="(T,) f8")
+@units("req/s", "req/s", "s", ret="s")
 def interval_p99(
     demand_rps: np.ndarray, capacity_eff_rps: np.ndarray, service_time: float
 ) -> np.ndarray:
@@ -89,6 +91,15 @@ class ProvisioningPolicy(Protocol):
     ) -> np.ndarray: ...
 
 
+@field_units(
+    provisioning_cost="usd",
+    sla_penalty_cost="usd",
+    unserved_requests="req",
+    total_requests="req",
+    # Wall-clock, not sim time: the one wall/sim seam in this module.
+    decision_seconds="wall_s",
+    p99_est_s="s",
+)
 @dataclass
 class SimulationReport:
     """Outcome of one policy run."""
@@ -108,6 +119,7 @@ class SimulationReport:
     p99_est_s: np.ndarray | None = None
 
     @property
+    @units(ret="usd")
     def total_cost(self) -> float:
         return self.provisioning_cost + self.sla_penalty_cost
 
@@ -144,6 +156,11 @@ class SimulationReport:
         return out
 
 
+@field_units(
+    service_time="s",
+    startup_seconds="s",
+    capacities="rps/server",
+)
 class CostSimulator:
     """Replays a workload + market trace against a provisioning policy."""
 
@@ -198,7 +215,7 @@ class CostSimulator:
         T = self.horizon_intervals
         N = self.dataset.num_markets
         interval_s = self.dataset.interval_seconds
-        interval_h = interval_s / 3600.0
+        interval_h = interval_s / SECONDS_PER_HOUR
         sampler = self._sampler()
         rng = np.random.default_rng(self.seed + 1)
 
@@ -234,11 +251,11 @@ class CostSimulator:
             prices = self.dataset.prices[t]
             fprobs = self.dataset.failure_probs[t]
 
-            t0 = time.perf_counter()  # spotgraph: allow-nondeterminism
+            t0_s = time.perf_counter()  # spotgraph: allow-nondeterminism
             counts = np.asarray(
                 policy.decide(t, observed, prices, fprobs), dtype=np.float64
             )
-            decision_time += time.perf_counter() - t0  # spotgraph: allow-nondeterminism
+            decision_time += time.perf_counter() - t0_s  # spotgraph: allow-nondeterminism
             if counts.shape != (N,):
                 raise ValueError("policy must return one count per market")
             if np.any(counts < 0):
@@ -276,7 +293,7 @@ class CostSimulator:
             if t > 0:
                 started = np.maximum(0, counts - prev_counts)
                 boot_cost = float((started * prices).sum()) * (
-                    self.startup_seconds / 3600.0
+                    self.startup_seconds / SECONDS_PER_HOUR
                 )
                 prov_cost += boot_cost
                 interval_costs[t] += boot_cost

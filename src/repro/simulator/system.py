@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.controller import SpotWebController
+from repro.devtools.contracts import field_units, units
 from repro.loadbalancer.transiency import TransiencyAwareLoadBalancer
 from repro.markets.cloud import TransientCloud, VMInstance
 from repro.markets.dataset import MarketDataset
@@ -50,6 +51,20 @@ __all__ = ["SystemConfig", "SystemReport", "SpotWebSystem"]
 logger = logging.getLogger(__name__)
 
 
+@field_units(
+    interval_seconds="s",
+    warning_seconds="s",
+    startup_seconds="s",
+    service_time="s",
+    warmup_seconds="s",
+    queue_limit_seconds="s",
+    slo_threshold="s",
+    drain_before_terminate_seconds="s",
+    fluid_step_seconds="s",
+    settle_seconds="s",
+    spike_threshold="frac",
+    overload_utilization="frac",
+)
 @dataclass
 class SystemConfig:
     """Timing and service parameters of the closed-loop run.
@@ -91,6 +106,7 @@ class SystemConfig:
             raise ValueError("settle_seconds must be non-negative")
 
 
+@field_units(total_cost="usd")
 @dataclass
 class SystemReport:
     """Outcome of a closed-loop run."""
@@ -280,6 +296,7 @@ class SpotWebSystem:
             (self.sim.now, self._live_count(), self._live_capacity())
         )
 
+    @units("req/s", "s")
     def _reprovision(self, lost_capacity: float, _now: float) -> None:
         """LB asks for emergency replacement capacity: cheapest market now."""
         t = min(self._interval_index, self.dataset.num_intervals - 1)
@@ -298,6 +315,7 @@ class SpotWebSystem:
     def _live_count(self) -> int:
         return sum(1 for s in self._servers.values() if s.alive)
 
+    @units(ret="req/s")
     def _live_capacity(self) -> float:
         return float(
             sum(s.capacity_rps for s in self._servers.values() if s.alive)
@@ -365,6 +383,7 @@ class SpotWebSystem:
         self._window_cause = cause
         self._window_trigger = trigger
 
+    @units("s", "req/s")
     def _detect_spike(self, now: float, rate: float) -> None:
         previous, self._last_rate = self._last_rate, rate
         if self.config.engine != "hybrid" or previous is None:
@@ -388,6 +407,7 @@ class SpotWebSystem:
             return TIER_FLUID
         return TIER_REQUEST if now < self._window_until else TIER_FLUID
 
+    @units(None, "s")
     def _switch_tier(self, tier: str, now: float) -> None:
         previous, self._tier = self._tier, tier
         moved = 0
@@ -415,6 +435,7 @@ class SpotWebSystem:
                 moved=moved,
             )
 
+    @units("s", "s", "req/s")
     def _fluid_span(self, t0: float, t1: float, rate: float) -> None:
         """Advance ``[t0, t1]`` with fluid rate steps (DES events interleave)."""
         cfg = self.config
@@ -439,6 +460,7 @@ class SpotWebSystem:
                 )
             now = step_end
 
+    @units("req/s", "s")
     def _arrival(self, rate: float, t_end: float) -> None:
         if self.balancer.dispatch(self.sim.now):
             self._served_this_interval += 1

@@ -266,7 +266,7 @@ class ADMMCore:
         if np.any(l > u + 1e-12):
             raise ValueError("infeasible box: some l > u")
 
-        start = time.perf_counter()  # spotgraph: allow-nondeterminism
+        start_s = time.perf_counter()  # spotgraph: allow-nondeterminism
         tracer = get_tracer()
         solve_span = tracer.span("qp.solve", n=n, m=m)
         solve_span.__enter__()
@@ -326,7 +326,7 @@ class ADMMCore:
 
         iterate_span.tag(iterations=it).__exit__(None, None, None)
         self._x, self._z, self._y = x, z, y
-        elapsed = time.perf_counter() - start  # spotgraph: allow-nondeterminism
+        elapsed = time.perf_counter() - start_s  # spotgraph: allow-nondeterminism
         solve_span.tag(iterations=it, status=status.value).__exit__(
             None, None, None
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.units import SECONDS_PER_WEEK
 from repro.workloads.spikes import SpikeSpec, inject_spikes
 from repro.workloads.trace import WorkloadTrace
 
@@ -83,7 +84,7 @@ def ramp_trace(
     weeks = (
         np.arange(trace.rates.size, dtype=np.float64)
         * trace.interval_seconds
-        / (7 * 24 * 3600.0)
+        / SECONDS_PER_WEEK
     )
     rates = trace.rates * (1.0 + growth_per_week) ** weeks
     return WorkloadTrace(rates, trace.interval_seconds, f"{trace.name}+ramp")

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.units import DAYS_PER_WEEK, HOURS_PER_DAY, SECONDS_PER_HOUR
 from repro.workloads.spikes import SpikeSpec, inject_spikes
 from repro.workloads.trace import WorkloadTrace
 
@@ -45,8 +46,11 @@ def wikipedia_like(
     if weeks < 1:
         raise ValueError("weeks must be >= 1")
     rng = np.random.default_rng(seed)
-    n = int(weeks * 7 * 24 * (3600.0 / interval_seconds))
-    t = np.arange(n) * (interval_seconds / 3600.0)  # hours
+    n = int(
+        weeks * DAYS_PER_WEEK * HOURS_PER_DAY
+        * (SECONDS_PER_HOUR / interval_seconds)
+    )
+    t = np.arange(n) * (interval_seconds / SECONDS_PER_HOUR)  # hours
     hour_of_day = t % 24.0
     day_of_week = (t // 24.0) % 7.0
 
@@ -84,8 +88,11 @@ def vod_like(
     if weeks < 1:
         raise ValueError("weeks must be >= 1")
     rng = np.random.default_rng(seed)
-    n = int(weeks * 7 * 24 * (3600.0 / interval_seconds))
-    t = np.arange(n) * (interval_seconds / 3600.0)
+    n = int(
+        weeks * DAYS_PER_WEEK * HOURS_PER_DAY
+        * (SECONDS_PER_HOUR / interval_seconds)
+    )
+    t = np.arange(n) * (interval_seconds / SECONDS_PER_HOUR)
     hour_of_day = t % 24.0
     day_of_week = (t // 24.0) % 7.0
 

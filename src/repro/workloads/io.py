@@ -19,6 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.units import SECONDS_PER_HOUR
 from repro.workloads.trace import WorkloadTrace
 
 __all__ = ["load_csv_trace", "load_wikipedia_pagecounts"]
@@ -111,5 +112,5 @@ def load_wikipedia_pagecounts(
                         total += int(count)
                     except ValueError:
                         continue
-        rates.append(total / 3600.0)
-    return WorkloadTrace(np.asarray(rates), 3600.0, name=name)
+        rates.append(total / SECONDS_PER_HOUR)
+    return WorkloadTrace(np.asarray(rates), SECONDS_PER_HOUR, name=name)

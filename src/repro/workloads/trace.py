@@ -7,6 +7,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.units import SECONDS_PER_DAY
+
 __all__ = ["WorkloadTrace"]
 
 
@@ -49,7 +51,7 @@ class WorkloadTrace:
 
     @property
     def intervals_per_day(self) -> int:
-        return max(1, int(round(86400.0 / self.interval_seconds)))
+        return max(1, int(round(SECONDS_PER_DAY / self.interval_seconds)))
 
     def window(self, start: int, stop: int) -> "WorkloadTrace":
         """Sub-trace covering intervals ``[start, stop)``."""

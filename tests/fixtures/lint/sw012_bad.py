@@ -1,0 +1,7 @@
+"""SW012 positive fixture: clock reads stored without a unit suffix."""
+import time
+from time import perf_counter
+
+t0 = time.time()
+start = perf_counter()
+tick_s = time.monotonic_ns()  # wrong suffix: _ns readers need `_ns`

@@ -1,0 +1,8 @@
+"""SW012 negative fixture: suffixed clock names, and non-clock calls."""
+import time
+from time import perf_counter
+
+t0_s = time.time()
+start_ms = perf_counter()
+tick_ns = time.monotonic_ns()
+elapsed = time.strftime("%H")  # not a clock reader SW012 tracks

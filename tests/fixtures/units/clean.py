@@ -1,0 +1,21 @@
+"""A clean pipeline through the seam contracts: nothing to report."""
+
+from contracts_seam import Tariff, accrue_cost, interval_width
+from repro.devtools.contracts import units
+
+__all__ = ["monthly", "pace", "penalty_cost"]
+
+
+@units("usd/(server*hr)", "server", "hr", ret="usd")
+def monthly(price, servers, hours):
+    return accrue_cost(price, servers, hours)
+
+
+@units("s", "interval", ret="s/interval")
+def pace(horizon_s, n_intervals):
+    return interval_width(horizon_s, n_intervals)
+
+
+@units("req/s", ret="usd")
+def penalty_cost(shortfall_rps, tariff: Tariff):
+    return tariff.penalty * shortfall_rps * tariff.interval_hours

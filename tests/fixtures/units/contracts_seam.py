@@ -1,0 +1,23 @@
+"""Declared ``@units``/``@field_units`` contracts other fixtures use."""
+
+from repro.devtools.contracts import field_units, units
+
+__all__ = ["Tariff", "accrue_cost", "interval_width"]
+
+
+@units("usd/(server*hr)", "server", "hr", ret="usd")
+def accrue_cost(price, servers, hours):
+    return price * servers * hours
+
+
+@units("s", "interval", ret="s/interval")
+def interval_width(horizon_s, n_intervals):
+    return horizon_s / n_intervals
+
+
+@field_units(penalty="usd/(rps*hr)", interval_hours="hr", threshold="req/s")
+class Tariff:
+    def __init__(self, penalty, interval_hours, threshold):
+        self.penalty = penalty
+        self.interval_hours = interval_hours
+        self.threshold = threshold

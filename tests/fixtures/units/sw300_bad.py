@@ -1,0 +1,20 @@
+"""SW300 positive fixture: additive mixes of incompatible dimensions."""
+
+from repro.devtools.contracts import units
+
+__all__ = ["compare", "total", "worst"]
+
+
+@units("req", "usd")
+def total(requests, cost):
+    return requests + cost  # requests are not dollars
+
+
+@units("req/s", "usd/(server*hr)")
+def compare(rate, price):
+    return rate > price  # a rate ordered against a price
+
+
+@units("server", "frac")
+def worst(n_servers, util):
+    return max(n_servers, util)  # a count maxed with a utilization

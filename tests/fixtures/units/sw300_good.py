@@ -1,0 +1,22 @@
+"""SW300 negative fixture: the same operations with compatible units."""
+
+from repro.devtools.contracts import units
+
+__all__ = ["compare", "total", "worst"]
+
+
+@units("req", "req", ret="req")
+def total(served, dropped):
+    return served + dropped
+
+
+@units("req/s", "rps")
+def compare(rate, other):
+    return rate > other  # rps *is* req/s in the shared grammar
+
+
+@units("frac", "1")
+def worst(util, ratio):
+    # The fraction dimension is soft: a declared frac may meet a derived
+    # dimensionless ratio, because every ratio of like quantities is one.
+    return max(util, ratio)

@@ -1,0 +1,26 @@
+"""SW301 positive fixture: the pre-fix ``sla_cost`` bug, and a bad call.
+
+``penalty`` is usd/(rps*hr); multiplying by a req/s shortfall leaves a
+dangling 1/hr unless the interval width in hours is applied — exactly
+the bug spotunits proved in ``repro.core.costs.CostModel.sla_cost``.
+"""
+
+from contracts_seam import accrue_cost
+from repro.devtools.contracts import field_units, units
+
+__all__ = ["BrokenTariff", "bill"]
+
+
+@field_units(penalty="usd/(rps*hr)")
+class BrokenTariff:
+    def __init__(self, penalty):
+        self.penalty = penalty
+
+    @units("req/s", ret="usd")
+    def sla_cost(self, shortfall_rps):
+        return self.penalty * shortfall_rps  # usd/hr, not usd
+
+
+@units("hr", ret="usd")
+def bill(hours):
+    return accrue_cost(hours, 3.0, hours)  # hours passed as the price

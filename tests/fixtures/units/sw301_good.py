@@ -1,0 +1,22 @@
+"""SW301 negative fixture: the fixed ``sla_cost`` and a correct call."""
+
+from contracts_seam import accrue_cost
+from repro.devtools.contracts import field_units, units
+
+__all__ = ["FixedTariff", "bill"]
+
+
+@field_units(penalty="usd/(rps*hr)", interval_hours="hr")
+class FixedTariff:
+    def __init__(self, penalty, interval_hours):
+        self.penalty = penalty
+        self.interval_hours = interval_hours
+
+    @units("req/s", ret="usd")
+    def sla_cost(self, shortfall_rps):
+        return self.penalty * shortfall_rps * self.interval_hours
+
+
+@units("usd/(server*hr)", "hr", ret="usd")
+def bill(price, hours):
+    return accrue_cost(price, 3.0, hours)

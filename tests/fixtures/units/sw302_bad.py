@@ -1,0 +1,17 @@
+"""SW302 positive fixture: wall-clock reads mixed into simulated time."""
+
+import time
+
+from repro.devtools.contracts import units
+
+__all__ = ["deadline_passed", "elapsed"]
+
+
+@units("s", ret="s")
+def elapsed(sim_now_s):
+    return time.time() - sim_now_s  # wall seconds minus sim seconds
+
+
+@units("s")
+def deadline_passed(sim_deadline_s):
+    return time.monotonic() > sim_deadline_s

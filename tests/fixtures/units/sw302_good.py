@@ -1,0 +1,17 @@
+"""SW302 negative fixture: each clock domain stays on its own side."""
+
+import time
+
+from repro.devtools.contracts import units
+
+__all__ = ["deadline_passed", "elapsed"]
+
+
+@units("wall_s", ret="wall_s")
+def elapsed(started_wall_s):
+    return time.time() - started_wall_s
+
+
+@units("s", "s")
+def deadline_passed(sim_now_s, sim_deadline_s):
+    return sim_now_s > sim_deadline_s

@@ -1,0 +1,20 @@
+"""SW303 positive fixture: same dimension, different scales, unconverted."""
+
+from repro.devtools.contracts import units
+
+__all__ = ["horizon", "latency_sum", "rate_gap"]
+
+
+@units("s", "hr", ret="s")
+def horizon(base_s, extra_hr):
+    return base_s + extra_hr  # seconds plus hours
+
+
+@units("ms", "s")
+def latency_sum(a_ms, b_s):
+    return a_ms + b_s  # milliseconds plus seconds
+
+
+@units("req/interval", "req/s")
+def rate_gap(per_interval, per_second):
+    return per_interval - per_second  # per-interval minus per-second

@@ -1,0 +1,20 @@
+"""SW304 positive fixture: bare literals doing unit conversions."""
+
+from repro.devtools.contracts import units
+
+__all__ = ["thousands", "to_ms", "to_seconds"]
+
+
+@units("hr", ret="s")
+def to_seconds(duration_hr):
+    return duration_hr * 3600
+
+
+@units("s")
+def to_ms(latency_s):
+    return latency_s * 1000.0
+
+
+@units("req")
+def thousands(count_req):
+    return count_req / 1000

@@ -9,6 +9,7 @@ from repro.devtools.contracts import (
     ContractError,
     UnitScalar,
     contracts_enabled,
+    field_units,
     freeze_arrays,
     nonneg,
     per_request_prices,
@@ -16,6 +17,7 @@ from repro.devtools.contracts import (
     rps,
     set_contracts,
     shapes,
+    units,
     usd_per_hour,
     usd_per_hour_per_rps,
 )
@@ -252,18 +254,20 @@ def test_freeze_arrays_makes_fields_readonly():
 def test_unit_scalars_tag_and_check():
     price = usd_per_hour(0.123)
     assert float(price) == pytest.approx(0.123)
-    assert price.unit == "USD/hour"
-    assert require_unit(price, "USD/hour") == pytest.approx(0.123)
+    assert price.unit == "usd/(server*hr)"
+    assert require_unit(price, "usd/(server*hr)") == pytest.approx(0.123)
+    # Equivalence is grammatical, not string equality.
+    assert require_unit(price, "usd/hr/server") == pytest.approx(0.123)
     with pytest.raises(ContractError):
-        require_unit(price, "USD/hour/rps")
+        require_unit(price, "usd/(rps*hr)")
     # Plain floats pass through: tags are opt-in.
-    assert require_unit(0.5, "USD/hour") == 0.5
+    assert require_unit(0.5, "usd/(server*hr)") == 0.5
 
 
 def test_unit_mismatch_raises_even_with_contracts_disabled():
     set_contracts(False)
     with pytest.raises(ContractError):
-        require_unit(rps(100.0), "USD/hour")
+        require_unit(rps(100.0), "usd/(server*hr)")
 
 
 def test_unit_helpers_reject_negative_values():
@@ -276,6 +280,103 @@ def test_unit_arithmetic_degrades_to_float():
     total = usd_per_hour(0.1) * 3
     assert not isinstance(total, UnitScalar)
     assert total == pytest.approx(0.3)
+
+
+# ---------------------------------------------------- the @units decorator
+def test_units_checks_tagged_arguments_by_equivalence():
+    @units("req/s", "usd/(server*hr)", ret="usd")
+    def cost(rate, price):
+        return float(rate) * float(price)
+
+    # Tagged values with equivalent spellings pass; "rps" is "req/s".
+    assert cost(rps(100.0), usd_per_hour(0.1)) == pytest.approx(10.0)
+    # A tagged value in the wrong unit names the offending parameter.
+    with pytest.raises(ContractError, match="'rate'"):
+        cost(usd_per_hour(0.1), usd_per_hour(0.1))
+    # Untagged plain floats carry no unit evidence and pass.
+    assert cost(100.0, 0.1) == pytest.approx(10.0)
+
+
+def test_units_checks_tagged_return_values():
+    @units(None, ret="usd/(rps*hr)")
+    def lies(value):
+        return usd_per_hour(value)  # tagged usd/(server*hr), not per-rps
+
+    with pytest.raises(ContractError, match="<return>"):
+        lies(0.25)
+
+
+def test_units_methods_skip_self_and_keyword_specs_bind_by_name():
+    class Biller:
+        @units("hr", price="usd/(server*hr)")
+        def bill(self, hours, price):
+            return float(hours) * float(price)
+
+    biller = Biller()
+    assert biller.bill(2.0, usd_per_hour(0.5)) == pytest.approx(1.0)
+    with pytest.raises(ContractError, match="'price'"):
+        biller.bill(2.0, price=rps(0.5))
+
+
+def test_units_decoration_time_validation():
+    with pytest.raises(ValueError):  # more specs than parameters
+
+        @units("s", "s")
+        def one(x):
+            return x
+
+    with pytest.raises(ValueError):  # unknown keyword parameter
+
+        @units(nope="s")
+        def two(x):
+            return x
+
+    with pytest.raises(ValueError):  # spec must parse in the shared grammar
+
+        @units("furlongs")
+        def three(x):
+            return x
+
+
+def test_units_is_a_noop_when_disabled():
+    @units("req/s")
+    def f(rate):
+        return float(rate)
+
+    set_contracts(False)
+    assert f(usd_per_hour(1.0)) == 1.0  # wrong tag, but checks are off
+
+
+def test_field_units_records_and_validates_declarations():
+    import dataclasses
+
+    @field_units(rate="req/s", width="s/interval")
+    @dataclasses.dataclass
+    class Obs:
+        rate: float
+        width: float
+
+    assert Obs.__unit_fields__ == {"rate": "req/s", "width": "s/interval"}
+
+    with pytest.raises(ValueError):  # a typo'd field fails at import time
+
+        @field_units(rte="req/s")
+        @dataclasses.dataclass
+        class Typo:
+            rate: float
+
+
+def test_field_units_inherits_and_overrides():
+    @field_units(t="s")
+    class Base:
+        pass
+
+    @field_units(t="ms", cost="usd")
+    class Derived(Base):
+        pass
+
+    assert Base.__unit_fields__ == {"t": "s"}
+    assert Derived.__unit_fields__ == {"t": "ms", "cost": "usd"}
 
 
 def test_per_request_prices_conversion():

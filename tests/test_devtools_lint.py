@@ -32,6 +32,7 @@ RULE_CASES = [
     ("SW007", "sw007_bad.py", 2, "sw007_good.py"),
     ("SW008", "sw008_bad.py", 1, "sw008_good.py"),
     ("SW011", "sw011_bad.py", 3, "sw011_good.py"),
+    ("SW012", "sw012_bad.py", 3, "sw012_good.py"),
 ]
 
 
@@ -134,6 +135,47 @@ def test_sw011_is_suppressible(tmp_path):
         "x = np.zeros(3, dtype=int)  # spotlint: disable=SW011\n"
     )
     assert lint_file(mod, select={"SW011"}) == []
+
+
+def test_sw012_flags_attribute_and_walrus_targets(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import time\n"
+        "__all__ = []\n\n\n"
+        "class T:\n"
+        "    def mark(self):\n"
+        "        self.epoch = time.perf_counter()\n"
+        "        if (now := time.monotonic()) > 0:\n"
+        "            return now\n"
+    )
+    findings = lint_file(mod, select={"SW012"})
+    assert [(f.line, f.rule) for f in findings] == [(7, "SW012"), (8, "SW012")]
+    assert "`epoch`" in findings[0].message
+
+
+def test_sw012_accepts_suffixed_attribute_targets(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import time\n"
+        "__all__ = []\n\n\n"
+        "class T:\n"
+        "    def mark(self):\n"
+        "        self.epoch_s = time.perf_counter()\n"
+        "        self.tick_ns: int = time.monotonic_ns()\n"
+    )
+    assert lint_file(mod, select={"SW012"}) == []
+
+
+def test_sw012_ignores_unresolved_and_shadowed_time(tmp_path):
+    # A local callable named `time` must not resolve to the stdlib module.
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "__all__ = []\n\n\n"
+        "def run(time):\n"
+        "    t0 = time.time()\n"
+        "    return t0\n"
+    )
+    assert lint_file(mod, select={"SW012"}) == []
 
 
 # ------------------------------------------------------------- suppressions

@@ -165,18 +165,18 @@ class TestNoopOverhead:
 
         tracer = get_tracer()
         tracer.clear()
-        t0 = time.perf_counter()
+        t0_s = time.perf_counter()
         optimizer.optimize(*inputs)
-        solve_seconds = time.perf_counter() - t0
+        solve_seconds = time.perf_counter() - t0_s
         spans_per_solve = len(tracer.records())
         assert spans_per_solve > 0
 
         disable_tracing()
         calls = 200_000
-        t0 = time.perf_counter()
+        t0_s = time.perf_counter()
         for _ in range(calls):
             tracer.span("noop")
-        per_call = (time.perf_counter() - t0) / calls
+        per_call = (time.perf_counter() - t0_s) / calls
 
         overhead = spans_per_solve * per_call
         assert overhead < 0.01 * solve_seconds, (
