@@ -13,8 +13,21 @@ Commands
   ``--events`` (or ``SPOTWEB_EVENTS=1``) journals the service-level
   domain events (revocation warnings, drains, migrations, SLO state) to
   a ``spotweb-events/1`` JSONL file; ``--prom-out`` exports the metrics
-  snapshot in Prometheus text format; ``--quick`` shrinks the workload
-  to CI size.
+  registry in Prometheus text format (atomically, refreshed at every
+  sim interval while the telemetry bus is live); ``--quick`` shrinks
+  the workload to CI size.  The streaming-telemetry flags —
+  ``--serve-metrics PORT`` (live OpenMetrics scrape endpoint,
+  ``--serve-hold SEC`` keeps it up after the run), ``--telemetry-out``
+  (the ``spotweb-telemetry/1`` delta stream as JSONL), and
+  ``--flightrec DIR`` (arm the flight recorder: SLO burn-rate alerts
+  and crashes dump a ``spotweb-flightrec/1`` bundle) — each switch the
+  in-process telemetry bus on.
+- ``top <name>`` — live-refreshing ASCII dashboard of one run (fleet
+  by market, RPS, P99, burn rate, cost, warnings, anomalies) driven
+  off the telemetry bus; ``--once`` renders a single deterministic
+  final snapshot instead of repainting.
+- ``flightrec validate|summarize <file>`` — schema-check a dumped
+  flight-recorder bundle, or render the incident window it captured.
 - ``trace summarize|validate <file>`` — critical-path breakdown, top
   spans, and per-phase timeline of a recorded trace; or schema check.
 - ``events validate|summarize|timeline|diff <file> [file_b]`` — schema +
@@ -23,6 +36,9 @@ Commands
 - ``scenarios run|list|check`` — the adversarial scenario suite: run a
   pack (journals per cell), list the registered families, or evaluate
   journals against their invariant packs (non-zero exit on violation).
+  ``run --flightrec DIR`` arms the flight recorder for the whole pack:
+  in-episode SLO alerts auto-dump, and a failed ``--check`` dumps an
+  ``invariant.violation`` bundle naming the broken invariants.
 - ``list`` — list available experiments with one-line descriptions.
 - ``catalog`` — print the instance catalog / market universe.
 - ``advisor`` — print the emulated Spot Instance Advisor table for a
@@ -206,18 +222,23 @@ def _format_metrics(snapshot: dict) -> str:
 
 
 def _cmd_run(args) -> str:
-    """Run one experiment with optional tracing, events and metrics.
+    """Run one experiment with optional tracing, events and telemetry.
 
     Identical to ``experiment`` when all observability is off (the no-op
-    tracer and event sink each add one method call per instrumented site).
-    With ``--trace`` or ``SPOTWEB_TRACE=1`` the whole run executes under an
-    ``experiment.<name>`` root span and the trace is written as
-    ``spotweb-trace/1`` JSONL; with ``--events`` or ``SPOTWEB_EVENTS=1``
-    the domain-event journal is written as ``spotweb-events/1`` JSONL.
-    Either opt-in also prints the metrics snapshot; ``--prom-out``
-    additionally exports it in Prometheus text format.
+    tracer, event sink, and telemetry bus each add one method call per
+    instrumented site).  With ``--trace`` or ``SPOTWEB_TRACE=1`` the
+    whole run executes under an ``experiment.<name>`` root span and the
+    trace is written as ``spotweb-trace/1`` JSONL; with ``--events`` or
+    ``SPOTWEB_EVENTS=1`` the domain-event journal is written as
+    ``spotweb-events/1`` JSONL.  Any streaming flag (``--serve-metrics``,
+    ``--telemetry-out``, ``--flightrec``, or ``SPOTWEB_TELEMETRY=1``)
+    switches the telemetry bus on, which implies events.  Every opt-in
+    also prints the metrics snapshot; ``--prom-out`` additionally
+    exports the registry in Prometheus text format (written atomically,
+    and refreshed at every sim interval while the bus is live).
     """
     import importlib
+    import time
 
     from repro import obs
 
@@ -226,7 +247,15 @@ def _cmd_run(args) -> str:
         args.hours = 24
     _desc, runner = EXPERIMENTS[args.name]
     trace_on = args.trace or _env_trace_on()
-    events_on = args.events or _env_events_on()
+    telemetry_on = bool(
+        args.serve_metrics is not None
+        or args.telemetry_out
+        or args.flightrec
+        or obs.telemetry_enabled()
+    )
+    # The delta stream is derived from the journal, so telemetry implies
+    # events (enable_telemetry enforces it; mirror that in the flag).
+    events_on = args.events or _env_events_on() or telemetry_on
     if not (trace_on or events_on or args.prom_out):
         return runner(args)
     obs.reset_metrics()
@@ -236,12 +265,34 @@ def _cmd_run(args) -> str:
         tracer.clear()
     if events_on:
         obs.enable_events()
+    delta_writer = None
+    recorder = None
+    server = None
+    if telemetry_on:
+        bus = obs.enable_telemetry()
+        # Detectors first, so the flags they emit reach the sinks on the
+        # next frame (same order the scenario episodes use).
+        bus.subscribe(obs.AnomalyMonitor())
+        if args.telemetry_out:
+            delta_writer = bus.subscribe(obs.DeltaWriter())
+        if args.flightrec:
+            recorder = obs.enable_flightrec(args.flightrec)
+            obs.install_crash_hooks()
+        if args.prom_out:
+            bus.subscribe(obs.PromFileWriter(args.prom_out))
+        if args.serve_metrics is not None:
+            server = bus.subscribe(obs.MetricsServer(args.serve_metrics))
+            server.start()
+            # Announce before the run so scrapers can find the port.
+            print(f"serving metrics at {server.url}", flush=True)
     with obs.get_tracer().span(f"experiment.{args.name}", quick=args.quick):
         # The experiments package import dominates a --quick run's
         # wall-clock; give it a span so the root stays >95% covered.
         with obs.get_tracer().span("experiment.imports"):
             importlib.import_module("repro.experiments")
         text = runner(args)
+    if telemetry_on:
+        obs.get_bus().flush()
     if trace_on:
         records = obs.get_tracer().records()
         out = args.trace_out or f"TRACE_{args.name}.jsonl"
@@ -252,14 +303,30 @@ def _cmd_run(args) -> str:
         events_out = args.events_out or f"EVENTS_{args.name}.jsonl"
         obs.write_events(events, events_out)
         text += f"\nwrote {len(events)} events to {events_out}"
+    if delta_writer is not None:
+        out_path = delta_writer.write(args.telemetry_out)
+        text += (
+            f"\nwrote {len(delta_writer.lines)} telemetry deltas to {out_path}"
+        )
+    if recorder is not None:
+        for bundle in recorder.dumped:
+            text += f"\nflight recorder dumped {bundle}"
     if args.parallel and trace_on:
         text += "\nNOTE: spans from process-pool workers are not captured"
     snapshot = obs.get_metrics().snapshot()
     if args.prom_out:
-        with open(args.prom_out, "w", encoding="utf-8") as fh:
-            fh.write(obs.prometheus_text(snapshot))
+        obs.write_prometheus(args.prom_out, obs.get_metrics())
         text += f"\nwrote Prometheus metrics to {args.prom_out}"
     text += "\n" + _format_metrics(snapshot)
+    if server is not None:
+        server.refresh()
+        if args.serve_hold > 0:
+            # Keep the scrape endpoint alive for external pollers (CI
+            # curls it here); the final registry state stays served.
+            print(text)
+            text = f"held metrics endpoint for {args.serve_hold:g}s"
+            time.sleep(args.serve_hold)
+        server.stop()
     return text
 
 
@@ -293,6 +360,74 @@ def _cmd_events(args) -> str:
         # Non-zero exit so CI can gate on determinism drift.
         raise SystemExit(text)
     return text
+
+
+def _cmd_flightrec(args) -> str:
+    """Validate or summarize a dumped ``spotweb-flightrec/1`` bundle."""
+    from repro import obs
+
+    if args.action == "validate":
+        info = obs.validate_flightrec(args.file)
+        return (
+            f"{args.file}: {info['deltas']} deltas, {info['events']} events, "
+            f"reason {info['reason']}, schema OK"
+        )
+    return obs.summarize_flightrec(args.file)
+
+
+def _cmd_top(args) -> str:
+    """Live dashboard over one experiment run, driven off the bus.
+
+    Subscribes a :class:`~repro.obs.dash.DashRenderer` to the global
+    telemetry bus and runs the experiment; each sim-interval frame
+    repaints the board (in place on a TTY).  ``--once`` folds the stream
+    silently into a :class:`~repro.obs.dash.DashState` and renders one
+    final deterministic snapshot — no wall-clock datum enters the frame
+    (the "last solve" cell renders ``-``), so identical-seed snapshots
+    are byte-identical.
+    """
+    from repro import obs
+    from repro.obs.dash import DashRenderer, DashState, render_dash
+
+    if args.quick:
+        args.weeks = 1
+        args.hours = 24
+    _desc, runner = EXPERIMENTS[args.name]
+    obs.reset_metrics()
+    bus = obs.enable_telemetry()
+    monitor = bus.subscribe(obs.AnomalyMonitor())
+    state = DashState()
+    renderer = None
+    if args.once:
+        bus.subscribe(state)
+    else:
+        renderer = bus.subscribe(DashRenderer(state, every=args.refresh))
+    server = None
+    if args.serve_metrics is not None:
+        server = bus.subscribe(obs.MetricsServer(args.serve_metrics))
+        server.start()
+        print(f"serving metrics at {server.url}", flush=True)
+    try:
+        runner(args)
+        bus.flush()
+    finally:
+        if server is not None:
+            server.stop()
+            bus.unsubscribe(server)
+        bus.unsubscribe(monitor)
+        bus.unsubscribe(state)
+        if renderer is not None:
+            bus.unsubscribe(renderer)
+        obs.disable_telemetry()
+    if args.once:
+        return render_dash(state)
+    # The final frame may show the last optimizer latency: it is live
+    # operator output, not a determinism-bearing artifact.
+    solve_ms = None
+    values = obs.get_metrics().histogram("controller.solve_ms").values
+    if values:
+        solve_ms = float(values[-1])
+    return render_dash(state, solve_ms=solve_ms)
 
 
 def _cmd_list(_args) -> str:
@@ -512,6 +647,15 @@ def _cmd_scenarios(args) -> str:
             if args.engine == "both"
             else (args.engine,)
         )
+        recorder = None
+        if args.flightrec:
+            # Episode runners subscribe the armed global recorder to
+            # their private buses, so SLO alerts auto-dump per episode.
+            # Pool workers have their own unarmed recorder: --flightrec
+            # captures bundles from serial (non --parallel) runs.
+            from repro import obs
+
+            recorder = obs.enable_flightrec(args.flightrec)
         runs = scenarios.run_suite(
             args.scenario or None,
             pack=args.pack,
@@ -523,10 +667,21 @@ def _cmd_scenarios(args) -> str:
         for run in runs:
             path = scenarios.write_run(run, args.out_dir)
             lines.append(f"wrote {len(run.records)} events to {path}")
+        if recorder is not None:
+            for bundle in recorder.dumped:
+                lines.append(f"flight recorder dumped {bundle}")
         if args.check:
             violations = scenarios.check_runs(runs)
             report = scenarios.format_check_report(runs, violations)
             if violations:
+                if recorder is not None:
+                    bundle = recorder.dump(
+                        "invariant.violation",
+                        trigger={
+                            "violations": [str(v) for v in violations]
+                        },
+                    )
+                    lines.append(f"flight recorder dumped {bundle}")
                 print("\n".join(lines))
                 raise SystemExit(report)
             lines.append(report)
@@ -644,7 +799,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--prom-out",
         default=None,
-        help="write the metrics snapshot in Prometheus text format",
+        help="write the metrics registry in Prometheus text format "
+        "(atomic; refreshed every sim interval when telemetry is on)",
+    )
+    p_run.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live OpenMetrics on http://127.0.0.1:PORT/metrics "
+        "during the run (0 picks an ephemeral port)",
+    )
+    p_run.add_argument(
+        "--serve-hold",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="keep the metrics endpoint up this long after the run",
+    )
+    p_run.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="write the spotweb-telemetry/1 delta stream as JSONL",
+    )
+    p_run.add_argument(
+        "--flightrec",
+        default=None,
+        metavar="DIR",
+        help="arm the flight recorder; SLO-alert and crash bundles "
+        "land in this directory",
     )
     p_run.add_argument(
         "--parallel",
@@ -654,6 +838,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--workers", type=int, default=None, help="pool size (default: cpu count)"
     )
+
+    p_top = sub.add_parser(
+        "top", help="live ASCII dashboard over one experiment run"
+    )
+    p_top.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_top.add_argument("--seed", type=int, default=0)
+    p_top.add_argument("--weeks", type=int, default=2)
+    p_top.add_argument("--hours", type=int, default=72, help="fig6a length")
+    p_top.add_argument("--scale", type=float, default=0.5)
+    p_top.add_argument(
+        "--engine",
+        choices=("hybrid", "request", "fluid"),
+        default="request",
+        help="simulation engine for cluster experiments (fig4a)",
+    )
+    p_top.add_argument(
+        "--workload", choices=("wikipedia", "vod"), default="wikipedia"
+    )
+    p_top.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized workload (1 week / 24 hours)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one deterministic final snapshot, no live repaints",
+    )
+    p_top.add_argument(
+        "--refresh",
+        type=int,
+        default=1,
+        metavar="N",
+        help="repaint every N telemetry frames (live mode)",
+    )
+    p_top.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve live OpenMetrics on this port during the run",
+    )
+    p_top.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan independent cells out over a process pool",
+    )
+    p_top.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cpu count)"
+    )
+
+    p_rec = sub.add_parser(
+        "flightrec", help="inspect a dumped flight-recorder bundle"
+    )
+    p_rec.add_argument("action", choices=("validate", "summarize"))
+    p_rec.add_argument("file")
 
     p_trace = sub.add_parser("trace", help="inspect a recorded span trace")
     p_trace.add_argument("action", choices=("summarize", "validate"))
@@ -749,6 +989,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="check every events_scenario_*.jsonl journal in this directory",
     )
     p_scn.add_argument(
+        "--flightrec",
+        default=None,
+        metavar="DIR",
+        help="arm the flight recorder during `run`; SLO-alert and "
+        "invariant-violation bundles land in this directory",
+    )
+    p_scn.add_argument(
         "--parallel",
         action="store_true",
         help="fan scenario cells out over a process pool",
@@ -825,6 +1072,10 @@ def main(argv: list[str] | None = None) -> int:
         print(runner(args))
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "top":
+        print(_cmd_top(args))
+    elif args.command == "flightrec":
+        print(_cmd_flightrec(args))
     elif args.command == "trace":
         print(_cmd_trace(args))
     elif args.command == "events":

@@ -73,8 +73,12 @@ DETERMINISTIC_PREFIXES: tuple[str, ...] = (
     "repro.loadbalancer",
     "repro.markets",
     "repro.monitoring",
+    "repro.obs.anomaly",
+    "repro.obs.dash",
     "repro.obs.eventreport",
     "repro.obs.events",
+    "repro.obs.flightrec",
+    "repro.obs.live",
     "repro.obs.metrics",
     "repro.obs.slo",
     "repro.predictors",

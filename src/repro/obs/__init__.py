@@ -1,14 +1,15 @@
 """``repro.obs`` — zero-dependency observability for the control loop.
 
-Three layers, all off (or free) by default so tier-1 runtime and bitwise
-experiment outputs are unchanged:
+Batch and streaming layers, all off (or free) by default so tier-1
+runtime and bitwise experiment outputs are unchanged:
 
 - :mod:`repro.obs.tracer` — nested span tracing across the controller's
   per-interval loop, the QP solver phases, the DES event loop, and the
   load balancer's warning path; exports schema-tagged JSONL
   (``spotweb-trace/1``).  Opt in with ``--trace`` / ``SPOTWEB_TRACE``.
 - :mod:`repro.obs.metrics` — an always-on (but feedback-free) registry of
-  counters/gauges/histograms with a deterministic snapshot API.
+  counters/gauges/histograms with a deterministic snapshot API and a
+  Prometheus/OpenMetrics exporter.
 - :mod:`repro.obs.summarize` — the ``python -m repro trace summarize``
   analyzer: top spans, critical path, child coverage, and an ASCII
   per-interval timeline.
@@ -21,8 +22,31 @@ experiment outputs are unchanged:
   ``slo.interval`` / ``slo.alert`` events.
 - :mod:`repro.obs.eventreport` — the ``python -m repro events`` analyzer:
   incident report, ASCII timeline, and journal diff.
+- :mod:`repro.obs.live` — the streaming telemetry plane: a
+  :class:`~repro.obs.live.TelemetryBus` publishing deterministic
+  sim-time deltas (``spotweb-telemetry/1``) at interval boundaries, plus
+  file sinks and the live OpenMetrics scrape endpoint.  Opt in with the
+  CLI telemetry flags / ``SPOTWEB_TELEMETRY``.
+- :mod:`repro.obs.flightrec` — the flight recorder: a bounded ring
+  buffer of recent deltas dumped as ``spotweb-flightrec/1`` bundles on
+  SLO alerts, invariant violations, or crashes.
+- :mod:`repro.obs.anomaly` — streaming EWMA z-score and CUSUM detectors
+  over SLO/cost series, emitting ``telemetry.anomaly`` journal events.
+- :mod:`repro.obs.dash` — the ``python -m repro top`` dashboard: bus-fed
+  state and deterministic ASCII rendering.
 """
 
+from repro.obs.anomaly import (
+    ANOMALY_EVENT,
+    AnomalyMonitor,
+    CusumDetector,
+    DEFAULT_SERIES,
+    DetectorConfig,
+    EwmaZScoreDetector,
+    SeriesSpec,
+    detect_series,
+)
+from repro.obs.dash import DashRenderer, DashState, render_dash
 from repro.obs.eventreport import (
     diff_files,
     diff_journals,
@@ -50,6 +74,35 @@ from repro.obs.events import (
     validate_events,
     write_events,
 )
+from repro.obs.flightrec import (
+    FLIGHTREC_SCHEMA,
+    FlightRecValidationError,
+    FlightRecorder,
+    disable_flightrec,
+    enable_flightrec,
+    flightrec_enabled,
+    get_flightrec,
+    install_crash_hooks,
+    load_flightrec,
+    set_flightrec,
+    summarize_flightrec,
+    uninstall_crash_hooks,
+    validate_flightrec,
+)
+from repro.obs.live import (
+    SLO_POINT_FIELDS,
+    TELEMETRY_SCHEMA,
+    DeltaWriter,
+    MetricsServer,
+    PromFileWriter,
+    TelemetryBus,
+    delta_line,
+    disable_telemetry,
+    enable_telemetry,
+    get_bus,
+    set_bus,
+    telemetry_enabled,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -59,6 +112,7 @@ from repro.obs.metrics import (
     prometheus_text,
     reset_metrics,
     set_metrics,
+    write_prometheus,
 )
 from repro.obs.slo import LatencyDigest, SLOEngine
 from repro.obs.tracer import (
@@ -94,6 +148,7 @@ __all__ = [
     "reset_metrics",
     "set_metrics",
     "prometheus_text",
+    "write_prometheus",
     "EVENTS_SCHEMA",
     "TERMINAL_OUTCOMES",
     "EventLog",
@@ -119,6 +174,42 @@ __all__ = [
     "summarize_events_file",
     "tier_spans",
     "timeline_file",
+    "TELEMETRY_SCHEMA",
+    "SLO_POINT_FIELDS",
+    "delta_line",
+    "TelemetryBus",
+    "DeltaWriter",
+    "PromFileWriter",
+    "MetricsServer",
+    "get_bus",
+    "set_bus",
+    "enable_telemetry",
+    "disable_telemetry",
+    "telemetry_enabled",
+    "FLIGHTREC_SCHEMA",
+    "FlightRecValidationError",
+    "FlightRecorder",
+    "get_flightrec",
+    "set_flightrec",
+    "enable_flightrec",
+    "disable_flightrec",
+    "flightrec_enabled",
+    "install_crash_hooks",
+    "uninstall_crash_hooks",
+    "load_flightrec",
+    "validate_flightrec",
+    "summarize_flightrec",
+    "ANOMALY_EVENT",
+    "DetectorConfig",
+    "EwmaZScoreDetector",
+    "CusumDetector",
+    "detect_series",
+    "SeriesSpec",
+    "DEFAULT_SERIES",
+    "AnomalyMonitor",
+    "DashState",
+    "render_dash",
+    "DashRenderer",
     "TRACE_SCHEMA",
     "NullSpan",
     "Span",

@@ -298,6 +298,20 @@ class EventLog:
         """The journal so far, in emission (= seq) order."""
         return list(self._records)
 
+    def record_count(self) -> int:
+        """Number of records in the journal (cheap cursor anchor)."""
+        return len(self._records)
+
+    def records_since(self, start: int) -> list[dict]:
+        """Records appended at index ``start`` and later.
+
+        Streaming consumers (the telemetry bus) keep a cursor of
+        :meth:`record_count` and drain only the new tail each tick; a
+        count smaller than the cursor means the log was cleared or
+        swapped, so callers should reset their cursor to zero.
+        """
+        return list(self._records[start:])
+
     def open_warning_count(self) -> int:
         return len(self._open_warnings)
 

@@ -24,6 +24,8 @@ CLI fold into their output.
 from __future__ import annotations
 
 import math
+import os
+from pathlib import Path
 from typing import Iterator
 
 __all__ = [
@@ -35,6 +37,7 @@ __all__ = [
     "set_metrics",
     "reset_metrics",
     "prometheus_text",
+    "write_prometheus",
 ]
 
 
@@ -160,6 +163,18 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def kinds(self) -> dict[str, str]:
+        """Metric name -> declared kind (``counter``/``gauge``/``histogram``).
+
+        The authoritative type map for exporters: a metric's kind comes
+        from the class it was registered as, never from the Python type
+        of its current value (an integer-valued gauge is still a gauge).
+        """
+        return {
+            name: type(self._metrics[name]).__name__.lower()
+            for name in sorted(self._metrics)
+        }
+
     def snapshot(self) -> dict:
         """Deterministic dict of every metric's current value.
 
@@ -179,28 +194,85 @@ def _prom_name(name: str, *, prefix: str) -> str:
     return prefix + name.replace(".", "_").replace("-", "_")
 
 
-def prometheus_text(snapshot: dict, *, prefix: str = "spotweb_") -> str:
-    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text format.
+def _infer_kind(name: str, value: object) -> str:
+    """Legacy value-type inference for plain snapshot dicts."""
+    if isinstance(value, bool):
+        raise TypeError(f"metric {name!r} has non-metric value {value!r}")
+    if isinstance(value, int):
+        return "counter"
+    if isinstance(value, float):
+        return "gauge"
+    if isinstance(value, dict):
+        return "histogram"
+    raise TypeError(f"metric {name!r} has non-metric value {value!r}")
 
-    Counters (int values) become ``counter`` series, gauges (floats)
-    become ``gauge`` series, and histogram summaries export as a
-    Prometheus ``summary``: ``{quantile="0.5"|"0.95"}`` series plus the
-    conventional ``_sum`` and ``_count``.  Metric names keep snapshot
-    (sorted) order with dots mangled to underscores, so output is as
+
+def _mangled_names(names: list[str], *, prefix: str) -> dict[str, str]:
+    """Map each metric name to a collision-free Prometheus name.
+
+    Dot/dash mangling can collapse distinct metric names (``lb.spare-rps``
+    and ``lb.spare.rps`` both mangle to ``lb_spare_rps``); later
+    occurrences get a deterministic ``_2``/``_3``... suffix in input
+    order, so the exported family names stay unique.
+    """
+    out: dict[str, str] = {}
+    used: dict[str, int] = {}
+    for name in names:
+        pname = _prom_name(name, prefix=prefix)
+        seen = used.get(pname, 0)
+        used[pname] = seen + 1
+        out[name] = pname if seen == 0 else f"{pname}_{seen + 1}"
+    return out
+
+
+def prometheus_text(
+    source: "MetricsRegistry | dict",
+    *,
+    prefix: str = "spotweb_",
+    openmetrics: bool = False,
+) -> str:
+    """Render a registry (or legacy snapshot dict) in Prometheus text format.
+
+    Given a :class:`MetricsRegistry`, each family's type comes from the
+    metric class it was registered as — an integer-valued gauge exports
+    as a gauge.  Given a plain :meth:`MetricsRegistry.snapshot` dict, the
+    type falls back to value inference (``int`` -> counter, ``float`` ->
+    gauge, ``dict`` -> summary); booleans are rejected either way.
+
+    Counters carry the conventional ``_total`` sample suffix, every
+    family gets a ``# HELP`` line, histogram summaries export
+    ``{quantile="0.5"|"0.95"}`` series plus ``_sum``/``_count``, and
+    names that mangle to duplicates are suffixed deterministically (see
+    :func:`_mangled_names`).  With ``openmetrics=True`` the output is
+    terminated by the ``# EOF`` marker the OpenMetrics wire format
+    requires.  Output order follows the snapshot, so it is as
     deterministic as the snapshot itself.
     """
+    if isinstance(source, MetricsRegistry):
+        snapshot = source.snapshot()
+        kinds = source.kinds()
+    else:
+        snapshot = source
+        kinds = {
+            name: _infer_kind(name, value) for name, value in snapshot.items()
+        }
+    pnames = _mangled_names(list(snapshot), prefix=prefix)
     lines: list[str] = []
     for name, value in snapshot.items():
-        pname = _prom_name(name, prefix=prefix)
+        pname = pnames[name]
+        kind = kinds[name]
         if isinstance(value, bool):
             raise TypeError(f"metric {name!r} has non-metric value {value!r}")
-        if isinstance(value, int):
-            lines.append(f"# TYPE {pname} counter")
-            lines.append(f"{pname} {value}")
-        elif isinstance(value, float):
+        if kind == "counter":
+            lines.append(f"# HELP {pname}_total SpotWeb counter {name}")
+            lines.append(f"# TYPE {pname}_total counter")
+            lines.append(f"{pname}_total {value}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {pname} SpotWeb gauge {name}")
             lines.append(f"# TYPE {pname} gauge")
             lines.append(f"{pname} {value}")
-        elif isinstance(value, dict):
+        elif kind == "histogram":
+            lines.append(f"# HELP {pname} SpotWeb histogram summary {name}")
             lines.append(f"# TYPE {pname} summary")
             lines.append(f'{pname}{{quantile="0.5"}} {value["p50"]}')
             lines.append(f'{pname}{{quantile="0.95"}} {value["p95"]}')
@@ -208,7 +280,34 @@ def prometheus_text(snapshot: dict, *, prefix: str = "spotweb_") -> str:
             lines.append(f"{pname}_count {value['count']}")
         else:
             raise TypeError(f"metric {name!r} has non-metric value {value!r}")
-    return "\n".join(lines) + "\n" if lines else ""
+    if not lines:
+        return ""
+    if openmetrics:
+        lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    path: "str | Path",
+    source: "MetricsRegistry | dict | None" = None,
+    *,
+    prefix: str = "spotweb_",
+    openmetrics: bool = False,
+) -> Path:
+    """Atomically export metrics in Prometheus text format.
+
+    Writes to a same-directory temp file and renames it into place, so an
+    external scraper polling the path never reads a torn file.  ``source``
+    defaults to the process-global registry.
+    """
+    path = Path(path)
+    if source is None:
+        source = get_metrics()
+    text = prometheus_text(source, prefix=prefix, openmetrics=openmetrics)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+    return path
 
 
 _METRICS = MetricsRegistry()

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.devtools.contracts import field_units, units
 from repro.obs.events import get_events
+from repro.obs.live import get_bus
 
 __all__ = ["LatencyDigest", "SLOEngine"]
 
@@ -324,6 +325,10 @@ class SLOEngine:
             p99=digest["p99"],
         )
         self._evaluate_alert(end_t)
+        # Frame boundary for streaming consumers: the SLO interval close
+        # is the sim-time heartbeat of DES/hybrid runs (the interval cost
+        # simulator ticks its own loop).  One method call when disabled.
+        get_bus().tick(end_t, self._interval)
         self._interval += 1
         self._good = 0
         self._bad = 0

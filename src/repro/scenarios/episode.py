@@ -23,7 +23,10 @@ import numpy as np
 
 from repro.core.units import SECONDS_PER_HOUR
 from repro.loadbalancer import TransiencyAwareLoadBalancer
+from repro.obs.anomaly import AnomalyMonitor
 from repro.obs.events import EventLog, get_events, set_events
+from repro.obs.flightrec import flightrec_enabled, get_flightrec
+from repro.obs.live import TelemetryBus, set_bus
 from repro.parallel import derive_seed
 from repro.simulator import HybridClusterSimulation
 from repro.simulator.cluster import ClusterConfig
@@ -142,11 +145,25 @@ def run_episode(
     and ``scenario.outcome`` events; the outcome carries the aggregates
     the invariant packs read — cost, stranded sessions, fluid ledger
     error, drop rate, and the recorder's served/dropped/failed counts.
+
+    A private telemetry bus streams the episode to a fresh
+    :class:`~repro.obs.anomaly.AnomalyMonitor` (so ``telemetry.anomaly``
+    events land in the journal for the invariant oracle) and, when the
+    global flight recorder is armed, to the recorder — all per-episode
+    state, so parallel sweep cells stay byte-identical to serial runs.
+    Metric deltas are off: the process-global registry accumulates
+    across episodes, and only the event-derived stream is a pure
+    function of ``(spec, engine, seed)``.
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     trace = _rate_trace(spec, seed)
     old_log = set_events(EventLog(enabled=True))
+    bus = TelemetryBus(enabled=True, publish_metrics=False)
+    bus.subscribe(AnomalyMonitor())
+    if flightrec_enabled():
+        bus.subscribe(get_flightrec())
+    old_bus = set_bus(bus)
     try:
         ev = get_events()
         config = ClusterConfig(
@@ -230,6 +247,12 @@ def run_episode(
             failed=float(recorder.failed),
             tier_switches=cluster.tier_switches,
         )
+        # Final frame: drain the outcome into the stream so the flight
+        # recorder's window ends at the episode's last word.  The outcome
+        # event is not a watched series, so this appends nothing to the
+        # journal and ``records()[-1]`` stays ``scenario.outcome``.
+        bus.flush(spec.duration)
         return ev.records()
     finally:
         set_events(old_log)
+        set_bus(old_bus)

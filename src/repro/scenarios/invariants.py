@@ -72,6 +72,12 @@ class InvariantPack:
     min_revocations: int = 0
     max_unserved_fraction: float | None = None
     min_unserved_fraction: float | None = None
+    #: Detection witness: the streaming anomaly detectors must flag the
+    #: episode at least this many times (``telemetry.anomaly`` events).
+    min_anomalies: int = 0
+    #: Quiet bound for control scenarios: at most this many flags
+    #: (``None`` disables; ``0`` demands total silence).
+    max_anomalies: int | None = None
 
     def __post_init__(self) -> None:
         if self.slo_floor is not None and not 0 <= self.slo_floor <= 1:
@@ -84,6 +90,12 @@ class InvariantPack:
             raise ValueError("conservation_tol must be non-negative")
         if self.min_revocations < 0:
             raise ValueError("min_revocations must be non-negative")
+        if self.min_anomalies < 0:
+            raise ValueError("min_anomalies must be non-negative")
+        if self.max_anomalies is not None and (
+            self.max_anomalies < self.min_anomalies
+        ):
+            raise ValueError("max_anomalies must be >= min_anomalies")
 
 
 def scenario_outcome(records: list[dict]) -> dict | None:
@@ -131,6 +143,10 @@ def unresolved_warnings(records: list[dict]) -> list[str]:
 
 def _count_warnings(records: list[dict]) -> int:
     return sum(1 for rec in records if rec["kind"] == "warning.issued")
+
+
+def _count_anomalies(records: list[dict]) -> int:
+    return sum(1 for rec in records if rec["kind"] == "telemetry.anomaly")
 
 
 def evaluate_pack(
@@ -259,6 +275,33 @@ def evaluate_pack(
                     "as stressed",
                     observed=float(revocations),
                     bound=float(pack.min_revocations),
+                )
+            )
+
+    if pack.min_anomalies > 0 or pack.max_anomalies is not None:
+        anomalies = _count_anomalies(records)
+        if anomalies < pack.min_anomalies:
+            violations.append(
+                Violation(
+                    scenario,
+                    "detection_witness",
+                    f"only {anomalies} telemetry.anomaly event(s); scenario "
+                    f"requires at least {pack.min_anomalies} — the streaming "
+                    "detectors missed the incident",
+                    observed=float(anomalies),
+                    bound=float(pack.min_anomalies),
+                )
+            )
+        if pack.max_anomalies is not None and anomalies > pack.max_anomalies:
+            violations.append(
+                Violation(
+                    scenario,
+                    "detection_quiet",
+                    f"{anomalies} telemetry.anomaly event(s) on a scenario "
+                    f"bounded at {pack.max_anomalies} — the detectors are "
+                    "crying wolf",
+                    observed=float(anomalies),
+                    bound=float(pack.max_anomalies),
                 )
             )
 

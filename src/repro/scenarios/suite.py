@@ -83,6 +83,7 @@ _ALL = [
             cost_ceiling=2.0,
             max_stranded=0,
             min_revocations=3,
+            min_anomalies=1,
         ),
         spec=EpisodeSpec(
             name="storm_az",
@@ -107,6 +108,7 @@ _ALL = [
             cost_ceiling=2.0,
             max_stranded=0,
             max_unserved_fraction=0.10,
+            min_anomalies=1,
         ),
         spec=EpisodeSpec(
             name="flash_crowd",

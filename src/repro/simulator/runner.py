@@ -38,7 +38,7 @@ from repro.core.units import SECONDS_PER_HOUR
 from repro.devtools.contracts import field_units, shapes, units
 from repro.markets.dataset import MarketDataset
 from repro.markets.revocation import CorrelatedRevocationSampler
-from repro.obs import get_events, get_metrics, get_tracer
+from repro.obs import get_bus, get_events, get_metrics, get_tracer
 from repro.simulator.fluid import stochastic_wait
 from repro.workloads.trace import WorkloadTrace
 
@@ -239,6 +239,7 @@ class CostSimulator:
         tracer = get_tracer()
         ev = get_events()
         evented = ev.enabled
+        bus = get_bus()
         run_span = tracer.span("sim.run", policy=name, intervals=T)
         run_span.__enter__()
 
@@ -360,6 +361,17 @@ class CostSimulator:
                     shortfall_rps=float(shortfall_rps),
                     cost=float(interval_costs[t]),
                 )
+            if bus.enabled:
+                if evented:
+                    ev.emit(
+                        "telemetry.fleet",
+                        servers=int(counts.sum()),
+                        by_market={
+                            f"m{int(i)}": int(counts[i])
+                            for i in np.flatnonzero(counts)
+                        },
+                    )
+                bus.tick((t + 1) * interval_s, t)
             interval_span.__exit__(None, None, None)
 
         run_span.tag(revocations=revocations).__exit__(None, None, None)

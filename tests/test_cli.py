@@ -208,7 +208,11 @@ class TestRunCommand:
             main(["run", "fig6a", "--hours", "4", "--prom-out", str(out)]) == 0
         )
         text = out.read_text()
-        assert "# TYPE spotweb_controller_steps counter" in text
+        assert "# TYPE spotweb_controller_steps_total counter" in text
+        assert "# HELP spotweb_controller_steps_total" in text
+        # Registry-typed export: histograms render as summaries even
+        # though their snapshot value is a dict either way.
+        assert "# TYPE spotweb_controller_solve_ms summary" in text
 
 
 class TestTraceCommand:

@@ -217,8 +217,9 @@ class TestPrometheusText:
             },
         }
         text = prometheus_text(snap)
-        assert "# TYPE spotweb_des_events counter" in text
-        assert "spotweb_des_events 120" in text
+        assert "# TYPE spotweb_des_events_total counter" in text
+        assert "spotweb_des_events_total 120" in text
+        assert "# HELP spotweb_des_events_total" in text
         assert "# TYPE spotweb_lb_spare_rps gauge" in text
         assert 'spotweb_controller_solve_ms{quantile="0.5"} 1.0' in text
         assert "spotweb_controller_solve_ms_count 4" in text

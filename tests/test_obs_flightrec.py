@@ -1,0 +1,262 @@
+"""Tests for the flight recorder: ring buffer, dumps, bundle files."""
+
+import json
+import sys
+
+import pytest
+
+from repro.obs import (
+    FLIGHTREC_SCHEMA,
+    EventLog,
+    FlightRecorder,
+    FlightRecValidationError,
+    TelemetryBus,
+    disable_flightrec,
+    enable_flightrec,
+    flightrec_enabled,
+    get_bus,
+    get_events,
+    get_flightrec,
+    install_crash_hooks,
+    load_flightrec,
+    set_events,
+    set_flightrec,
+    summarize_flightrec,
+    uninstall_crash_hooks,
+    validate_flightrec,
+)
+
+
+@pytest.fixture
+def global_log():
+    old = set_events(EventLog(enabled=True))
+    yield get_events()
+    set_events(old)
+
+
+def tick_delta(seq, t, **extra):
+    return {"type": "tick", "seq": seq, "t": t, "interval": None, **extra}
+
+
+def alert_delta(seq, t, state="firing"):
+    return {
+        "type": "events",
+        "seq": seq,
+        "t": t,
+        "interval": 0,
+        "events": [
+            {
+                "kind": "slo.alert",
+                "t": t,
+                "interval": 0,
+                "id": None,
+                "cause": "w1",
+                "attrs": {"state": state, "burn_short": 20.0, "burn_long": 12.0},
+            }
+        ],
+    }
+
+
+class TestRingBuffer:
+    def test_bounded_by_max_records(self):
+        rec = FlightRecorder(enabled=True, max_records=3, auto_dump=False)
+        for i in range(10):
+            rec(tick_delta(i, float(i)))
+        assert [d["seq"] for d in rec.buffered()] == [7, 8, 9]
+
+    def test_bounded_by_sim_time_window(self):
+        rec = FlightRecorder(enabled=True, window_seconds=5.0, auto_dump=False)
+        for i in range(10):
+            rec(tick_delta(i, float(i)))
+        # Newest is t=9; anything older than t=4 left the window.
+        assert [d["t"] for d in rec.buffered()] == [4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+
+    def test_disabled_buffers_nothing(self):
+        rec = FlightRecorder(enabled=False)
+        rec(tick_delta(0, 0.0))
+        assert rec.buffered() == []
+
+    def test_clear_keeps_dump_counter(self, tmp_path):
+        rec = FlightRecorder(enabled=True, out_dir=tmp_path, auto_dump=False)
+        rec(tick_delta(0, 0.0))
+        rec.dump("manual")
+        rec.clear()
+        assert rec.buffered() == []
+        second = rec.dump("manual")
+        assert second.name == "flightrec_002_manual.jsonl"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="max_records"):
+            FlightRecorder(max_records=0)
+        with pytest.raises(ValueError, match="window_seconds"):
+            FlightRecorder(window_seconds=0.0)
+
+
+class TestAutoDump:
+    def test_firing_alert_dumps_pre_alert_window(self, tmp_path):
+        rec = FlightRecorder(enabled=True, out_dir=tmp_path)
+        rec(tick_delta(0, 30.0))
+        rec(alert_delta(1, 60.0))
+        assert len(rec.dumped) == 1
+        header, deltas = load_flightrec(rec.dumped[0])
+        assert header["reason"] == "slo.alert"
+        assert header["trigger"]["attrs"]["state"] == "firing"
+        # The buffer still held the pre-alert window at dump time.
+        assert [d["seq"] for d in deltas] == [0, 1]
+
+    def test_resolved_alert_does_not_dump(self, tmp_path):
+        rec = FlightRecorder(enabled=True, out_dir=tmp_path)
+        rec(alert_delta(0, 60.0, state="resolved"))
+        assert rec.dumped == []
+
+    def test_dump_filenames_are_deterministic(self, tmp_path):
+        rec = FlightRecorder(enabled=True, out_dir=tmp_path)
+        rec(alert_delta(0, 60.0))
+        rec(alert_delta(1, 90.0))
+        assert [p.name for p in rec.dumped] == [
+            "flightrec_001_slo_alert.jsonl",
+            "flightrec_002_slo_alert.jsonl",
+        ]
+
+
+class TestGlobals:
+    def test_enable_arms_and_subscribes_once(self, tmp_path):
+        old = set_flightrec(FlightRecorder(enabled=False))
+        try:
+            assert not flightrec_enabled()
+            rec = enable_flightrec(tmp_path)
+            enable_flightrec(tmp_path)  # idempotent: no double-subscribe
+            assert flightrec_enabled()
+            assert rec.out_dir == tmp_path
+            assert get_bus()._subscribers.count(rec) == 1
+            disable_flightrec()
+            assert not flightrec_enabled()
+            assert rec not in get_bus()._subscribers
+        finally:
+            disable_flightrec()
+            set_flightrec(old)
+
+    def test_crash_hook_dumps_and_chains(self, tmp_path):
+        old = set_flightrec(
+            FlightRecorder(enabled=True, out_dir=tmp_path, auto_dump=False)
+        )
+        get_flightrec()(tick_delta(0, 1.0))
+        seen = []
+        orig_hook = sys.excepthook
+        sys.excepthook = lambda *exc: seen.append(exc)
+        try:
+            install_crash_hooks()
+            boom = RuntimeError("boom")
+            sys.excepthook(RuntimeError, boom, None)
+            assert seen and seen[0][1] is boom  # original hook still ran
+            (bundle,) = get_flightrec().dumped
+            header, _deltas = load_flightrec(bundle)
+            assert header["reason"] == "crash"
+            assert header["trigger"] == {
+                "exception": "RuntimeError",
+                "message": "boom",
+            }
+        finally:
+            uninstall_crash_hooks()
+            sys.excepthook = orig_hook
+            set_flightrec(old)
+        assert sys.excepthook is orig_hook
+
+
+class TestBundleFiles:
+    def _dump(self, tmp_path, deltas=None):
+        rec = FlightRecorder(enabled=True, out_dir=tmp_path, auto_dump=False)
+        for delta in deltas if deltas is not None else [tick_delta(0, 1.0)]:
+            rec(delta)
+        return rec.dump("manual", trigger={"why": "test"})
+
+    def test_round_trip(self, tmp_path):
+        path = self._dump(tmp_path, [tick_delta(0, 1.0), alert_delta(1, 2.0)])
+        header, deltas = load_flightrec(path)
+        assert header["schema"] == FLIGHTREC_SCHEMA
+        assert header["records"] == 2 == len(deltas)
+        info = validate_flightrec(path)
+        assert info == {"reason": "manual", "t": 2.0, "deltas": 2, "events": 1}
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda h, d: ({**h, "schema": "nope"}, d), "unknown bundle schema"),
+            (lambda h, d: ({**h, "reason": None}, d), "string 'reason'"),
+            (lambda h, d: ({**h, "records": 9}, d), "declares 9"),
+            (
+                lambda h, d: (h, [{**d[0], "type": "mystery"}]),
+                "unknown delta type",
+            ),
+            (lambda h, d: (h, [{**d[0], "seq": "x"}]), "not an int"),
+            (lambda h, d: (h, [{**d[0], "t": None}]), "not a number"),
+        ],
+    )
+    def test_malformed_bundles_rejected(self, tmp_path, mutate, match):
+        path = self._dump(tmp_path)
+        header, deltas = load_flightrec(path)
+        header, deltas = mutate(header, deltas)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            "\n".join(json.dumps(obj) for obj in [header, *deltas]) + "\n"
+        )
+        with pytest.raises(FlightRecValidationError, match=match):
+            load_flightrec(bad)
+
+    def test_non_increasing_seq_rejected(self, tmp_path):
+        path = self._dump(tmp_path, [tick_delta(5, 1.0)])
+        header, deltas = load_flightrec(path)
+        header["records"] = 2
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            "\n".join(
+                json.dumps(obj)
+                for obj in [header, *deltas, tick_delta(5, 2.0)]
+            )
+            + "\n"
+        )
+        with pytest.raises(FlightRecValidationError, match="strictly increasing"):
+            load_flightrec(bad)
+
+    def test_empty_bundle_rejected(self, tmp_path):
+        bad = tmp_path / "empty.jsonl"
+        bad.write_text("")
+        with pytest.raises(FlightRecValidationError, match="empty"):
+            load_flightrec(bad)
+
+    def test_summarize_names_reason_trigger_and_alert(self, tmp_path):
+        path = self._dump(
+            tmp_path,
+            [
+                tick_delta(0, 30.0),
+                alert_delta(1, 60.0),
+                {
+                    "type": "metrics",
+                    "seq": 2,
+                    "t": 60.0,
+                    "interval": 0,
+                    "changed": {"sim.intervals": 2},
+                },
+                tick_delta(3, 60.0),
+            ],
+        )
+        text = summarize_flightrec(path)
+        assert "reason=manual" in text
+        assert 'trigger: {"why": "test"}' in text
+        assert "slo.alert t=60.0 state=firing" in text
+        assert "sim.intervals" in text
+
+
+class TestBusIntegration:
+    def test_recorder_follows_live_stream(self, tmp_path, global_log):
+        bus = TelemetryBus(enabled=True, publish_metrics=False)
+        rec = bus.subscribe(
+            FlightRecorder(enabled=True, out_dir=tmp_path, auto_dump=False)
+        )
+        global_log.emit("warning.issued", t=1.0, event_id="w1")
+        bus.tick(1.0, 0)
+        bus.tick(2.0, 1)
+        kinds = [d["type"] for d in rec.buffered()]
+        assert kinds == ["events", "tick", "tick"]
+        header, deltas = load_flightrec(rec.dump("manual"))
+        assert header["records"] == 3

@@ -1,0 +1,275 @@
+"""Tests for the streaming telemetry bus and its sinks."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    TELEMETRY_SCHEMA,
+    DeltaWriter,
+    EventLog,
+    MetricsRegistry,
+    MetricsServer,
+    PromFileWriter,
+    SLOEngine,
+    TelemetryBus,
+    delta_line,
+    get_events,
+    get_metrics,
+    set_events,
+    set_metrics,
+)
+
+
+@pytest.fixture
+def global_log():
+    """Install a fresh enabled global event log; restore the old after."""
+    old = set_events(EventLog(enabled=True))
+    yield get_events()
+    set_events(old)
+
+
+@pytest.fixture
+def global_registry():
+    """Install a fresh global metrics registry; restore the old after."""
+    old = set_metrics(MetricsRegistry())
+    yield get_metrics()
+    set_metrics(old)
+
+
+def collect(bus):
+    """Subscribe a list-appending sink; returns the list."""
+    deltas = []
+    bus.subscribe(deltas.append)
+    return deltas
+
+
+class TestTelemetryBus:
+    def test_disabled_tick_publishes_nothing(self, global_log):
+        bus = TelemetryBus(enabled=False)
+        deltas = collect(bus)
+        global_log.emit("warning.issued", t=1.0)
+        bus.tick(1.0, 0)
+        assert deltas == []
+
+    def test_frame_order_and_seq(self, global_log, global_registry):
+        bus = TelemetryBus(enabled=True)
+        deltas = collect(bus)
+        global_registry.counter("sim.intervals").inc()
+        global_log.emit("warning.issued", t=5.0, event_id="w1")
+        global_log.emit(
+            "slo.interval",
+            t=30.0,
+            interval=0,
+            requests=10,
+            compliance=0.9,
+            burn=10.0,
+            p50=0.1,
+            p95=0.2,
+            p99=0.3,
+        )
+        bus.tick(30.0, 0)
+        assert [d["type"] for d in deltas] == [
+            "events",
+            "slo",
+            "metrics",
+            "tick",
+        ]
+        assert [d["seq"] for d in deltas] == [0, 1, 2, 3]
+        assert all(d["t"] == 30.0 and d["interval"] == 0 for d in deltas)
+        assert len(deltas[0]["events"]) == 2
+        point = deltas[1]["points"][0]
+        assert point == {
+            "interval": 0,
+            "t": 30.0,
+            "requests": 10,
+            "compliance": 0.9,
+            "burn": 10.0,
+            "p50": 0.1,
+            "p95": 0.2,
+            "p99": 0.3,
+        }
+        assert deltas[2]["changed"] == {"sim.intervals": 1}
+
+    def test_quiet_tick_is_only_a_frame_marker(
+        self, global_log, global_registry
+    ):
+        bus = TelemetryBus(enabled=True)
+        deltas = collect(bus)
+        bus.tick(1.0)
+        assert [d["type"] for d in deltas] == ["tick"]
+        assert deltas[0]["interval"] is None
+
+    def test_metrics_delta_is_incremental(self, global_log, global_registry):
+        bus = TelemetryBus(enabled=True)
+        deltas = collect(bus)
+        global_registry.counter("a").inc()
+        global_registry.counter("b").inc()
+        bus.tick(1.0)
+        global_registry.counter("b").inc()
+        bus.tick(2.0)
+        metrics = [d for d in deltas if d["type"] == "metrics"]
+        assert metrics[0]["changed"] == {"a": 1, "b": 1}
+        assert metrics[1]["changed"] == {"b": 2}
+
+    def test_wall_clock_histograms_collapse_to_count(
+        self, global_log, global_registry
+    ):
+        bus = TelemetryBus(enabled=True)
+        deltas = collect(bus)
+        global_registry.histogram("controller.solve_ms").observe(12.34)
+        bus.tick(1.0)
+        (metrics,) = [d for d in deltas if d["type"] == "metrics"]
+        assert metrics["changed"]["controller.solve_ms"] == {"count": 1}
+
+    def test_publish_metrics_off_drops_metrics_deltas(
+        self, global_log, global_registry
+    ):
+        bus = TelemetryBus(enabled=True, publish_metrics=False)
+        deltas = collect(bus)
+        global_registry.counter("a").inc()
+        bus.tick(1.0)
+        assert [d["type"] for d in deltas] == ["tick"]
+
+    def test_event_cursor_survives_log_swap(
+        self, global_log, global_registry
+    ):
+        bus = TelemetryBus(enabled=True)
+        deltas = collect(bus)
+        global_log.emit("warning.issued", t=1.0)
+        bus.tick(1.0)
+        # A swapped journal object restarts the cursor at zero instead
+        # of silently dropping the new log's head — even when the new
+        # log has already grown past the old cursor.
+        set_events(EventLog(enabled=True))
+        get_events().emit("warning.resolved", t=2.0)
+        bus.tick(2.0)
+        # A cleared (same-object) journal is caught by the shrunk count.
+        get_events().clear()
+        bus.tick(3.0)
+        get_events().emit("warning.issued", t=4.0)
+        bus.tick(4.0)
+        events = [d for d in deltas if d["type"] == "events"]
+        assert [e["events"][0]["kind"] for e in events] == [
+            "warning.issued",
+            "warning.resolved",
+            "warning.issued",
+        ]
+
+    def test_subscribers_see_deltas_in_subscription_order(
+        self, global_log, global_registry
+    ):
+        bus = TelemetryBus(enabled=True)
+        order = []
+        bus.subscribe(lambda d: order.append("first"))
+        bus.subscribe(lambda d: order.append("second"))
+        bus.tick(1.0)
+        assert order == ["first", "second"]
+        bus.unsubscribe(bus._subscribers[0])
+        bus.tick(2.0)
+        assert order == ["first", "second", "second"]
+
+
+class TestByteIdenticalStream:
+    def _run_stream(self) -> str:
+        """One deterministic SLO-driven run captured as a delta stream."""
+        old_log = set_events(EventLog(enabled=True))
+        old_registry = set_metrics(MetricsRegistry())
+        from repro.obs import get_bus, set_bus
+
+        bus = TelemetryBus(enabled=True)
+        old_bus = set_bus(bus)
+        writer = bus.subscribe(DeltaWriter())
+        try:
+            engine = SLOEngine(interval_seconds=30.0, slo_threshold=0.5)
+            for i in range(600):
+                t = i * 0.5
+                engine.record(t, 0.1 if (i // 120) % 2 == 0 else 0.9)
+            engine.finish(300.0)
+        finally:
+            set_bus(old_bus)
+            set_events(old_log)
+            set_metrics(old_registry)
+        return writer.text()
+
+    def test_identical_runs_identical_bytes(self):
+        assert self._run_stream() == self._run_stream()
+
+    def test_stream_is_schema_tagged_jsonl(self, tmp_path):
+        old_log = set_events(EventLog(enabled=True))
+        bus = TelemetryBus(enabled=True, publish_metrics=False)
+        writer = bus.subscribe(DeltaWriter())
+        try:
+            get_events().emit("warning.issued", t=1.0)
+            bus.tick(1.0, 0)
+        finally:
+            set_events(old_log)
+        path = writer.write(tmp_path / "deltas.jsonl")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header == {"schema": TELEMETRY_SCHEMA, "kind": "header"}
+        for line in lines[1:]:
+            delta = json.loads(line)
+            assert delta_line(delta) == line
+
+
+class TestPromFileWriter:
+    def test_refreshes_atomically_on_tick(
+        self, tmp_path, global_log, global_registry
+    ):
+        bus = TelemetryBus(enabled=True)
+        path = tmp_path / "metrics.prom"
+        bus.subscribe(PromFileWriter(path))
+        global_registry.counter("sim.intervals").inc()
+        bus.tick(1.0)
+        first = path.read_text()
+        assert "spotweb_sim_intervals_total 1" in first
+        global_registry.counter("sim.intervals").inc()
+        bus.tick(2.0)
+        assert "spotweb_sim_intervals_total 2" in path.read_text()
+        # Atomic replace leaves no temp file behind.
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestMetricsServer:
+    def test_scrape_serves_openmetrics(self, global_registry):
+        global_registry.counter("des.events").inc(7)
+        server = MetricsServer(0).start()
+        try:
+            body = (
+                urllib.request.urlopen(server.url, timeout=5).read().decode()
+            )
+        finally:
+            server.stop()
+        assert "spotweb_des_events_total 7" in body
+        assert body.endswith("# EOF\n")
+
+    def test_refreshes_on_tick_and_404s_elsewhere(
+        self, global_log, global_registry
+    ):
+        bus = TelemetryBus(enabled=True)
+        server = bus.subscribe(MetricsServer(0).start())
+        try:
+            global_registry.counter("des.events").inc()
+            bus.tick(1.0)
+            body = (
+                urllib.request.urlopen(server.url, timeout=5).read().decode()
+            )
+            assert "spotweb_des_events_total 1" in body
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://{server.host}:{server.port}/nope", timeout=5
+                )
+        finally:
+            server.stop()
+
+    def test_empty_registry_serves_eof_only(self):
+        server = MetricsServer(0, registry=MetricsRegistry()).start()
+        try:
+            body = (
+                urllib.request.urlopen(server.url, timeout=5).read().decode()
+            )
+        finally:
+            server.stop()
+        assert body == "# EOF\n"

@@ -160,3 +160,90 @@ class TestGlobalRegistry:
             }
 
         assert normalize(snaps[0]) == normalize(snaps[1])
+
+
+class TestPrometheusExport:
+    """Exporter edge cases: registry-typed kinds, mangling, atomic write."""
+
+    def test_registry_types_beat_value_inference(self, registry):
+        from repro.obs import prometheus_text
+
+        # An int-valued gauge would be mis-inferred as a counter from a
+        # bare snapshot dict; the registry knows its class.
+        registry.gauge("fleet.size").set(4)
+        text = prometheus_text(registry)
+        assert "# TYPE spotweb_fleet_size gauge" in text
+        assert "spotweb_fleet_size 4" in text
+        assert "_total" not in text
+
+    def test_counters_get_total_suffix_and_help(self, registry):
+        from repro.obs import prometheus_text
+
+        registry.counter("des.events").inc(3)
+        text = prometheus_text(registry)
+        assert "# HELP spotweb_des_events_total SpotWeb counter des.events" in text
+        assert "# TYPE spotweb_des_events_total counter" in text
+        assert "spotweb_des_events_total 3" in text
+
+    def test_empty_registry_exports_empty(self, registry):
+        from repro.obs import prometheus_text
+
+        assert prometheus_text(registry) == ""
+        assert prometheus_text(registry, openmetrics=True) == ""
+
+    def test_zero_count_histogram_exports_zeroes(self, registry):
+        from repro.obs import prometheus_text
+
+        registry.histogram("solve.lat")
+        text = prometheus_text(registry)
+        assert "# TYPE spotweb_solve_lat summary" in text
+        assert "spotweb_solve_lat_count 0" in text
+        assert "spotweb_solve_lat_sum 0.0" in text
+
+    def test_name_mangling_collisions_deduped(self, registry):
+        from repro.obs import prometheus_text
+
+        # Both mangle to spotweb_lb_spare_rps; dedupe must keep them
+        # distinct instead of exporting one family twice.  Sorted name
+        # order decides who keeps the bare name ("-" sorts before ".").
+        registry.gauge("lb.spare.rps").set(1.0)
+        registry.gauge("lb.spare-rps").set(2.0)
+        text = prometheus_text(registry)
+        assert "spotweb_lb_spare_rps 2.0" in text
+        assert "spotweb_lb_spare_rps_2 1.0" in text
+
+    def test_bool_snapshot_value_rejected(self):
+        from repro.obs import prometheus_text
+
+        with pytest.raises(TypeError, match="non-metric value True"):
+            prometheus_text({"flag": True})
+
+    def test_openmetrics_terminates_with_eof(self, registry):
+        from repro.obs import prometheus_text
+
+        registry.counter("a").inc()
+        text = prometheus_text(registry, openmetrics=True)
+        assert text.endswith("# EOF\n")
+        assert not prometheus_text(registry).endswith("# EOF\n")
+
+    def test_write_prometheus_is_atomic(self, tmp_path, registry):
+        from repro.obs import write_prometheus
+
+        registry.counter("a").inc()
+        path = tmp_path / "metrics.prom"
+        out = write_prometheus(path, registry)
+        assert out == path
+        assert "spotweb_a_total 1" in path.read_text()
+        # The temp file was renamed away, never left beside the target.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_write_prometheus_defaults_to_global_registry(self, tmp_path):
+        from repro.obs import write_prometheus
+
+        old = set_metrics(MetricsRegistry())
+        try:
+            get_metrics().counter("g").inc(2)
+            path = write_prometheus(tmp_path / "m.prom")
+        finally:
+            set_metrics(old)
+        assert "spotweb_g_total 2" in path.read_text()

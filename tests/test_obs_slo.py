@@ -186,3 +186,69 @@ class TestSLOEngine:
             SLOEngine(short_window=5, long_window=2)
         with pytest.raises(ValueError):
             SLOEngine(burn_threshold=0.0)
+
+
+class TestDigestMassWithLiveBus:
+    """`add_masses`/`merge` percentiles on the streaming telemetry path."""
+
+    def test_add_masses_then_merge_matches_scalar_adds(self):
+        # One digest fed fluid-tier mass, one fed per-request samples,
+        # merged; the reference sees the same population via add() only.
+        mass = LatencyDigest(bin_width=0.1, max_latency=5.0)
+        mass.add_masses(
+            np.array([0.35, 1.25, 2.45]), np.array([10.0, 5.0, 1.0])
+        )
+        scalar = LatencyDigest(bin_width=0.1, max_latency=5.0)
+        reference = LatencyDigest(bin_width=0.1, max_latency=5.0)
+        for latency, weight in ((0.35, 10), (1.25, 5), (2.45, 1)):
+            for _ in range(weight):
+                reference.add(latency)
+        for latency in (0.15, 0.95, 3.05):
+            scalar.add(latency)
+            reference.add(latency)
+        mass.merge(scalar)
+        assert mass.count == reference.count
+        for p in (50, 95, 99):
+            assert mass.percentile(p) == reference.percentile(p)
+
+    def test_record_mass_streams_digest_percentiles(self, global_log):
+        """The fluid mass path feeds the same digest the bus publishes.
+
+        The SLO interval close is the bus's sim-time heartbeat: the
+        published ``slo`` point must carry exactly the percentiles of
+        the interval digest built from ``record`` + ``record_mass``.
+        """
+        from repro.obs import TelemetryBus, set_bus
+
+        bus = TelemetryBus(enabled=True, publish_metrics=False)
+        old_bus = set_bus(bus)
+        points = []
+        ticks = []
+        bus.subscribe(
+            lambda d: points.extend(d["points"]) if d["type"] == "slo" else None
+        )
+        bus.subscribe(
+            lambda d: ticks.append(d) if d["type"] == "tick" else None
+        )
+        try:
+            eng = SLOEngine(slo_threshold=1.0, interval_seconds=60.0)
+            eng.record(5.0, 0.4)
+            eng.record(10.0, 1.6)  # late: burns budget like late mass
+            eng.record_mass(
+                20.0, np.array([0.3, 1.5]), np.array([30.0, 10.0])
+            )
+            eng.record_bad_mass(30.0, 2.0)
+            eng.finish(60.0)
+        finally:
+            set_bus(old_bus)
+        expected = LatencyDigest()
+        expected.add(0.4)
+        expected.add(1.6)
+        expected.add_masses(np.array([0.3, 1.5]), np.array([30.0, 10.0]))
+        (point,) = points
+        assert point["requests"] == 44.0
+        assert point["compliance"] == pytest.approx(31.0 / 44.0)
+        for key, p in (("p50", 50), ("p95", 95), ("p99", 99)):
+            assert point[key] == expected.percentile(p)
+        # The interval close ticked the frame boundary exactly once.
+        assert [(d["t"], d["interval"]) for d in ticks] == [(60.0, 0)]

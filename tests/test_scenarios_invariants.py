@@ -149,6 +149,47 @@ class TestEvaluatePack:
             InvariantPack(cost_ceiling=0.0)
         with pytest.raises(ValueError):
             InvariantPack(min_revocations=-1)
+        with pytest.raises(ValueError):
+            InvariantPack(min_anomalies=-1)
+        with pytest.raises(ValueError):
+            InvariantPack(min_anomalies=2, max_anomalies=1)
+
+
+class TestDetectionInvariants:
+    def _with_anomalies(self, n):
+        journal = _journal()
+        for i in range(n):
+            journal.insert(
+                -1,
+                _rec(
+                    "telemetry.anomaly",
+                    series="slo.p99",
+                    detector="cusum",
+                    value=4.0,
+                    score=6.0 + i,
+                ),
+            )
+        return journal
+
+    def test_detection_witness_requires_anomaly(self):
+        pack = InvariantPack(min_revocations=0, min_anomalies=1)
+        bad = evaluate_pack("s", self._with_anomalies(0), pack)
+        assert _invariants(bad) == ["detection_witness"]
+        assert bad[0].observed == 0.0 and bad[0].bound == 1.0
+        assert evaluate_pack("s", self._with_anomalies(1), pack) == []
+
+    def test_detection_quiet_bounds_false_alarms(self):
+        pack = InvariantPack(min_revocations=0, max_anomalies=2)
+        assert evaluate_pack("s", self._with_anomalies(2), pack) == []
+        bad = evaluate_pack("s", self._with_anomalies(3), pack)
+        assert _invariants(bad) == ["detection_quiet"]
+        assert "crying wolf" in bad[0].message
+
+    def test_unbounded_pack_ignores_anomaly_count(self):
+        # Default pack: neither witness nor quiet bound set.
+        assert evaluate_pack(
+            "s", self._with_anomalies(50), InvariantPack(min_revocations=0)
+        ) == []
 
 
 class TestHelpers:
